@@ -1,0 +1,85 @@
+// NWS-AGG (paper §2.3, "Completeness"): "given three machines A, B and C,
+// if the machine B is the gateway connecting A and C, it is sufficient to
+// conduct only the experiments on (AB) and on (BC). Latency between A and
+// C can then be roughly estimated by adding the latencies measured on AB
+// and on BC. The minimum of the bandwidths on AB and BC can be used to
+// estimate the one on AC."
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "deploy/manager.hpp"
+#include "deploy/query.hpp"
+#include "simnet/topology.hpp"
+
+using namespace envnws;
+
+int main() {
+  bench::banner("NWS-AGG",
+                "§2.3 aggregation across a gateway (the A-B-C example)",
+                "bw(AC) ~= min(bw(AB), bw(BC)); lat(AC) ~= lat(AB)+lat(BC);"
+                " both within a few percent of a direct measurement");
+
+  // A --100 Mbps/2ms-- B --30 Mbps/5ms-- C, B a dual-homed gateway host.
+  simnet::Topology topo;
+  const auto a = topo.add_host("A", "a.lan", simnet::Ipv4(10, 0, 1, 1));
+  const auto b = topo.add_host("B", "b.lan", simnet::Ipv4(10, 0, 1, 2));
+  const auto c = topo.add_host("C", "c.lan", simnet::Ipv4(10, 0, 2, 1));
+  topo.connect(a, b, units::mbps(100), 2e-3);
+  topo.connect(b, c, units::mbps(30), 5e-3);
+  simnet::Network net(std::move(topo));
+
+  // Deployment measuring only (A,B) and (B,C) — never (A,C).
+  deploy::DeploymentPlan plan;
+  plan.master = "a.lan";
+  plan.nameserver_host = "a.lan";
+  plan.forecaster_host = "a.lan";
+  plan.hosts = {"a.lan", "b.lan", "c.lan"};
+  for (const auto& [name, members] :
+       {std::pair<const char*, std::vector<std::string>>{"ab", {"a.lan", "b.lan"}},
+        {"bc", {"b.lan", "c.lan"}}}) {
+    deploy::PlannedClique clique;
+    clique.name = name;
+    clique.role = deploy::CliqueRole::inter;
+    clique.members = members;
+    clique.period_s = 5.0;
+    clique.probe_bytes = 512 * 1024;
+    plan.cliques.push_back(clique);
+  }
+  auto system = deploy::apply_plan(plan, net);
+  if (!system.ok()) {
+    std::fprintf(stderr, "apply failed: %s\n", system.error().to_string().c_str());
+    return 1;
+  }
+  net.run_until(900.0);
+  deploy::QueryService queries(*system.value(), plan);
+
+  const auto bw = queries.bandwidth("a.lan", "a.lan", "c.lan");
+  const auto lat = queries.latency("a.lan", "a.lan", "c.lan");
+  const double truth_bw = net.ground_truth_bandwidth(a, c).value();
+  const double truth_rtt = 2.0 * net.ground_truth_latency(a, c).value();
+
+  Table table({"quantity", "aggregated estimate", "ground truth", "error %"});
+  if (bw.ok()) {
+    table.add_row({"bandwidth A->C (Mbps)",
+                   strings::format_double(units::to_mbps(bw.value().value), 2),
+                   strings::format_double(units::to_mbps(truth_bw), 2),
+                   strings::format_double(
+                       100.0 * (bw.value().value - truth_bw) / truth_bw, 1)});
+  }
+  if (lat.ok()) {
+    table.add_row({"rtt A->C (ms)", strings::format_double(lat.value().value * 1e3, 2),
+                   strings::format_double(truth_rtt * 1e3, 2),
+                   strings::format_double(
+                       100.0 * (lat.value().value - truth_rtt) / truth_rtt, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  if (bw.ok()) {
+    std::printf("chain used: %zu measured segments, method %s\n",
+                bw.value().segments.size(), to_string(bw.value().method));
+  }
+  system.value()->stop();
+  return 0;
+}

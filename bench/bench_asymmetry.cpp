@@ -1,0 +1,105 @@
+// CLAIM-ASYM (paper §4.3, "Asymmetric routes"): "the route between
+// the-doors and popc goes through a 10 Mbps link, whereas in the other
+// direction it is on 100 Mbps links only. Since ENV bandwidth tests are
+// conducted in only one way, the system cannot detect such problems."
+//
+// Maps the public ENS-Lyon zone from two opposite viewpoints and compares
+// what each believes about the same physical connection.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "env/mapper.hpp"
+#include "env/sim_probe_engine.hpp"
+#include "simnet/scenario.hpp"
+
+using namespace envnws;
+
+namespace {
+
+/// Map the public zone with the given master; return the base bandwidth
+/// ENV records for the cluster containing `probe_member`.
+double base_bw_from(simnet::Network& net, const std::string& master,
+                    const std::string& probe_member,
+                    env::MapperOptions options = {}) {
+  env::SimProbeEngine engine(net, options);
+  env::Mapper mapper(engine, options);
+  env::ZoneSpec spec;
+  spec.zone_name = "ens-lyon.fr";
+  spec.hostnames = {"the-doors.ens-lyon.fr", "canaria.ens-lyon.fr",
+                    "moby.cri2000.ens-lyon.fr", "popc.ens-lyon.fr", "myri.ens-lyon.fr",
+                    "sci.ens-lyon.fr"};
+  spec.master = master;
+  spec.traceroute_target = "edge";
+  auto result = mapper.map_zone(spec);
+  if (!result.ok()) return 0.0;
+  const env::EnvNetwork* segment = result.value().root.find_containing(probe_member);
+  return segment != nullptr ? segment->base_bw_bps : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("CLAIM-ASYM",
+                "§4.3 one-way tests cannot see asymmetric routes",
+                "mapping from the-doors reports the hub2 side at ~10 Mbps (forward"
+                " path over the slow link); mapping from popc reports the hub1 side"
+                " at ~100 Mbps (return path over the gigabit route): each view holds"
+                " only its own direction, neither sees the asymmetry itself");
+
+  simnet::Scenario scenario = simnet::ens_lyon();
+  simnet::Network net(simnet::Scenario(scenario).topology);
+
+  const auto doors = scenario.id("the-doors");
+  const auto popc = scenario.id("popc");
+  const double truth_fwd = net.ground_truth_bandwidth(doors, popc).value();
+  const double truth_rev = net.ground_truth_bandwidth(popc, doors).value();
+
+  const double from_doors = base_bw_from(net, "the-doors.ens-lyon.fr", "popc.ens-lyon.fr");
+  const double from_popc = base_bw_from(net, "popc.ens-lyon.fr", "the-doors.ens-lyon.fr");
+
+  Table table({"viewpoint", "cluster observed", "ENV base bw Mbps", "true fwd Mbps",
+               "true rev Mbps"});
+  table.add_row({"the-doors (paper's run)", "hub2 {popc,myri,sci}",
+                 strings::format_double(units::to_mbps(from_doors), 2),
+                 strings::format_double(units::to_mbps(truth_fwd), 0),
+                 strings::format_double(units::to_mbps(truth_rev), 0)});
+  table.add_row({"popc (reversed master)", "hub1 {the-doors,canaria,moby}",
+                 strings::format_double(units::to_mbps(from_popc), 2),
+                 strings::format_double(units::to_mbps(truth_rev), 0),
+                 strings::format_double(units::to_mbps(truth_fwd), 0)});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("limitation reproduced: the two viewpoints disagree by %.1fx on the same\n"
+              "physical interconnection, and no single ENV run can tell (\"solving this\n"
+              "would imply almost a complete rewrite of ENV tests\").\n\n",
+              from_doors > 0 ? units::to_mbps(from_popc) / units::to_mbps(from_doors) : 0.0);
+
+  // --- the fix the paper left as future work, implemented -------------
+  env::MapperOptions bidir;
+  bidir.bidirectional_probes = true;
+  env::SimProbeEngine engine(net, bidir);
+  env::Mapper mapper(engine, bidir);
+  env::ZoneSpec spec;
+  spec.zone_name = "ens-lyon.fr";
+  spec.hostnames = {"the-doors.ens-lyon.fr", "canaria.ens-lyon.fr",
+                    "moby.cri2000.ens-lyon.fr", "popc.ens-lyon.fr", "myri.ens-lyon.fr",
+                    "sci.ens-lyon.fr"};
+  spec.master = "the-doors.ens-lyon.fr";
+  spec.traceroute_target = "edge";
+  auto mapped = mapper.map_zone(spec);
+  if (mapped.ok()) {
+    const env::EnvNetwork* hub2 =
+        mapped.value().root.find_containing("popc.ens-lyon.fr");
+    if (hub2 != nullptr) {
+      std::printf("EXT-BIDIR (bidirectional_probes=true, +n-1 experiments): hub2 forward"
+                  " %.2f Mbps, reverse %.2f Mbps -> %s\n",
+                  units::to_mbps(hub2->base_bw_bps),
+                  units::to_mbps(hub2->base_reverse_bw_bps),
+                  hub2->route_asymmetric ? "flagged [ASYMMETRIC ROUTE]"
+                                         : "not flagged");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// CLAIM-COLLIDE (paper §2.3): "If two measurements were conducted on a
+// given network link at the same time, both of them could be influenced
+// by the bandwidth consumption of the other one, and may therefore report
+// an availability of about the half of the real value."
+//
+// Same 10 Mbps hub, two monitoring schemes: uncoordinated periodic probes
+// (always overlapping) vs a token-ring clique (serialized).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "nws/system.hpp"
+#include "simnet/scenario.hpp"
+
+using namespace envnws;
+
+namespace {
+
+struct SchemeResult {
+  double mean_mbps = 0.0;
+  double min_mbps = 0.0;
+  std::size_t samples = 0;
+};
+
+SchemeResult run_uncoordinated(double hub_mbps) {
+  auto scenario = simnet::star_hub(4, units::mbps(hub_mbps));
+  simnet::Network net(std::move(scenario.topology));
+  nws::SystemConfig config;
+  config.nameserver_host = "h0";
+  nws::NwsSystem system(net, config);
+  system.add_uncoordinated_probe("h0", "h1", 5.0);
+  system.add_uncoordinated_probe("h2", "h3", 5.0);
+  system.start();
+  net.run_until(1800.0);
+  const nws::TimeSeries* series =
+      system.find_series({nws::ResourceKind::bandwidth, "h0", "h1"});
+  system.stop();
+  SchemeResult result;
+  if (series != nullptr) {
+    const auto values = series->values();
+    result.mean_mbps = units::to_mbps(stats::mean(values));
+    result.min_mbps = units::to_mbps(stats::min(values));
+    result.samples = values.size();
+  }
+  return result;
+}
+
+SchemeResult run_clique(double hub_mbps) {
+  auto scenario = simnet::star_hub(4, units::mbps(hub_mbps));
+  simnet::Network net(std::move(scenario.topology));
+  nws::SystemConfig config;
+  config.nameserver_host = "h0";
+  nws::NwsSystem system(net, config);
+  nws::CliqueSpec spec;
+  spec.name = "hub-clique";
+  spec.period_s = 5.0;
+  for (int i = 0; i < 4; ++i) {
+    spec.members.push_back(net.topology().find_by_name("h" + std::to_string(i)).value());
+  }
+  system.add_clique(spec);
+  system.start();
+  net.run_until(1800.0);
+  const nws::TimeSeries* series =
+      system.find_series({nws::ResourceKind::bandwidth, "h0", "h1"});
+  system.stop();
+  SchemeResult result;
+  if (series != nullptr) {
+    const auto values = series->values();
+    result.mean_mbps = units::to_mbps(stats::mean(values));
+    result.min_mbps = units::to_mbps(stats::min(values));
+    result.samples = values.size();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("CLAIM-COLLIDE",
+                "§2.3 colliding measurements report ~half the real availability",
+                "uncoordinated probes on one hub under-report by ~50%;"
+                " the NWS measurement clique keeps every reading at the true rate");
+
+  const double hub_mbps = 10.0;
+  const SchemeResult uncoordinated = run_uncoordinated(hub_mbps);
+  const SchemeResult clique = run_clique(hub_mbps);
+
+  Table table({"scheme", "samples", "mean Mbps", "min Mbps", "error vs truth"});
+  const auto row = [&](const char* name, const SchemeResult& r) {
+    table.add_row({name, std::to_string(r.samples), strings::format_double(r.mean_mbps, 2),
+                   strings::format_double(r.min_mbps, 2),
+                   strings::format_double((1.0 - r.mean_mbps / hub_mbps) * 100.0, 1) + "%"});
+  };
+  row("uncoordinated probes", uncoordinated);
+  row("token-ring clique", clique);
+  std::printf("ground truth: %.1f Mbps shared hub\n\n%s", hub_mbps,
+              table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// FIG1A: the modelled physical ENS-Lyon topology (paper Fig. 1a) — the
+// ground truth every other experiment is scored against.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "simnet/render.hpp"
+#include "simnet/scenario.hpp"
+
+int main() {
+  using namespace envnws;
+  bench::banner("FIG1A", "paper Fig. 1(a): physical topology (simplified schema)",
+                "hub1{the-doors,canaria,moby} / 10 Mbps bottleneck with asymmetric"
+                " gigabit return / hub2{popc,myri,sci} / myri hub / sci switch;"
+                " popc.private firewalled behind dual-homed gateways");
+
+  const simnet::Scenario scenario = simnet::ens_lyon();
+  std::printf("%s\n", scenario.description.c_str());
+  std::printf("\n--- topology tree (rooted at the edge router) ---\n%s",
+              simnet::render_physical(scenario.topology).c_str());
+  std::printf("\n--- link table ---\n%s",
+              simnet::render_link_table(scenario.topology).c_str());
+
+  std::printf("\n--- firewall zones ---\n");
+  for (const auto& zone : scenario.topology.zones()) {
+    std::printf("  %s:", zone.c_str());
+    for (const auto host : scenario.topology.hosts_in_zone(zone)) {
+      std::printf(" %s", scenario.topology.node(host).name.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

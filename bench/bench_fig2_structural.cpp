@@ -1,0 +1,38 @@
+// FIG2: the structural topology tree (paper Fig. 2) — traceroutes from
+// every mapped host towards the external target, folded into a tree.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "env/mapper.hpp"
+#include "env/scenario_zones.hpp"
+#include "env/sim_probe_engine.hpp"
+#include "simnet/scenario.hpp"
+
+int main() {
+  using namespace envnws;
+  bench::banner("FIG2", "paper Fig. 2: structural topology (the initial tree in ENV)",
+                "root 192.168.254.1 (non-routable, kept per the paper's ENV fix);"
+                " branch 140.77.13.1 -> {canaria, moby, the-doors};"
+                " branch routeur-backbone -> routlhpc -> {myri, popc, sci};"
+                " the silent giga-router is invisible (dropped traceroute)");
+
+  simnet::Scenario scenario = simnet::ens_lyon();
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  env::MapperOptions options;
+  env::SimProbeEngine engine(net, options);
+  env::Mapper mapper(engine, options);
+
+  const auto zones = env::zones_from_scenario(scenario);
+  for (const auto& zone : zones) {
+    auto result = mapper.map_zone(zone);
+    if (!result.ok()) {
+      std::fprintf(stderr, "zone %s failed: %s\n", zone.zone_name.c_str(),
+                   result.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("--- structural tree, zone %s (traceroute target: %s) ---\n%s\n",
+                zone.zone_name.c_str(), zone.traceroute_target.c_str(),
+                env::render_structural(result.value().structural).c_str());
+  }
+  return 0;
+}

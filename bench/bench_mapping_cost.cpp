@@ -1,0 +1,58 @@
+// CLAIM-SCALE (paper §4.3): "this naive algorithm would not scale at
+// all... the whole process would last about 50 days for 20 hosts. That is
+// why ENV does not try to completely map the network."
+//
+// Prints the naive full-mapping cost model next to MEASURED ENV runs on
+// switched LANs of growing size.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "env/cost_model.hpp"
+#include "env/mapper.hpp"
+#include "env/scenario_zones.hpp"
+#include "env/sim_probe_engine.hpp"
+#include "simnet/scenario.hpp"
+
+int main() {
+  using namespace envnws;
+  bench::banner("CLAIM-SCALE",
+                "§4.3 mapping-cost argument (naive ~50 days at 20 hosts, 30 s/experiment)",
+                "naive experiment count grows ~n^4 (all link pairs), ENV ~n^2;"
+                " naive hits ~50 days at n=20 while ENV stays at simulated minutes");
+
+  Table table({"hosts", "naive exps", "naive days@30s", "env model exps", "env measured exps",
+               "env sim minutes", "naive/env ratio"});
+
+  for (const int n : {4, 8, 12, 16, 20, 24, 32}) {
+    const env::MappingCost naive = env::naive_full_mapping_cost(n);
+    const env::MappingCost model = env::env_worst_case_cost(n);
+
+    simnet::Scenario scenario = simnet::star_switch(n, units::mbps(100));
+    simnet::Network net(simnet::Scenario(scenario).topology);
+    env::MapperOptions options;
+    env::SimProbeEngine engine(net, options);
+    env::Mapper mapper(engine, options);
+    const auto zones = env::zones_from_scenario(scenario);
+    auto result = mapper.map_zone(zones.front());
+    if (!result.ok()) {
+      std::fprintf(stderr, "mapping failed at n=%d\n", n);
+      return 1;
+    }
+    const auto measured = result.value().stats;
+    table.add_row(
+        {std::to_string(n), std::to_string(naive.experiments),
+         strings::format_double(naive.days(30.0), 1), std::to_string(model.experiments),
+         std::to_string(measured.experiments),
+         strings::format_double(measured.duration_s / 60.0, 1),
+         strings::format_double(static_cast<double>(naive.experiments) /
+                                    static_cast<double>(measured.experiments),
+                                0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("paper anchor: naive at 20 hosts = %.1f days (paper: \"about 50 days\")\n",
+              env::naive_full_mapping_cost(20).days(30.0));
+  return 0;
+}

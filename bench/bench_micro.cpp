@@ -1,0 +1,137 @@
+// Substrate micro-benchmarks (google-benchmark): cost of the fluid
+// max-min solver, event queue, routing, XML parsing, forecasting, and a
+// complete ENV mapping — the "how expensive is the simulator itself"
+// numbers behind every other experiment.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "env/mapper.hpp"
+#include "env/scenario_zones.hpp"
+#include "env/sim_probe_engine.hpp"
+#include "gridml/model.hpp"
+#include "nws/forecast.hpp"
+#include "simnet/event_queue.hpp"
+#include "simnet/fairshare.hpp"
+#include "simnet/routing.hpp"
+#include "simnet/scenario.hpp"
+
+namespace {
+
+using namespace envnws;
+
+void BM_FairShareSolve(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  simnet::FairShareProblem problem;
+  const std::size_t resources = flows / 2 + 2;
+  for (std::size_t r = 0; r < resources; ++r) {
+    problem.capacities.push_back(rng.uniform(1e6, 1e9));
+  }
+  for (std::size_t f = 0; f < flows; ++f) {
+    std::vector<std::uint32_t> used;
+    for (std::uint32_t r = 0; r < resources; ++r) {
+      if (rng.next_double() < 0.3) used.push_back(r);
+    }
+    if (used.empty()) used.push_back(0);
+    problem.flows.push_back(used);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simnet::solve_max_min(problem));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(flows));
+}
+BENCHMARK(BM_FairShareSolve)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    simnet::EventQueue queue;
+    for (std::size_t i = 0; i < events; ++i) {
+      queue.schedule_at(rng.next_double() * 1000.0, [] {});
+    }
+    simnet::SimTime t = 0;
+    simnet::EventFn fn;
+    while (queue.pop(t, fn)) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1024)->Arg(16384);
+
+void BM_RoutingDijkstra(benchmark::State& state) {
+  auto scenario = simnet::wan_constellation(8, 12, units::mbps(100), units::mbps(10));
+  const simnet::Topology topo = std::move(scenario.topology);
+  const auto hosts = topo.hosts();
+  for (auto _ : state) {
+    simnet::RouteTable routes(topo);  // cold tables each iteration
+    benchmark::DoNotOptimize(routes.path(hosts.front(), hosts.back()));
+  }
+}
+BENCHMARK(BM_RoutingDijkstra);
+
+void BM_FlowTransferSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    auto scenario = simnet::star_switch(8, units::mbps(100));
+    simnet::Network net(std::move(scenario.topology));
+    int done = 0;
+    for (int i = 0; i < 4; ++i) {
+      net.start_flow(simnet::NodeId(static_cast<std::uint32_t>(2 * i)),
+                     simnet::NodeId(static_cast<std::uint32_t>(2 * i + 1)), 1 << 20,
+                     [&done](const simnet::FlowResult&) { ++done; });
+    }
+    net.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_FlowTransferSimulation);
+
+void BM_ForecasterObserve(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 1024; ++i) values.push_back(50.0 + rng.normal(0.0, 5.0));
+  for (auto _ : state) {
+    nws::AdaptiveForecaster forecaster;
+    for (const double v : values) forecaster.observe(v);
+    benchmark::DoNotOptimize(forecaster.forecast());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ForecasterObserve);
+
+void BM_GridmlParse(benchmark::State& state) {
+  auto scenario = simnet::ens_lyon();
+  simnet::Network net(std::move(scenario.topology));
+  // Build a representative document once via a real mapping.
+  env::MapperOptions options;
+  env::SimProbeEngine engine(net, options);
+  env::Mapper mapper(engine, options);
+  simnet::Scenario fresh = simnet::ens_lyon();
+  auto mapped = mapper.map(env::zones_from_scenario(fresh),
+                           env::gateway_aliases_from_scenario(fresh));
+  const std::string xml = mapped.ok() ? mapped.value().grid.to_string() : "<GRID />";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gridml::GridDoc::parse(xml));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_GridmlParse);
+
+void BM_FullEnvMapping(benchmark::State& state) {
+  for (auto _ : state) {
+    simnet::Scenario scenario = simnet::ens_lyon();
+    simnet::Network net(simnet::Scenario(scenario).topology);
+    env::MapperOptions options;
+    env::SimProbeEngine engine(net, options);
+    env::Mapper mapper(engine, options);
+    auto result = mapper.map(env::zones_from_scenario(scenario),
+                             env::gateway_aliases_from_scenario(scenario));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullEnvMapping)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// ABLATE-THRESH (paper §4.2.2): "The value of this thresholds may have a
+// great impact on the mapping results, and where determined experimentally
+// and empirically by the ENV authors." (bw split x3, pairwise 1.25,
+// jammed 0.7/0.9)
+//
+// Sweeps each threshold while holding the others at the paper's values
+// and scores classification accuracy against ground truth over a family
+// of randomized LANs. The paper's choices should sit on the accuracy
+// plateau; extreme values should mis-cluster.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "env/mapper.hpp"
+#include "env/scenario_zones.hpp"
+#include "env/sim_probe_engine.hpp"
+#include "simnet/scenario.hpp"
+
+using namespace envnws;
+
+namespace {
+
+struct Score {
+  int correct = 0;
+  int total = 0;
+  [[nodiscard]] double percent() const {
+    return total > 0 ? 100.0 * correct / total : 0.0;
+  }
+};
+
+/// Map every seed's LAN with the given options and score segment
+/// classification. All segments run at one speed so no verdict is masked
+/// by an upstream bottleneck (that effect is a separate experiment), and
+/// every measurement carries 5% multiplicative jitter — the noise the
+/// thresholds were designed to absorb.
+Score score_options(const env::MapperOptions& options) {
+  Score score;
+  simnet::RandomLanParams params;
+  params.segment_count = 4;
+  params.segment_bw_bps = {units::mbps(100)};
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u, 66u}) {
+    simnet::Scenario scenario = simnet::random_lan(seed, params);
+    simnet::NetworkOptions net_options;
+    net_options.measurement_jitter_sigma = 0.05;
+    net_options.seed = seed;
+    simnet::Network net(simnet::Scenario(scenario).topology, net_options);
+    env::SimProbeEngine engine(net, options);
+    env::Mapper mapper(engine, options);
+    const auto zones = env::zones_from_scenario(scenario);
+    auto result = mapper.map_zone(zones.front());
+    if (!result.ok()) continue;
+    for (const auto& truth : scenario.ground_truth) {
+      if (truth.member_names.size() < 2) continue;
+      ++score.total;
+      const env::EnvNetwork* segment =
+          result.value().root.find_containing(truth.member_names.front() + ".lan");
+      if (segment == nullptr) continue;
+      const bool want_shared = truth.kind == simnet::GroundTruthNet::Kind::shared;
+      // A classification is correct when the verdict matches AND the
+      // segment was not dissolved/merged (member count right).
+      const bool kind_ok = (want_shared && segment->kind == env::NetKind::shared) ||
+                           (!want_shared && segment->kind == env::NetKind::switched);
+      std::vector<std::string> expected_members;
+      for (const auto& name : truth.member_names) expected_members.push_back(name + ".lan");
+      int present = 0;
+      for (const auto& name : expected_members) {
+        const auto& machines = segment->machines;
+        if (std::find(machines.begin(), machines.end(), name) != machines.end()) ++present;
+      }
+      const bool membership_ok =
+          present == static_cast<int>(expected_members.size()) &&
+          segment->machines.size() <= expected_members.size() + 1;  // +1 for the master
+      if (kind_ok && membership_ok) ++score.correct;
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ABLATE-THRESH",
+                "§4.2.2 empirically-determined thresholds (3 / 1.25 / 0.7 / 0.9)",
+                "accuracy is 100% on a plateau containing the paper's values and"
+                " degrades at the extremes of each sweep");
+
+  {
+    Table table({"bw_split_ratio", "accuracy %"});
+    for (const double v : {1.02, 1.5, 2.0, 3.0, 6.0, 20.0}) {
+      env::MapperOptions options;
+      options.bw_split_ratio = v;
+      table.add_row({strings::format_double(v, 2) + (v == 3.0 ? " (paper)" : ""),
+                     strings::format_double(score_options(options).percent(), 1)});
+    }
+    std::printf("--- host-bandwidth split threshold ---\n%s\n", table.to_string().c_str());
+  }
+  {
+    Table table({"pairwise_independence", "accuracy %"});
+    for (const double v : {1.01, 1.1, 1.25, 1.6, 1.95, 4.0}) {
+      env::MapperOptions options;
+      options.pairwise_independence_ratio = v;
+      table.add_row({strings::format_double(v, 2) + (v == 1.25 ? " (paper)" : ""),
+                     strings::format_double(score_options(options).percent(), 1)});
+    }
+    std::printf("--- pairwise independence threshold ---\n%s\n", table.to_string().c_str());
+  }
+  {
+    Table table({"jam_shared_max", "accuracy %"});
+    for (const double v : {0.1, 0.3, 0.5, 0.7, 0.85, 0.99}) {
+      env::MapperOptions options;
+      options.jam_shared_max = v;
+      options.jam_switched_min = std::max(v, options.jam_switched_min);
+      table.add_row({strings::format_double(v, 2) + (v == 0.7 ? " (paper)" : ""),
+                     strings::format_double(score_options(options).percent(), 1)});
+    }
+    std::printf("--- jammed 'shared' threshold ---\n%s\n", table.to_string().c_str());
+  }
+  {
+    Table table({"jam_switched_min", "accuracy %"});
+    for (const double v : {0.55, 0.7, 0.8, 0.9, 0.97, 1.0}) {
+      env::MapperOptions options;
+      options.jam_switched_min = v;
+      options.jam_shared_max = std::min(v, options.jam_shared_max);
+      table.add_row({strings::format_double(v, 2) + (v == 0.9 ? " (paper)" : ""),
+                     strings::format_double(score_options(options).percent(), 1)});
+    }
+    std::printf("--- jammed 'switched' threshold ---\n%s\n", table.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace envnws::bench {
+
+inline void banner(const std::string& experiment_id, const std::string& paper_artifact,
+                   const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s — reproduces %s\n", experiment_id.c_str(), paper_artifact.c_str());
+  std::printf("expected shape: %s\n", expectation.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace envnws::bench

@@ -1,0 +1,61 @@
+// WAN constellation: the "most common Grid testbed" shape of paper §5 —
+// several LAN sites joined by a wide-area network — deployed with a
+// hierarchical monitoring infrastructure: per-site cliques, one inter-site
+// clique of representatives, and a memory server placement that keeps
+// measurement storage site-local.
+//
+//   $ ./examples/constellation [sites] [hosts_per_site]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/units.hpp"
+#include "core/autodeploy.hpp"
+
+using namespace envnws;
+
+int main(int argc, char** argv) {
+  const int sites = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int hosts = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  simnet::Scenario scenario =
+      simnet::wan_constellation(sites, hosts, units::mbps(100), units::mbps(10));
+  simnet::Network net(simnet::Scenario(scenario).topology);
+
+  auto deployed = core::auto_deploy(net, scenario);
+  if (!deployed.ok()) {
+    std::fprintf(stderr, "auto-deploy failed: %s\n", deployed.error().to_string().c_str());
+    return 1;
+  }
+  core::AutoDeployResult& result = deployed.value();
+  std::printf("%s\n", result.render().c_str());
+
+  net.run_until(net.now() + units::minutes(15));
+
+  // Compare intra-site vs inter-site forecasts with ground truth.
+  std::printf("=== forecasts vs ground truth ===\n");
+  const auto compare = [&](const std::string& src, const std::string& dst) {
+    const auto reply = result.queries->bandwidth(src, src, dst);
+    const auto src_id = net.topology().find_host_by_fqdn(src);
+    const auto dst_id = net.topology().find_host_by_fqdn(dst);
+    if (!reply.ok() || !src_id.ok() || !dst_id.ok()) return;
+    const double truth =
+        net.ground_truth_bandwidth(src_id.value(), dst_id.value()).value_or(0.0);
+    std::printf("  %-22s -> %-22s  forecast %7.2f Mbps  truth %7.2f Mbps  [%s]\n",
+                src.c_str(), dst.c_str(), units::to_mbps(reply.value().value),
+                units::to_mbps(truth), to_string(reply.value().method));
+  };
+  compare("site0n0.site0.org", "site0n1.site0.org");  // intra-site (hub)
+  compare("site1n0.site1.org", "site1n1.site1.org");  // intra-site (switch)
+  compare("site0n0.site0.org", "site1n3.site1.org");  // inter-site
+  if (sites > 2) compare("site0n2.site0.org", "site2n4.site2.org");
+
+  // Show how stale each series can get: the measurement frequency of
+  // every clique (paper constraint 2, "scalability concerns").
+  std::printf("\n=== clique cycle times ===\n");
+  for (const auto& clique : result.system->cliques()) {
+    std::printf("  %-34s %2zu members, full cycle %6.1f s\n", clique->name().c_str(),
+                clique->spec().members.size(), clique->expected_cycle_time());
+  }
+  result.system->stop();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: build a small platform, auto-deploy the NWS on it, and ask
+// for a forecast — the whole pipeline of the paper in ~60 lines.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/autodeploy.hpp"
+#include "common/units.hpp"
+
+using namespace envnws;
+
+int main() {
+  // A platform: two switched clusters joined by a 10 Mbps bottleneck.
+  simnet::Scenario scenario = simnet::dumbbell(/*left=*/3, /*right=*/3,
+                                               units::mbps(100), units::mbps(10));
+  simnet::Network net(simnet::Scenario(scenario).topology);
+
+  // Map with ENV, plan the NWS deployment, apply it, verify constraints.
+  auto deployed = core::auto_deploy(net, scenario);
+  if (!deployed.ok()) {
+    std::fprintf(stderr, "auto-deploy failed: %s\n", deployed.error().to_string().c_str());
+    return 1;
+  }
+  core::AutoDeployResult& result = deployed.value();
+  std::printf("%s\n", result.render().c_str());
+
+  // Let the monitoring system take measurements for ten simulated minutes.
+  net.run_until(net.now() + units::minutes(10));
+
+  // Ask for end-to-end forecasts, including pairs no clique measures
+  // directly (the aggregation layer chains measured segments).
+  for (const auto& [src, dst] : {std::pair<const char*, const char*>{"l0.lan", "l1.lan"},
+                                 {"l0.lan", "r2.lan"}}) {
+    const auto bw = result.queries->bandwidth("l0.lan", src, dst);
+    const auto lat = result.queries->latency("l0.lan", src, dst);
+    if (bw.ok() && lat.ok()) {
+      std::printf("%s -> %s: %.1f Mbps (%s over %zu segment(s)), rtt %.2f ms\n", src, dst,
+                  units::to_mbps(bw.value().value), to_string(bw.value().method),
+                  bw.value().segments.size(), lat.value().value * 1e3);
+    }
+  }
+
+  result.system->stop();
+  return 0;
+}

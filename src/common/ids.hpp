@@ -1,0 +1,57 @@
+// Strongly-typed integer identifiers.
+//
+// Every subsystem (topology nodes, links, flows, actors, ...) indexes its
+// objects with a dense integer id. Using a distinct C++ type per id space
+// turns "passed a LinkId where a NodeId was expected" into a compile error
+// instead of a silent off-by-table bug.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace envnws {
+
+/// A strongly typed id. `Tag` is an empty struct unique to the id space.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  /// Sentinel meaning "no object".
+  static constexpr Id invalid() {
+    return Id(std::numeric_limits<underlying_type>::max());
+  }
+
+  [[nodiscard]] constexpr bool valid() const {
+    return value_ != std::numeric_limits<underlying_type>::max();
+  }
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  /// Convenience for indexing into dense vectors.
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+ private:
+  underlying_type value_ = std::numeric_limits<underlying_type>::max();
+};
+
+}  // namespace envnws
+
+namespace std {
+template <typename Tag>
+struct hash<envnws::Id<Tag>> {
+  size_t operator()(envnws::Id<Tag> id) const noexcept {
+    return std::hash<typename envnws::Id<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,52 @@
+// Leveled logging with a process-global threshold.
+//
+// The simulator and the NWS actors log through this so tests can silence
+// everything and benches can show progress. Not thread-safe by design:
+// the simulation core is single-threaded; the thread pool is only used to
+// run *independent* simulations, each of which should keep quiet or log
+// through its own sink.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace envnws {
+
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Process-wide log threshold. Defaults to `warn` so tests stay quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& component, const std::string& message);
+}
+
+/// Stream-style log statement collector:
+///   ENVNWS_LOG(info, "simnet") << "flow " << id << " started";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)), enabled_(level >= log_level()) {}
+  ~LogLine() {
+    if (enabled_) detail::log_write(level_, component_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace envnws
+
+#define ENVNWS_LOG(level, component) ::envnws::LogLine(::envnws::LogLevel::level, component)

@@ -1,0 +1,31 @@
+// ASCII table renderer used by the benchmark harness to print paper-style
+// result rows, and by the examples for readable reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace envnws {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  void add_numeric_row(const std::string& label, const std::vector<double>& values,
+                       int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  /// Render with column alignment and a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+  /// Render as comma-separated values (for machine post-processing).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace envnws

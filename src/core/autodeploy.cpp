@@ -1,0 +1,104 @@
+#include "core/autodeploy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "env/scenario_zones.hpp"
+#include "env/sim_probe_engine.hpp"
+
+namespace envnws::core {
+
+Result<AutoDeployResult> auto_deploy(simnet::Network& net, const simnet::Scenario& scenario,
+                                     AutoDeployOptions options) {
+  AutoDeployResult result;
+
+  // --- phase 1: map the platform with ENV -------------------------------
+  env::SimProbeEngine engine(net, options.mapper);
+  env::Mapper mapper(engine, options.mapper);
+  const auto zones = env::zones_from_scenario(scenario);
+  const auto aliases = env::gateway_aliases_from_scenario(scenario);
+  auto map = mapper.map(zones, aliases);
+  if (!map.ok()) return map.error();
+  result.map = std::move(map.value());
+
+  // --- phase 2: deployment planning --------------------------------------
+  auto plan = deploy::plan_deployment(result.map, options.planner);
+  if (!plan.ok()) return plan.error();
+  result.plan = std::move(plan.value());
+  result.config_text = deploy::generate_config(result.plan);
+
+  // --- phase 3: apply the plan -------------------------------------------
+  auto system = deploy::apply_plan(result.plan, net, options.manager);
+  if (!system.ok()) return system.error();
+  result.system = std::move(system.value());
+  result.queries = std::make_unique<deploy::QueryService>(*result.system, result.plan);
+
+  // --- phase 4: verify the deployment constraints -------------------------
+  if (options.validate) {
+    options.validator.bandwidth_probe_bytes = options.manager.bandwidth_probe_bytes;
+    result.validation = deploy::validate_plan(result.plan, net, options.validator);
+  }
+  return result;
+}
+
+Result<AutoDeployResult> deploy_from_gridml(simnet::Network& net,
+                                            const std::string& gridml_text,
+                                            const std::string& master,
+                                            AutoDeployOptions options) {
+  AutoDeployResult result;
+
+  auto grid = gridml::GridDoc::parse(gridml_text);
+  if (!grid.ok()) return grid.error();
+  if (grid.value().networks.empty()) {
+    return make_error(ErrorCode::invalid_argument,
+                      "published GridML carries no NETWORK tree");
+  }
+  result.map.grid = std::move(grid.value());
+  // The merged effective view is the last NETWORK element by convention
+  // (Mapper::map appends it after the per-zone SITE data).
+  result.map.root = env::EnvNetwork::from_gridml(result.map.grid.networks.back());
+  result.map.master_fqdn = result.map.canonical(master);
+
+  auto plan = deploy::plan_from_tree(result.map.root, result.map.master_fqdn,
+                                     options.planner);
+  if (!plan.ok()) return plan.error();
+  result.plan = std::move(plan.value());
+  // Without zone information, place one memory on the master and one on
+  // each gateway of the published view (the site heads).
+  for (const auto& gateway : result.map.root.gateways()) {
+    if (std::find(result.plan.memory_hosts.begin(), result.plan.memory_hosts.end(),
+                  gateway) == result.plan.memory_hosts.end()) {
+      result.plan.memory_hosts.push_back(gateway);
+    }
+  }
+  result.config_text = deploy::generate_config(result.plan);
+
+  auto system = deploy::apply_plan(result.plan, net, options.manager);
+  if (!system.ok()) return system.error();
+  result.system = std::move(system.value());
+  result.queries = std::make_unique<deploy::QueryService>(*result.system, result.plan);
+
+  if (options.validate) {
+    options.validator.bandwidth_probe_bytes = options.manager.bandwidth_probe_bytes;
+    result.validation = deploy::validate_plan(result.plan, net, options.validator);
+  }
+  return result;
+}
+
+std::string AutoDeployResult::render() const {
+  std::ostringstream out;
+  out << "=== ENV effective view (master: " << map.master_fqdn << ") ===\n";
+  out << env::render_effective(map.root);
+  out << "\nENV mapping cost: " << map.stats.experiments << " experiments, "
+      << strings::format_double(static_cast<double>(map.stats.bytes_sent) / (1024.0 * 1024.0),
+                                1)
+      << " MiB injected, " << strings::format_double(map.stats.duration_s / 60.0, 1)
+      << " simulated minutes\n";
+  out << "\n=== deployment plan ===\n" << plan.render();
+  out << "\n=== validation ===\n" << validation.render();
+  return out.str();
+}
+
+}  // namespace envnws::core

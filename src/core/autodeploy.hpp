@@ -1,0 +1,60 @@
+// The end-to-end automatic deployment pipeline — what the paper's title
+// promises: map the platform with ENV, derive an NWS deployment plan,
+// apply it, and verify the four deployment constraints hold.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "deploy/manager.hpp"
+#include "deploy/plan.hpp"
+#include "deploy/planner.hpp"
+#include "deploy/query.hpp"
+#include "deploy/validate.hpp"
+#include "env/mapper.hpp"
+#include "env/options.hpp"
+#include "simnet/scenario.hpp"
+
+namespace envnws::core {
+
+struct AutoDeployOptions {
+  env::MapperOptions mapper;
+  deploy::PlannerOptions planner;
+  deploy::ManagerOptions manager;
+  deploy::ValidatorOptions validator;
+  /// Run the constraint validator after applying the plan.
+  bool validate = true;
+};
+
+struct AutoDeployResult {
+  env::MapResult map;                            ///< the effective view
+  deploy::DeploymentPlan plan;                   ///< the derived plan
+  std::string config_text;                       ///< the shared manager config
+  std::unique_ptr<nws::NwsSystem> system;        ///< the running NWS
+  std::unique_ptr<deploy::QueryService> queries; ///< completeness layer
+  deploy::ValidationReport validation;
+
+  /// One-page report of everything that happened.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Map -> plan -> apply -> validate, on a simulated platform. Zones and
+/// gateway aliases are derived from the scenario (the real-world operator
+/// writes them by hand, §4.3).
+Result<AutoDeployResult> auto_deploy(simnet::Network& net, const simnet::Scenario& scenario,
+                                     AutoDeployOptions options = {});
+
+/// Deploy from a *published* effective view without re-probing — the
+/// workflow §4.3 proposes against ENV's bandwidth waste: "administrators
+/// could publish the mapping of their network as reported by ENV, so
+/// that any user can use it without redoing the mapping." Takes the
+/// GridML text of a previous run (any `MapResult::grid.to_string()`),
+/// plans from its NETWORK tree, applies and validates. Memory servers
+/// are placed on the master and on every gateway named in the view.
+Result<AutoDeployResult> deploy_from_gridml(simnet::Network& net,
+                                            const std::string& gridml_text,
+                                            const std::string& master,
+                                            AutoDeployOptions options = {});
+
+}  // namespace envnws::core

@@ -1,0 +1,56 @@
+// The NWS manager (paper §5.2).
+//
+// "We realized a NWS manager program using a configuration file shared
+// across all involved hosts and applying the local parts on each host."
+// This module is that manager: it serializes a DeploymentPlan into a
+// single shared configuration file, parses it back, extracts the
+// per-host process list (what one host's manager instance would launch),
+// and applies the plan onto a simulated platform by instantiating the
+// NWS processes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "deploy/plan.hpp"
+#include "nws/system.hpp"
+
+namespace envnws::deploy {
+
+/// Serialize the plan into the shared configuration file format.
+[[nodiscard]] std::string generate_config(const DeploymentPlan& plan);
+
+/// Parse a shared configuration file back into a plan (the manager's
+/// startup path on each host).
+Result<DeploymentPlan> parse_config(const std::string& text);
+
+/// What a single host's manager instance must start locally.
+struct HostAssignment {
+  std::string host;
+  bool nameserver = false;
+  bool forecaster = false;
+  bool memory = false;
+  bool host_sensor = false;
+  std::vector<std::string> cliques;  ///< clique names this host joins
+
+  [[nodiscard]] std::string render() const;
+};
+
+[[nodiscard]] HostAssignment local_assignment(const DeploymentPlan& plan,
+                                              const std::string& host);
+
+struct ManagerOptions {
+  std::int64_t bandwidth_probe_bytes = 64 * 1024;
+  bool start_host_sensors = true;
+  double host_sensor_period_s = 10.0;
+};
+
+/// Launch every process of the plan on the simulated platform. The
+/// returned system is started (cliques circulating, sensors ticking).
+Result<std::unique_ptr<nws::NwsSystem>> apply_plan(const DeploymentPlan& plan,
+                                                   simnet::Network& net,
+                                                   ManagerOptions options = {});
+
+}  // namespace envnws::deploy

@@ -1,0 +1,49 @@
+// The deployment planning algorithm (paper §5.1) — the core contribution:
+// derive an NWS deployment plan from the Effective Network View.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "deploy/plan.hpp"
+#include "env/env_tree.hpp"
+#include "env/mapper.hpp"
+
+namespace envnws::deploy {
+
+struct PlannerOptions {
+  double clique_period_s = 10.0;
+  /// Payload for LAN clique bandwidth experiments (the NWS default).
+  std::int64_t lan_probe_bytes = 64 * 1024;
+  /// Payload for inter-network cliques: larger, so WAN latency does not
+  /// dominate the timed transfer.
+  std::int64_t wan_probe_bytes = 1024 * 1024;
+  /// Split switched cliques larger than this into sub-cliques (0 = never).
+  /// Splitting a *switched* network is collision-safe because its pairs
+  /// are independent; the sub-cliques are stitched with one shared member.
+  std::size_t max_clique_size = 0;
+  /// Prefer these machines as network representatives (the firewall
+  /// merge pivots are natural choices; the planner also ranks zone
+  /// masters first automatically when planning from a MapResult).
+  std::vector<std::string> preferred_representatives;
+  /// Extension (paper conclusion): plan for host-level locks. Cross-
+  /// clique collisions through shared representatives disappear, and
+  /// switched cliques get several parallel tokens.
+  bool use_host_locks = false;
+  /// Tokens per switched clique when host locks are on (capped at
+  /// floor(members/2), the concurrency a switched segment supports).
+  std::size_t switched_parallel_tokens = 2;
+};
+
+/// Plan from a merged map result. Memory servers are placed on the
+/// primary master and on each secondary zone's master (one per site —
+/// the "hierarchical monitoring infrastructure" of §5).
+Result<DeploymentPlan> plan_deployment(const env::MapResult& map,
+                                       PlannerOptions options = {});
+
+/// Plan from a bare effective view (single-zone runs, tests).
+Result<DeploymentPlan> plan_from_tree(const env::EnvNetwork& root, const std::string& master,
+                                      PlannerOptions options = {});
+
+}  // namespace envnws::deploy

@@ -1,0 +1,22 @@
+#include "env/cost_model.hpp"
+
+namespace envnws::env {
+
+MappingCost naive_full_mapping_cost(int hosts) {
+  const auto n = static_cast<std::uint64_t>(hosts);
+  if (n < 2) return {};
+  const std::uint64_t links = n * (n - 1);  // the network is not symmetric
+  const std::uint64_t link_pairs = links * (links - 1) / 2;
+  // Per pair: one baseline observation + one joint observation.
+  return MappingCost{links + 2 * link_pairs};
+}
+
+MappingCost env_worst_case_cost(int hosts, int jam_repetitions) {
+  const auto n = static_cast<std::uint64_t>(hosts);
+  if (n < 2) return {};
+  const std::uint64_t slaves = n - 1;
+  const std::uint64_t pairs = slaves * (slaves - 1) / 2;
+  return MappingCost{slaves + pairs + pairs + static_cast<std::uint64_t>(jam_repetitions)};
+}
+
+}  // namespace envnws::env

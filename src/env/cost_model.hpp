@@ -1,0 +1,38 @@
+// Experiment-count cost models (paper §4.3, "Master/Slave paradigm").
+//
+// The paper argues a complete pairwise mapping cannot scale: n(n-1)
+// directed links must each be measured, and every *pair* of links must be
+// tested for interference (baseline + joint observation). At half a
+// minute per experiment — the network must stabilize between experiments —
+// "the whole process would last about 50 days for 20 hosts". ENV instead
+// spends O(n^2) experiments with a small constant. These functions make
+// both models explicit so the bench can regenerate the claim.
+#pragma once
+
+#include <cstdint>
+
+namespace envnws::env {
+
+struct MappingCost {
+  std::uint64_t experiments = 0;
+
+  [[nodiscard]] double seconds(double per_experiment_s = 30.0) const {
+    return static_cast<double>(experiments) * per_experiment_s;
+  }
+  [[nodiscard]] double days(double per_experiment_s = 30.0) const {
+    return seconds(per_experiment_s) / 86400.0;
+  }
+};
+
+/// The naive complete mapping: every directed link measured, then every
+/// unordered pair of links tested for interference with one baseline and
+/// one joint experiment.
+[[nodiscard]] MappingCost naive_full_mapping_cost(int hosts);
+
+/// Analytic ENV cost for a single flat cluster of n-1 slaves: n-1 host
+/// probes + C(n-1,2) pairwise + C(n-1,2) internal + 5 jam repetitions.
+/// Real runs (tree-structured clusters) do strictly better; the bench
+/// reports measured counts next to this bound.
+[[nodiscard]] MappingCost env_worst_case_cost(int hosts, int jam_repetitions = 5);
+
+}  // namespace envnws::env

@@ -1,0 +1,189 @@
+#include "env/env_tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace envnws::env {
+
+const char* to_string(NetKind kind) {
+  switch (kind) {
+    case NetKind::structural: return "structural";
+    case NetKind::shared: return "shared";
+    case NetKind::switched: return "switched";
+    case NetKind::inconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+std::vector<std::string> EnvNetwork::all_machines() const {
+  std::vector<std::string> out = machines;
+  for (const auto& child : children) {
+    const auto nested = child.all_machines();
+    out.insert(out.end(), nested.begin(), nested.end());
+  }
+  return out;
+}
+
+const EnvNetwork* EnvNetwork::find_containing(const std::string& machine) const {
+  for (const auto& child : children) {
+    if (const EnvNetwork* hit = child.find_containing(machine)) return hit;
+  }
+  if (std::find(machines.begin(), machines.end(), machine) != machines.end()) return this;
+  return nullptr;
+}
+
+std::vector<const EnvNetwork*> EnvNetwork::lan_segments() const {
+  std::vector<const EnvNetwork*> out;
+  if (kind != NetKind::structural) out.push_back(this);
+  for (const auto& child : children) {
+    const auto nested = child.lan_segments();
+    out.insert(out.end(), nested.begin(), nested.end());
+  }
+  return out;
+}
+
+std::vector<std::string> EnvNetwork::gateways() const {
+  std::vector<std::string> out;
+  if (!gateway.empty()) out.push_back(gateway);
+  for (const auto& child : children) {
+    for (auto& name : child.gateways()) {
+      if (std::find(out.begin(), out.end(), name) == out.end()) out.push_back(name);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+gridml::NetworkType gridml_type(NetKind kind) {
+  switch (kind) {
+    case NetKind::shared: return gridml::NetworkType::env_shared;
+    case NetKind::switched: return gridml::NetworkType::env_switched;
+    case NetKind::inconclusive: return gridml::NetworkType::env_inconclusive;
+    case NetKind::structural: return gridml::NetworkType::structural;
+  }
+  return gridml::NetworkType::structural;
+}
+
+NetKind kind_from_gridml(gridml::NetworkType type) {
+  switch (type) {
+    case gridml::NetworkType::env_shared: return NetKind::shared;
+    case gridml::NetworkType::env_switched: return NetKind::switched;
+    case gridml::NetworkType::env_inconclusive: return NetKind::inconclusive;
+    case gridml::NetworkType::structural: return NetKind::structural;
+  }
+  return NetKind::structural;
+}
+
+}  // namespace
+
+gridml::NetworkNode EnvNetwork::to_gridml() const {
+  gridml::NetworkNode node;
+  node.type = gridml_type(kind);
+  node.label_name = label;
+  node.label_ip = label_ip;
+  if (base_bw_bps > 0.0) {
+    node.properties.push_back(gridml::Property{
+        "ENV_base_BW", strings::format_double(units::to_mbps(base_bw_bps), 2), "Mbps"});
+  }
+  if (base_local_bw_bps > 0.0) {
+    node.properties.push_back(gridml::Property{
+        "ENV_base_local_BW", strings::format_double(units::to_mbps(base_local_bw_bps), 2),
+        "Mbps"});
+  }
+  if (base_reverse_bw_bps > 0.0) {
+    node.properties.push_back(gridml::Property{
+        "ENV_base_reverse_BW",
+        strings::format_double(units::to_mbps(base_reverse_bw_bps), 2), "Mbps"});
+  }
+  if (route_asymmetric) {
+    node.properties.push_back(gridml::Property{"ENV_route_asymmetric", "true", ""});
+  }
+  if (!gateway.empty()) {
+    node.properties.push_back(gridml::Property{"ENV_gateway", gateway, ""});
+  }
+  node.machine_names = machines;
+  for (const auto& child : children) node.children.push_back(child.to_gridml());
+  return node;
+}
+
+EnvNetwork EnvNetwork::from_gridml(const gridml::NetworkNode& node) {
+  EnvNetwork network;
+  network.kind = kind_from_gridml(node.type);
+  network.label = node.label_name;
+  network.label_ip = node.label_ip;
+  if (const auto bw = node.property("ENV_base_BW")) {
+    network.base_bw_bps = units::mbps(std::stod(*bw));
+  }
+  if (const auto bw = node.property("ENV_base_local_BW")) {
+    network.base_local_bw_bps = units::mbps(std::stod(*bw));
+  }
+  if (const auto bw = node.property("ENV_base_reverse_BW")) {
+    network.base_reverse_bw_bps = units::mbps(std::stod(*bw));
+  }
+  network.route_asymmetric = node.property("ENV_route_asymmetric").has_value();
+  if (const auto gw = node.property("ENV_gateway")) network.gateway = *gw;
+  network.machines = node.machine_names;
+  for (const auto& child : node.children) {
+    network.children.push_back(from_gridml(child));
+  }
+  return network;
+}
+
+void canonicalize(EnvNetwork& network,
+                  const std::function<std::string(const std::string&)>& canon) {
+  for (auto& machine : network.machines) machine = canon(machine);
+  if (!network.gateway.empty()) network.gateway = canon(network.gateway);
+  for (auto& child : network.children) canonicalize(child, canon);
+}
+
+namespace {
+
+void render_node(const EnvNetwork& network, const std::string& indent, std::ostringstream& out) {
+  out << indent;
+  switch (network.kind) {
+    case NetKind::structural:
+      out << "* " << (network.label.empty() ? "(net)" : network.label);
+      if (!network.label_ip.empty() && network.label_ip != network.label) {
+        out << " [" << network.label_ip << "]";
+      }
+      break;
+    default:
+      out << "+ " << (network.label.empty() ? "(lan)" : network.label) << " <"
+          << to_string(network.kind) << ">";
+      if (network.base_bw_bps > 0.0) {
+        out << " base=" << strings::format_double(units::to_mbps(network.base_bw_bps), 2)
+            << "Mbps";
+      }
+      if (network.base_local_bw_bps > 0.0) {
+        out << " local="
+            << strings::format_double(units::to_mbps(network.base_local_bw_bps), 2) << "Mbps";
+      }
+      if (network.base_reverse_bw_bps > 0.0) {
+        out << " reverse="
+            << strings::format_double(units::to_mbps(network.base_reverse_bw_bps), 2)
+            << "Mbps";
+      }
+      if (network.route_asymmetric) out << " [ASYMMETRIC ROUTE]";
+      break;
+  }
+  if (!network.gateway.empty()) out << " via " << network.gateway;
+  out << "\n";
+  if (!network.machines.empty()) {
+    out << indent << "    machines: " << strings::join(network.machines, ", ") << "\n";
+  }
+  for (const auto& child : network.children) render_node(child, indent + "  ", out);
+}
+
+}  // namespace
+
+std::string render_effective(const EnvNetwork& root) {
+  std::ostringstream out;
+  render_node(root, "", out);
+  return out.str();
+}
+
+}  // namespace envnws::env

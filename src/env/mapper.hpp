@@ -1,0 +1,106 @@
+// The ENV mapper: orchestrates the full methodology of paper §4.2.
+//
+// Per firewall zone ("we launched ENV on both sides of popc0"):
+//   1a. lookup        — hostnames -> identities, SITE grouping (FQDN
+//                       domain, falling back to IP class per §4.3)
+//   1b. properties    — host inventory capture
+//   1c. structural    — traceroute tree towards the zone target
+//   2a. host bw       — master->host bandwidths; split clusters at x3
+//   2b. pairwise bw   — concurrent master transfers; split independents
+//   2c. internal bw   — member<->member bandwidth (ENV_base_local_BW)
+//   2d. jammed bw     — 5-repetition jam ratio; shared / switched verdict
+// Zone results are then merged through the gateway alias groups (§4.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "env/env_tree.hpp"
+#include "env/options.hpp"
+#include "env/probe_engine.hpp"
+#include "env/structural.hpp"
+#include "gridml/merge.hpp"
+#include "gridml/model.hpp"
+
+namespace envnws::env {
+
+/// One ENV run: the machines that can all talk to each other, the
+/// viewpoint host, and the traceroute target ("a well known external
+/// destination", or the gateway when mapping inside a firewall).
+struct ZoneSpec {
+  std::string zone_name;
+  std::vector<std::string> hostnames;  ///< zone-local names, master included
+  std::string master;
+  std::string traceroute_target;
+};
+
+struct MapStats {
+  std::uint64_t experiments = 0;
+  std::int64_t bytes_sent = 0;
+  double duration_s = 0.0;
+
+  MapStats& operator+=(const MapStats& other);
+};
+
+struct ZoneMapResult {
+  ZoneSpec spec;
+  std::string master_fqdn;
+  gridml::GridDoc grid;
+  StructuralNode structural;
+  EnvNetwork root;
+  MapStats stats;
+  std::vector<std::string> warnings;
+};
+
+struct MapResult {
+  std::string master_fqdn;  ///< canonical name of the primary master
+  gridml::GridDoc grid;     ///< merged sites + effective NETWORK tree
+  EnvNetwork root;          ///< merged effective view
+  MapStats stats;
+  std::vector<ZoneMapResult> zones;
+  std::vector<std::string> warnings;
+
+  /// Canonical machine name for any zone-local name or alias.
+  [[nodiscard]] std::string canonical(const std::string& name) const;
+};
+
+class Mapper {
+ public:
+  Mapper(ProbeEngine& engine, MapperOptions options = {});
+
+  /// Map one zone (one ENV execution).
+  Result<ZoneMapResult> map_zone(const ZoneSpec& spec);
+
+  /// Map every zone and merge. The first zone is the primary one (its
+  /// master becomes the deployment viewpoint); `gateway_aliases` lists
+  /// the identities of each dual-homed gateway, exactly the information
+  /// the paper says the user must provide for the merge.
+  Result<MapResult> map(const std::vector<ZoneSpec>& specs,
+                        const std::vector<gridml::AliasGroup>& gateway_aliases = {});
+
+ private:
+  struct MachineInfo {
+    std::string given_name;  ///< the name the caller supplied (probe key)
+    std::string fqdn;        ///< display identity (ip when DNS fails)
+    HostIdentity identity;
+    bool is_master = false;
+  };
+
+  /// Refine the machines attached to one structural node into classified
+  /// EnvNetworks (phases 2a-2d). `machines` are indices into `all`.
+  std::vector<EnvNetwork> refine(const std::vector<MachineInfo>& all,
+                                 const std::vector<std::size_t>& machines,
+                                 const MachineInfo& master, const std::string& label,
+                                 const std::string& label_ip,
+                                 std::vector<std::string>& warnings);
+
+  EnvNetwork convert(const StructuralNode& node, const std::vector<MachineInfo>& all,
+                     const MachineInfo& master, std::vector<std::string>& warnings,
+                     bool is_root);
+
+  ProbeEngine& engine_;
+  MapperOptions options_;
+};
+
+}  // namespace envnws::env

@@ -1,0 +1,55 @@
+// Tunables of the ENV mapping methodology.
+//
+// The default values are the paper's experimentally-determined thresholds
+// (§4.2.2). They are deliberately injectable: the threshold-ablation bench
+// sweeps them to show where the paper's choices sit relative to the
+// correct-classification plateau, and §4.3 warns they "may be specific to
+// platform characteristics like the media type".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace envnws::env {
+
+struct MapperOptions {
+  /// §4.2.2.1 — split a cluster when two hosts' bandwidths to the master
+  /// differ by more than this factor.
+  double bw_split_ratio = 3.0;
+  /// §4.2.2.2 — A is independent of B when
+  /// Bandwidth(MA) / Bandwidth_paired(MA) stays below this.
+  double pairwise_independence_ratio = 1.25;
+  /// §4.2.2.4 — average jammed/base ratio below this means shared...
+  double jam_shared_max = 0.7;
+  /// ...above this means switched; in between the data is inconclusive
+  /// and ENV stops gathering for the cluster.
+  double jam_switched_min = 0.9;
+  /// §4.2.2.4 — "this measure is repeated 5 times".
+  int jam_repetitions = 5;
+
+  /// Payload of each bandwidth probe.
+  std::int64_t probe_bytes = units::mib(1);
+  /// Settle time after each experiment (the reason the paper budgets
+  /// half a minute per experiment for the naive approach).
+  double stabilization_gap_s = 2.0;
+  /// Number of trailing DNS labels that constitute a SITE domain
+  /// ("moby.cri2000.ens-lyon.fr" -> "ens-lyon.fr" with the default 2).
+  int site_domain_labels = 2;
+  /// Accounting tag attached to every probe flow.
+  std::string purpose = "env-probe";
+
+  // --- extension: bidirectional probing (paper §4.3 lists asymmetric
+  // route detection as undone future work: "Since ENV bandwidth tests
+  // are conducted in only one way, the system cannot detect such
+  // problems. Solving this ... is still to do.") ---
+  /// Also measure host->master bandwidth in phase 2a (doubles the
+  /// host-bandwidth experiment count) and record the reverse medians.
+  bool bidirectional_probes = false;
+  /// Flag a network as route-asymmetric when forward and reverse base
+  /// bandwidths differ by at least this factor.
+  double asymmetry_ratio = 1.5;
+};
+
+}  // namespace envnws::env

@@ -1,0 +1,62 @@
+// The observation interface ENV is allowed to use.
+//
+// Everything the mapper learns about the platform flows through this
+// interface: name lookups, traceroutes, and timed (possibly concurrent)
+// transfers — i.e. strictly user-level observations, no SNMP, no raw
+// sockets (paper §3.5). `SimProbeEngine` backs it with the simulator;
+// tests also implement it with scripted traces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace envnws::env {
+
+struct HostIdentity {
+  std::string fqdn;  ///< empty when reverse DNS fails
+  std::string ip;
+  std::map<std::string, std::string> properties;
+};
+
+struct TraceHop {
+  std::string ip;    ///< "*" when the hop did not respond
+  std::string name;  ///< empty when unresolvable
+  bool responded = true;
+};
+
+struct BandwidthRequest {
+  std::string from;
+  std::string to;
+};
+
+struct ProbeStats {
+  std::uint64_t experiments = 0;
+  std::int64_t bytes_sent = 0;
+  double busy_time_s = 0.0;
+};
+
+class ProbeEngine {
+ public:
+  virtual ~ProbeEngine() = default;
+
+  /// Resolve a user-supplied hostname to the identity visible from the
+  /// probing zone, plus inventory properties (ENV phase 4.2.1.2).
+  virtual Result<HostIdentity> lookup(const std::string& hostname) = 0;
+  /// Hops from `from` towards `target` (target included as last hop).
+  virtual Result<std::vector<TraceHop>> traceroute(const std::string& from,
+                                                   const std::string& target) = 0;
+  /// Achieved bandwidth (bit/s) of one timed transfer, network otherwise idle.
+  virtual Result<double> bandwidth(const std::string& from, const std::string& to) = 0;
+  /// Achieved bandwidths of transfers started at the same instant.
+  virtual std::vector<Result<double>> concurrent_bandwidth(
+      const std::vector<BandwidthRequest>& requests) = 0;
+
+  [[nodiscard]] virtual ProbeStats stats() const = 0;
+};
+
+}  // namespace envnws::env

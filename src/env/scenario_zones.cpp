@@ -1,0 +1,87 @@
+#include "env/scenario_zones.hpp"
+
+#include <algorithm>
+
+namespace envnws::env {
+
+using simnet::NodeId;
+
+namespace {
+
+/// Identity of `host` as seen from inside `zone`: the matching alias
+/// fqdn for dual-homed gateways, else the primary fqdn.
+std::string zone_local_name(const simnet::Node& host, const std::string& zone) {
+  for (const auto& alias : host.aliases) {
+    if (alias.zone == zone) return alias.fqdn;
+  }
+  return host.fqdn.empty() ? host.name : host.fqdn;
+}
+
+}  // namespace
+
+std::vector<ZoneSpec> zones_from_scenario(const simnet::Scenario& scenario) {
+  const simnet::Topology& topo = scenario.topology;
+  const NodeId master_id = scenario.id(scenario.master);
+  const simnet::Node& master_node = topo.node(master_id);
+
+  // Zones ordered with the master's first (it becomes the primary zone).
+  std::vector<std::string> zones = topo.zones();
+  std::stable_sort(zones.begin(), zones.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     const bool a_master = master_node.zones.count(a) > 0;
+                     const bool b_master = master_node.zones.count(b) > 0;
+                     return a_master > b_master;
+                   });
+
+  std::vector<ZoneSpec> specs;
+  for (const auto& zone : zones) {
+    ZoneSpec spec;
+    spec.zone_name = zone;
+    for (const NodeId host_id : topo.hosts_in_zone(zone)) {
+      spec.hostnames.push_back(zone_local_name(topo.node(host_id), zone));
+    }
+    if (spec.hostnames.empty()) continue;
+
+    if (master_node.zones.count(zone) > 0) {
+      spec.master = zone_local_name(master_node, zone);
+    } else {
+      // Prefer a dual-homed gateway as the zone master: it is the pivot
+      // the results will be merged around.
+      spec.master = spec.hostnames.front();
+      for (const NodeId host_id : topo.hosts_in_zone(zone)) {
+        if (!topo.node(host_id).aliases.empty()) {
+          spec.master = zone_local_name(topo.node(host_id), zone);
+          break;
+        }
+      }
+    }
+
+    const auto target_it = scenario.zone_traceroute_target.find(zone);
+    if (target_it != scenario.zone_traceroute_target.end()) {
+      const simnet::Node& target = topo.node(scenario.id(target_it->second));
+      spec.traceroute_target =
+          target.is_host() ? zone_local_name(target, zone) : target.name;
+    } else if (topo.edge_router().valid()) {
+      spec.traceroute_target = topo.node(topo.edge_router()).name;
+    } else {
+      spec.traceroute_target = spec.master;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<gridml::AliasGroup> gateway_aliases_from_scenario(
+    const simnet::Scenario& scenario) {
+  std::vector<gridml::AliasGroup> groups;
+  for (const simnet::Node& node : scenario.topology.nodes()) {
+    if (!node.is_host() || node.aliases.empty()) continue;
+    gridml::AliasGroup group;
+    group.push_back(node.fqdn.empty() ? node.name : node.fqdn);
+    for (const auto& alias : node.aliases) group.push_back(alias.fqdn);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace envnws::env

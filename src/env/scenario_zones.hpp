@@ -1,0 +1,23 @@
+// Deriving ENV run configurations from a simulated scenario.
+//
+// A real operator would write the per-zone host lists by hand; for the
+// simulated platforms these helpers enumerate them from the scenario:
+// one ZoneSpec per firewall zone (the global master's zone first, since
+// it provides the deployment viewpoint) and one alias group per
+// dual-homed gateway (the merge input the paper says the user supplies).
+#pragma once
+
+#include <vector>
+
+#include "env/mapper.hpp"
+#include "gridml/merge.hpp"
+#include "simnet/scenario.hpp"
+
+namespace envnws::env {
+
+[[nodiscard]] std::vector<ZoneSpec> zones_from_scenario(const simnet::Scenario& scenario);
+
+[[nodiscard]] std::vector<gridml::AliasGroup> gateway_aliases_from_scenario(
+    const simnet::Scenario& scenario);
+
+}  // namespace envnws::env

@@ -1,0 +1,79 @@
+#include "env/structural.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace envnws::env {
+
+std::size_t StructuralNode::machine_count() const {
+  std::size_t count = machines.size();
+  for (const auto& child : children) count += child.machine_count();
+  return count;
+}
+
+StructuralNode build_structural_tree(const std::vector<HostTrace>& traces) {
+  StructuralNode root;
+
+  // The root is the common target: the last responding hop of any trace.
+  for (const auto& trace : traces) {
+    for (auto it = trace.hops.rbegin(); it != trace.hops.rend(); ++it) {
+      if (it->responded) {
+        root.ip = it->ip;
+        root.name = it->name;
+        break;
+      }
+    }
+    if (!root.ip.empty()) break;
+  }
+
+  for (const auto& trace : traces) {
+    // Usable hops, outermost (target) first, silent routers dropped.
+    std::vector<const TraceHop*> path;
+    for (auto it = trace.hops.rbegin(); it != trace.hops.rend(); ++it) {
+      if (it->responded) path.push_back(&*it);
+    }
+    // Drop the target itself (it is the root, not a branch).
+    if (!path.empty() && path.front()->ip == root.ip) path.erase(path.begin());
+
+    StructuralNode* cursor = &root;
+    for (const TraceHop* hop : path) {
+      auto child = std::find_if(cursor->children.begin(), cursor->children.end(),
+                                [hop](const StructuralNode& n) { return n.ip == hop->ip; });
+      if (child == cursor->children.end()) {
+        StructuralNode fresh;
+        fresh.ip = hop->ip;
+        fresh.name = hop->name;
+        cursor->children.push_back(std::move(fresh));
+        cursor = &cursor->children.back();
+      } else {
+        if (child->name.empty()) child->name = hop->name;
+        cursor = &*child;
+      }
+    }
+    cursor->machines.push_back(trace.fqdn);
+  }
+  return root;
+}
+
+namespace {
+void render_node(const StructuralNode& node, const std::string& indent,
+                 std::ostringstream& out) {
+  out << indent << node.display();
+  if (!node.name.empty() && node.ip != node.name && !node.ip.empty()) {
+    out << " [" << node.ip << "]";
+  }
+  out << "\n";
+  for (const auto& machine : node.machines) {
+    out << indent << "  - " << machine << "\n";
+  }
+  for (const auto& child : node.children) render_node(child, indent + "  ", out);
+}
+}  // namespace
+
+std::string render_structural(const StructuralNode& root) {
+  std::ostringstream out;
+  render_node(root, "", out);
+  return out.str();
+}
+
+}  // namespace envnws::env

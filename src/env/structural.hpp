@@ -1,0 +1,42 @@
+// Structural topology: the traceroute tree (paper §4.2.1.3, Fig. 2).
+//
+// Every mapped host traceroutes towards a well-known target (an external
+// destination, or the zone gateway inside a firewalled zone). The portion
+// of each path inside the mapped network is folded into a tree rooted at
+// the target side: hosts using the same route out are clustered together
+// as leaves of the same branch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "env/probe_engine.hpp"
+
+namespace envnws::env {
+
+struct HostTrace {
+  std::string fqdn;            ///< machine being mapped
+  std::vector<TraceHop> hops;  ///< from the host towards the target
+};
+
+struct StructuralNode {
+  std::string ip;    ///< hop address ("" only for a synthetic root)
+  std::string name;  ///< resolved hop name, may be empty
+  /// Machines whose route enters the network exactly here.
+  std::vector<std::string> machines;
+  std::vector<StructuralNode> children;
+
+  [[nodiscard]] std::string display() const { return name.empty() ? ip : name; }
+  [[nodiscard]] std::size_t machine_count() const;
+};
+
+/// Fold the per-host hop lists into the structural tree. Non-responding
+/// hops ("*") are skipped — paper §4.3 "Dropped traceroute": clusters are
+/// still split correctly later, from bandwidth measures. The final hop of
+/// each trace (the common target) becomes the root.
+[[nodiscard]] StructuralNode build_structural_tree(const std::vector<HostTrace>& traces);
+
+/// ASCII rendering in the style of paper Fig. 2.
+[[nodiscard]] std::string render_structural(const StructuralNode& root);
+
+}  // namespace envnws::env

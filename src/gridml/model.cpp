@@ -1,0 +1,230 @@
+#include "gridml/model.hpp"
+
+#include <algorithm>
+
+namespace envnws::gridml {
+
+bool Machine::answers_to(const std::string& any_name) const {
+  if (name == any_name) return true;
+  return std::find(aliases.begin(), aliases.end(), any_name) != aliases.end();
+}
+
+std::optional<std::string> Machine::property(const std::string& key) const {
+  for (const auto& prop : properties) {
+    if (prop.name == key) return prop.value;
+  }
+  return std::nullopt;
+}
+
+const char* to_string(NetworkType type) {
+  switch (type) {
+    case NetworkType::structural: return "Structural";
+    case NetworkType::env_shared: return "ENV_Shared";
+    case NetworkType::env_switched: return "ENV_Switched";
+    case NetworkType::env_inconclusive: return "ENV_Inconclusive";
+  }
+  return "?";
+}
+
+Result<NetworkType> network_type_from_string(const std::string& text) {
+  if (text == "Structural" || text.empty()) return NetworkType::structural;
+  if (text == "ENV_Shared") return NetworkType::env_shared;
+  if (text == "ENV_Switched") return NetworkType::env_switched;
+  if (text == "ENV_Inconclusive") return NetworkType::env_inconclusive;
+  return make_error(ErrorCode::protocol, "unknown NETWORK type '" + text + "'");
+}
+
+std::optional<std::string> NetworkNode::property(const std::string& key) const {
+  for (const auto& prop : properties) {
+    if (prop.name == key) return prop.value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> NetworkNode::all_machine_names() const {
+  std::vector<std::string> out = machine_names;
+  for (const auto& child : children) {
+    const auto nested = child.all_machine_names();
+    out.insert(out.end(), nested.begin(), nested.end());
+  }
+  return out;
+}
+
+const Machine* GridDoc::find_machine(const std::string& any_name) const {
+  for (const auto& site : sites) {
+    for (const auto& machine : site.machines) {
+      if (machine.answers_to(any_name)) return &machine;
+    }
+  }
+  return nullptr;
+}
+
+Machine* GridDoc::find_machine(const std::string& any_name) {
+  return const_cast<Machine*>(std::as_const(*this).find_machine(any_name));
+}
+
+std::size_t GridDoc::machine_count() const {
+  std::size_t count = 0;
+  for (const auto& site : sites) count += site.machines.size();
+  return count;
+}
+
+namespace {
+
+XmlElement property_to_xml(const Property& prop) {
+  XmlElement element("PROPERTY");
+  element.set_attribute("name", prop.name);
+  element.set_attribute("value", prop.value);
+  if (!prop.units.empty()) element.set_attribute("units", prop.units);
+  return element;
+}
+
+XmlElement machine_to_xml(const Machine& machine) {
+  XmlElement element("MACHINE");
+  XmlElement label("LABEL");
+  if (!machine.ip.empty()) label.set_attribute("ip", machine.ip);
+  label.set_attribute("name", machine.name);
+  for (const auto& alias : machine.aliases) {
+    XmlElement alias_el("ALIAS");
+    alias_el.set_attribute("name", alias);
+    label.add_child(std::move(alias_el));
+  }
+  element.add_child(std::move(label));
+  for (const auto& prop : machine.properties) element.add_child(property_to_xml(prop));
+  return element;
+}
+
+XmlElement network_to_xml(const NetworkNode& network) {
+  XmlElement element("NETWORK");
+  element.set_attribute("type", to_string(network.type));
+  if (!network.label_name.empty() || !network.label_ip.empty()) {
+    XmlElement label("LABEL");
+    if (!network.label_ip.empty()) label.set_attribute("ip", network.label_ip);
+    if (!network.label_name.empty()) label.set_attribute("name", network.label_name);
+    element.add_child(std::move(label));
+  }
+  for (const auto& prop : network.properties) element.add_child(property_to_xml(prop));
+  for (const auto& machine : network.machine_names) {
+    XmlElement machine_el("MACHINE");
+    machine_el.set_attribute("name", machine);
+    element.add_child(std::move(machine_el));
+  }
+  for (const auto& child : network.children) element.add_child(network_to_xml(child));
+  return element;
+}
+
+Property property_from_xml(const XmlElement& element) {
+  return Property{element.attribute("name"), element.attribute("value"),
+                  element.attribute("units")};
+}
+
+Result<Machine> machine_from_xml(const XmlElement& element) {
+  Machine machine;
+  const XmlElement* label = element.first_child("LABEL");
+  if (label == nullptr) {
+    // Reference-style MACHINE (inside NETWORK): only a name attribute.
+    machine.name = element.attribute("name");
+    if (machine.name.empty()) {
+      return make_error(ErrorCode::protocol, "MACHINE without LABEL or name");
+    }
+    return machine;
+  }
+  machine.name = label->attribute("name");
+  machine.ip = label->attribute("ip");
+  for (const XmlElement* alias : label->children_named("ALIAS")) {
+    machine.aliases.push_back(alias->attribute("name"));
+  }
+  for (const XmlElement* prop : element.children_named("PROPERTY")) {
+    machine.properties.push_back(property_from_xml(*prop));
+  }
+  return machine;
+}
+
+Result<NetworkNode> network_from_xml(const XmlElement& element) {
+  NetworkNode network;
+  auto type = network_type_from_string(element.attribute("type"));
+  if (!type.ok()) return type.error();
+  network.type = type.value();
+  if (const XmlElement* label = element.first_child("LABEL")) {
+    network.label_name = label->attribute("name");
+    network.label_ip = label->attribute("ip");
+  }
+  for (const XmlElement* prop : element.children_named("PROPERTY")) {
+    network.properties.push_back(property_from_xml(*prop));
+  }
+  for (const XmlElement* machine : element.children_named("MACHINE")) {
+    // Inside NETWORK, machines are references by name.
+    const XmlElement* label = machine->first_child("LABEL");
+    network.machine_names.push_back(label != nullptr ? label->attribute("name")
+                                                     : machine->attribute("name"));
+  }
+  for (const XmlElement* child : element.children_named("NETWORK")) {
+    auto parsed = network_from_xml(*child);
+    if (!parsed.ok()) return parsed;
+    network.children.push_back(std::move(parsed.value()));
+  }
+  return network;
+}
+
+}  // namespace
+
+XmlElement GridDoc::to_xml() const {
+  XmlElement root("GRID");
+  if (!label.empty()) {
+    XmlElement label_el("LABEL");
+    label_el.set_attribute("name", label);
+    root.add_child(std::move(label_el));
+  }
+  for (const auto& site : sites) {
+    XmlElement site_el("SITE");
+    site_el.set_attribute("domain", site.domain);
+    if (!site.label.empty()) {
+      XmlElement label_el("LABEL");
+      label_el.set_attribute("name", site.label);
+      site_el.add_child(std::move(label_el));
+    }
+    for (const auto& machine : site.machines) site_el.add_child(machine_to_xml(machine));
+    root.add_child(std::move(site_el));
+  }
+  for (const auto& network : networks) root.add_child(network_to_xml(network));
+  return root;
+}
+
+std::string GridDoc::to_string() const { return to_document_string(to_xml()); }
+
+Result<GridDoc> GridDoc::from_xml(const XmlElement& root) {
+  if (root.name() != "GRID") {
+    return make_error(ErrorCode::protocol, "root element is not GRID");
+  }
+  GridDoc doc;
+  if (const XmlElement* label = root.first_child("LABEL")) {
+    doc.label = label->attribute("name");
+  }
+  for (const XmlElement* site_el : root.children_named("SITE")) {
+    Site site;
+    site.domain = site_el->attribute("domain");
+    if (const XmlElement* label = site_el->first_child("LABEL")) {
+      site.label = label->attribute("name");
+    }
+    for (const XmlElement* machine_el : site_el->children_named("MACHINE")) {
+      auto machine = machine_from_xml(*machine_el);
+      if (!machine.ok()) return machine.error();
+      site.machines.push_back(std::move(machine.value()));
+    }
+    doc.sites.push_back(std::move(site));
+  }
+  for (const XmlElement* network_el : root.children_named("NETWORK")) {
+    auto network = network_from_xml(*network_el);
+    if (!network.ok()) return network.error();
+    doc.networks.push_back(std::move(network.value()));
+  }
+  return doc;
+}
+
+Result<GridDoc> GridDoc::parse(const std::string& text) {
+  auto root = parse_xml(text);
+  if (!root.ok()) return root.error();
+  return from_xml(root.value());
+}
+
+}  // namespace envnws::gridml

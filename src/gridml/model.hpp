@@ -1,0 +1,78 @@
+// Typed GridML document model.
+//
+// GridML is "a specialized form of XML [...] a flexible format for
+// describing the physical and observable characteristics of resources and
+// networks constituting a Grid" (paper §4). The element vocabulary is the
+// one used by the paper's listings: GRID / SITE / MACHINE / LABEL / ALIAS /
+// PROPERTY / NETWORK. This model converts to and from the generic XML
+// layer and offers the lookups the mapper and planner need.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "gridml/xml.hpp"
+
+namespace envnws::gridml {
+
+struct Property {
+  std::string name;
+  std::string value;
+  std::string units;  ///< optional
+};
+
+struct Machine {
+  std::string name;                 ///< canonical fqdn
+  std::string ip;                   ///< dotted quad (may be empty)
+  std::vector<std::string> aliases;
+  std::vector<Property> properties;
+
+  [[nodiscard]] bool answers_to(const std::string& any_name) const;
+  [[nodiscard]] std::optional<std::string> property(const std::string& key) const;
+};
+
+struct Site {
+  std::string domain;  ///< e.g. "ens-lyon.fr"
+  std::string label;   ///< e.g. "ENS-LYON-FR"
+  std::vector<Machine> machines;
+};
+
+/// ENV network node kinds as they appear in `NETWORK type="..."`.
+enum class NetworkType { structural, env_shared, env_switched, env_inconclusive };
+
+[[nodiscard]] const char* to_string(NetworkType type);
+[[nodiscard]] Result<NetworkType> network_type_from_string(const std::string& text);
+
+struct NetworkNode {
+  NetworkType type = NetworkType::structural;
+  std::string label_name;
+  std::string label_ip;
+  std::vector<Property> properties;
+  /// Machines directly on this network, referenced by fqdn.
+  std::vector<std::string> machine_names;
+  std::vector<NetworkNode> children;
+
+  [[nodiscard]] std::optional<std::string> property(const std::string& key) const;
+  /// Machines of this node and every descendant.
+  [[nodiscard]] std::vector<std::string> all_machine_names() const;
+};
+
+struct GridDoc {
+  std::string label;
+  std::vector<Site> sites;
+  std::vector<NetworkNode> networks;
+
+  /// Machine lookup across all sites, by canonical name or alias.
+  [[nodiscard]] const Machine* find_machine(const std::string& any_name) const;
+  [[nodiscard]] Machine* find_machine(const std::string& any_name);
+  [[nodiscard]] std::size_t machine_count() const;
+
+  [[nodiscard]] XmlElement to_xml() const;
+  [[nodiscard]] std::string to_string() const;
+  static Result<GridDoc> from_xml(const XmlElement& root);
+  static Result<GridDoc> parse(const std::string& text);
+};
+
+}  // namespace envnws::gridml

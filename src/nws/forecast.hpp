@@ -1,0 +1,83 @@
+// The NWS statistical forecasting battery.
+//
+// The NWS forecaster (paper §2.1; Wolski et al., FGCS 15(5-6)) runs a
+// family of cheap predictors over each measurement series in parallel,
+// tracks every predictor's cumulative error, and answers each query with
+// the prediction of the currently most accurate one ("dynamic predictor
+// selection"). This module reproduces that design: a battery of
+// incremental O(1)-per-update predictors and an adaptive selector that
+// reports both the forecast and the winner's error estimate.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace envnws::nws {
+
+/// Incremental one-step-ahead predictor.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  /// Prediction for the *next* value (call before update()).
+  [[nodiscard]] virtual double predict() const = 0;
+  /// Feed the actual next value.
+  virtual void update(double value) = 0;
+};
+
+// --- the battery --------------------------------------------------------
+
+std::unique_ptr<Predictor> make_last_value();
+std::unique_ptr<Predictor> make_running_mean();
+std::unique_ptr<Predictor> make_sliding_mean(std::size_t window);
+std::unique_ptr<Predictor> make_sliding_median(std::size_t window);
+/// Sliding mean over the window with the given fraction trimmed per side.
+std::unique_ptr<Predictor> make_trimmed_mean(std::size_t window, double trim_fraction);
+std::unique_ptr<Predictor> make_exponential_smoothing(double gain);
+/// Exponential smoothing whose gain adapts to the observed error
+/// (the NWS "adaptive" gradient predictor).
+std::unique_ptr<Predictor> make_adaptive_smoothing(double initial_gain);
+/// Last value plus momentum (difference of the last two observations).
+std::unique_ptr<Predictor> make_momentum();
+
+/// The default NWS-style predictor set.
+std::vector<std::unique_ptr<Predictor>> default_battery();
+
+// --- dynamic predictor selection ----------------------------------------
+
+struct Forecast {
+  double value = 0.0;
+  /// Error estimate: the winner's mean absolute error so far.
+  double mae = 0.0;
+  /// Root-mean-square error of the winner.
+  double rmse = 0.0;
+  std::string winner;
+  std::size_t samples = 0;
+};
+
+class AdaptiveForecaster {
+ public:
+  /// Uses default_battery() when `battery` is empty.
+  explicit AdaptiveForecaster(std::vector<std::unique_ptr<Predictor>> battery = {});
+
+  /// Feed the next observed value (updates every predictor's error).
+  void observe(double value);
+  /// Forecast the next value using the minimum-MSE predictor so far.
+  [[nodiscard]] Forecast forecast() const;
+  /// Cumulative mean absolute error of each predictor (for the bench).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> predictor_errors() const;
+  [[nodiscard]] std::size_t observations() const { return count_; }
+
+ private:
+  struct Tracked {
+    std::unique_ptr<Predictor> predictor;
+    double sum_abs_error = 0.0;
+    double sum_sq_error = 0.0;
+  };
+  std::vector<Tracked> battery_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace envnws::nws

@@ -1,0 +1,80 @@
+#include "nws/memory.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace envnws::nws {
+
+void MemoryServer::store(const SeriesKey& key, double time, double value) {
+  auto [it, inserted] = series_.try_emplace(key, TimeSeries(series_capacity_));
+  it->second.add(time, value);
+  ++stored_count_;
+}
+
+const TimeSeries* MemoryServer::find(const SeriesKey& key) const {
+  const auto it = series_.find(key);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+Result<ResourceKind> resource_from_string(const std::string& text) {
+  for (const ResourceKind kind :
+       {ResourceKind::bandwidth, ResourceKind::latency, ResourceKind::connect_time,
+        ResourceKind::cpu, ResourceKind::memory, ResourceKind::disk}) {
+    if (text == to_string(kind)) return kind;
+  }
+  return make_error(ErrorCode::protocol, "unknown resource '" + text + "'");
+}
+
+}  // namespace
+
+std::string MemoryServer::dump() const {
+  std::ostringstream out;
+  out << "# nws memory dump: " << name_ << "\n";
+  for (const auto& [key, series] : series_) {
+    out << "series " << to_string(key.resource) << " " << key.src << " "
+        << (key.dst.empty() ? "-" : key.dst) << "\n";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      char line[64];
+      std::snprintf(line, sizeof(line), "%.9g %.9g\n", series.at(i).time,
+                    series.at(i).value);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+Status MemoryServer::restore(const std::string& text) {
+  const SeriesKey* current = nullptr;
+  SeriesKey scratch;
+  for (const auto& raw_line : strings::split(text, '\n')) {
+    const std::string line = strings::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    if (strings::starts_with(line, "series ")) {
+      const auto fields = strings::split_nonempty(line, ' ');
+      if (fields.size() != 4) {
+        return make_error(ErrorCode::protocol, "malformed series header: " + line);
+      }
+      const auto resource = resource_from_string(fields[1]);
+      if (!resource.ok()) return resource.error();
+      scratch = SeriesKey{resource.value(), fields[2], fields[3] == "-" ? "" : fields[3]};
+      current = &scratch;
+      continue;
+    }
+    if (current == nullptr) {
+      return make_error(ErrorCode::protocol, "measurement before any series header");
+    }
+    double time = 0.0;
+    double value = 0.0;
+    if (std::sscanf(line.c_str(), "%lf %lf", &time, &value) != 2) {
+      return make_error(ErrorCode::protocol, "malformed measurement line: " + line);
+    }
+    store(*current, time, value);
+  }
+  return {};
+}
+
+}  // namespace envnws::nws

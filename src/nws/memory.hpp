@@ -1,0 +1,42 @@
+// NWS memory server: bounded storage for measurement series, with the
+// text dump/restore the real system's on-disk persistence provided
+// (paper §2.1: memories "store the results on disk for further use").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "nws/series.hpp"
+#include "simnet/types.hpp"
+
+namespace envnws::nws {
+
+class MemoryServer {
+ public:
+  MemoryServer(std::string name, simnet::NodeId host, std::size_t series_capacity = 512)
+      : name_(std::move(name)), host_(host), series_capacity_(series_capacity) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] simnet::NodeId host() const { return host_; }
+
+  void store(const SeriesKey& key, double time, double value);
+  [[nodiscard]] const TimeSeries* find(const SeriesKey& key) const;
+  [[nodiscard]] const std::map<SeriesKey, TimeSeries>& series() const { return series_; }
+  [[nodiscard]] std::uint64_t stored_count() const { return stored_count_; }
+
+  /// Serialize every series to the line-oriented on-disk format:
+  ///   series <resource> <src> <dst>\n followed by "<time> <value>" lines.
+  [[nodiscard]] std::string dump() const;
+  /// Restore a dump (appends to existing series).
+  Status restore(const std::string& text);
+
+ private:
+  std::string name_;
+  simnet::NodeId host_;
+  std::size_t series_capacity_;
+  std::map<SeriesKey, TimeSeries> series_;
+  std::uint64_t stored_count_ = 0;
+};
+
+}  // namespace envnws::nws

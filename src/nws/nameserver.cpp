@@ -1,0 +1,40 @@
+#include "nws/nameserver.hpp"
+
+namespace envnws::nws {
+
+const char* to_string(ProcessKind kind) {
+  switch (kind) {
+    case ProcessKind::nameserver: return "nameserver";
+    case ProcessKind::memory: return "memory";
+    case ProcessKind::sensor: return "sensor";
+    case ProcessKind::forecaster: return "forecaster";
+  }
+  return "?";
+}
+
+void NameServer::register_process(const ProcessInfo& info) {
+  processes_.push_back(info);
+  ++registrations_;
+}
+
+void NameServer::register_series(const SeriesKey& key, const std::string& memory_name) {
+  series_to_memory_[key] = memory_name;
+  ++registrations_;
+}
+
+Result<std::string> NameServer::locate_memory(const SeriesKey& key) const {
+  const auto it = series_to_memory_.find(key);
+  if (it == series_to_memory_.end()) {
+    return make_error(ErrorCode::not_found, "no memory registered for " + key.to_string());
+  }
+  return it->second;
+}
+
+std::vector<SeriesKey> NameServer::known_series() const {
+  std::vector<SeriesKey> keys;
+  keys.reserve(series_to_memory_.size());
+  for (const auto& [key, memory] : series_to_memory_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace envnws::nws

@@ -1,0 +1,65 @@
+// Host sensors and uncoordinated network probes.
+//
+// HostSensor reproduces the NWS CPU / memory / disk monitors: periodic
+// local readings shipped to a memory server. UncoordinatedProbe is the
+// *anti-pattern* the clique protocol exists to prevent — an independent
+// periodic bandwidth experiment with no mutual exclusion — kept so the
+// collision bench can demonstrate why cliques matter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "nws/memory.hpp"
+#include "nws/series.hpp"
+#include "simnet/network.hpp"
+
+namespace envnws::nws {
+
+class HostSensor {
+ public:
+  HostSensor(simnet::Network& net, simnet::NodeId host, MemoryServer& memory,
+             double period_s = 10.0);
+
+  void start();
+  void stop() { running_ = false; }
+  [[nodiscard]] simnet::NodeId host() const { return host_; }
+  [[nodiscard]] std::uint64_t readings() const { return readings_; }
+
+ private:
+  void tick();
+
+  simnet::Network& net_;
+  simnet::NodeId host_;
+  MemoryServer& memory_;
+  double period_s_;
+  bool running_ = false;
+  std::uint64_t readings_ = 0;
+  std::string host_name_;
+};
+
+class UncoordinatedProbe {
+ public:
+  UncoordinatedProbe(simnet::Network& net, simnet::NodeId src, simnet::NodeId dst,
+                     MemoryServer& memory, double period_s,
+                     std::int64_t probe_bytes = units::kib(64));
+
+  void start();
+  void stop() { running_ = false; }
+  [[nodiscard]] std::uint64_t experiments() const { return experiments_; }
+
+ private:
+  void tick();
+
+  simnet::Network& net_;
+  simnet::NodeId src_;
+  simnet::NodeId dst_;
+  MemoryServer& memory_;
+  double period_s_;
+  std::int64_t probe_bytes_;
+  bool running_ = false;
+  std::uint64_t experiments_ = 0;
+};
+
+}  // namespace envnws::nws

@@ -1,0 +1,50 @@
+#include "nws/series.hpp"
+
+namespace envnws::nws {
+
+const char* to_string(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::bandwidth: return "bandwidth";
+    case ResourceKind::latency: return "latency";
+    case ResourceKind::connect_time: return "connectTime";
+    case ResourceKind::cpu: return "availableCpu";
+    case ResourceKind::memory: return "freeMemory";
+    case ResourceKind::disk: return "freeDisk";
+  }
+  return "?";
+}
+
+bool is_network_resource(ResourceKind kind) {
+  return kind == ResourceKind::bandwidth || kind == ResourceKind::latency ||
+         kind == ResourceKind::connect_time;
+}
+
+std::string SeriesKey::to_string() const {
+  std::string out = envnws::nws::to_string(resource);
+  out += ':';
+  out += src;
+  if (!dst.empty()) {
+    out += "->";
+    out += dst;
+  }
+  return out;
+}
+
+void TimeSeries::add(double time, double value) {
+  data_.push_back(Measurement{time, value});
+  while (data_.size() > capacity_) data_.pop_front();
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(data_.size());
+  for (const auto& m : data_) out.push_back(m.value);
+  return out;
+}
+
+double TimeSeries::mean_period() const {
+  if (data_.size() < 2) return 0.0;
+  return (data_.back().time - data_.front().time) / static_cast<double>(data_.size() - 1);
+}
+
+}  // namespace envnws::nws

@@ -1,0 +1,60 @@
+// Background cross-traffic generators.
+//
+// The paper's §4.3 ("Reliability and accuracy") warns that ENV results
+// "may be corrupted if the network load evolves greatly (increasing or
+// decreasing) between tests". These generators create that load: on/off
+// bursts of bulk transfers between host pairs, with deterministic or
+// seeded-random timing, sharing bandwidth with whatever the mapper or
+// the NWS is measuring.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simnet/network.hpp"
+
+namespace envnws::simnet {
+
+struct CrossTrafficSpec {
+  NodeId src;
+  NodeId dst;
+  /// Bytes per burst (one flow per burst).
+  std::int64_t burst_bytes = 4 * 1024 * 1024;
+  /// Mean time between burst starts.
+  double period_s = 10.0;
+  /// 0 = strictly periodic; otherwise each gap is drawn uniformly from
+  /// [period * (1 - spread), period * (1 + spread)].
+  double spread = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Drives one background flow pattern. Start/stop at will; every flow is
+/// tagged "background" in the network's purpose accounting.
+class CrossTraffic {
+ public:
+  CrossTraffic(Network& net, CrossTrafficSpec spec);
+
+  void start();
+  void stop() { running_ = false; }
+  [[nodiscard]] std::uint64_t bursts_sent() const { return bursts_; }
+
+ private:
+  void tick();
+
+  Network& net_;
+  CrossTrafficSpec spec_;
+  Rng rng_;
+  bool running_ = false;
+  std::uint64_t bursts_ = 0;
+};
+
+/// Convenience: saturating load among random host pairs of a topology.
+/// `intensity` scales the duty cycle: 0 = none, 1 = roughly one active
+/// burst per generator at all times. Returns one generator per pair.
+std::vector<std::unique_ptr<CrossTraffic>> make_background_load(
+    Network& net, const std::vector<NodeId>& hosts, double intensity, std::uint64_t seed);
+
+}  // namespace envnws::simnet

@@ -1,0 +1,35 @@
+#include "simnet/event_queue.hpp"
+
+#include <cassert>
+
+namespace envnws::simnet {
+
+EventHandle EventQueue::schedule_at(SimTime t, EventFn fn) {
+  const EventHandle handle = next_seq_++;
+  heap_.push(Key{t, handle});
+  live_.emplace(handle, std::move(fn));
+  return handle;
+}
+
+void EventQueue::cancel(EventHandle handle) { live_.erase(handle); }
+
+SimTime EventQueue::next_time() const {
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+bool EventQueue::pop(SimTime& time_out, EventFn& fn_out) {
+  while (!heap_.empty()) {
+    const Key key = heap_.top();
+    heap_.pop();
+    const auto it = live_.find(key.seq);
+    if (it == live_.end()) continue;  // cancelled
+    time_out = key.time;
+    fn_out = std::move(it->second);
+    live_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace envnws::simnet

@@ -1,0 +1,54 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties), so a given scenario replays
+// identically on every run and platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "simnet/types.hpp"
+
+namespace envnws::simnet {
+
+using EventFn = std::function<void()>;
+/// Opaque handle for cancellation.
+using EventHandle = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventHandle schedule_at(SimTime t, EventFn fn);
+  /// Remove a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventHandle handle);
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+  /// Timestamp of the next event; only valid when !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop the next event (time order, then insertion order). The callable
+  /// is returned rather than invoked so the caller can advance its clock
+  /// first. Returns false when the queue is empty.
+  bool pop(SimTime& time_out, EventFn& fn_out);
+
+ private:
+  struct Key {
+    SimTime time;
+    EventHandle seq;
+    bool operator>(const Key& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Key, std::vector<Key>, std::greater<>> heap_;
+  std::map<EventHandle, EventFn> live_;
+  EventHandle next_seq_ = 0;
+};
+
+}  // namespace envnws::simnet

@@ -1,0 +1,73 @@
+#include "simnet/fairshare.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace envnws::simnet {
+
+std::vector<double> solve_max_min(const FairShareProblem& problem) {
+  const std::size_t flow_count = problem.flows.size();
+  const std::size_t resource_count = problem.capacities.size();
+  std::vector<double> rates(flow_count, std::numeric_limits<double>::infinity());
+  std::vector<double> residual = problem.capacities;
+  std::vector<bool> fixed(flow_count, false);
+  // users[r] = number of still-unfixed flows crossing resource r.
+  std::vector<std::uint32_t> users(resource_count, 0);
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    for (const std::uint32_t r : problem.flows[f]) {
+      assert(r < resource_count);
+      ++users[r];
+    }
+  }
+
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    if (problem.flows[f].empty()) {
+      fixed[f] = true;  // rate stays infinite: no shared resource involved
+    } else {
+      ++remaining;
+    }
+  }
+
+  // Progressive filling: repeatedly saturate the most contended resource.
+  while (remaining > 0) {
+    double bottleneck_share = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < resource_count; ++r) {
+      if (users[r] == 0) continue;
+      const double share = residual[r] / static_cast<double>(users[r]);
+      if (share < bottleneck_share) bottleneck_share = share;
+    }
+    assert(bottleneck_share < std::numeric_limits<double>::infinity());
+
+    // Every unfixed flow crossing a resource whose fair share equals the
+    // bottleneck share is frozen at that rate.
+    bool froze_any = false;
+    for (std::size_t f = 0; f < flow_count; ++f) {
+      if (fixed[f]) continue;
+      bool at_bottleneck = false;
+      for (const std::uint32_t r : problem.flows[f]) {
+        // Tolerate floating-point noise when comparing shares.
+        const double share = residual[r] / static_cast<double>(users[r]);
+        if (share <= bottleneck_share * (1.0 + 1e-12)) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (!at_bottleneck) continue;
+      fixed[f] = true;
+      froze_any = true;
+      --remaining;
+      rates[f] = bottleneck_share;
+      for (const std::uint32_t r : problem.flows[f]) {
+        residual[r] -= bottleneck_share;
+        if (residual[r] < 0.0) residual[r] = 0.0;
+        --users[r];
+      }
+    }
+    assert(froze_any);
+    (void)froze_any;
+  }
+  return rates;
+}
+
+}  // namespace envnws::simnet

@@ -1,0 +1,27 @@
+// Max-min fair bandwidth allocation (progressive filling).
+//
+// This is the heart of the fluid traffic model: given capacitated
+// resources and flows that each consume a set of resources, compute the
+// max-min fair rate vector. It reproduces exactly the phenomena the ENV
+// thresholds key on — two flows crossing a hub each get half the medium;
+// flows on distinct switch ports do not interact; a 10 Mbps uplink caps
+// everything behind it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace envnws::simnet {
+
+struct FairShareProblem {
+  /// capacity[r] = bits/s available on resource r.
+  std::vector<double> capacities;
+  /// flows[f] = the (deduplicated) resource indices flow f consumes.
+  std::vector<std::vector<std::uint32_t>> flows;
+};
+
+/// Returns the max-min fair rate of every flow. Flows that use no
+/// resources get an infinite rate (the caller treats them as local).
+std::vector<double> solve_max_min(const FairShareProblem& problem);
+
+}  // namespace envnws::simnet

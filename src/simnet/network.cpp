@@ -1,0 +1,384 @@
+#include "simnet/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/log.hpp"
+#include "simnet/fairshare.hpp"
+
+namespace envnws::simnet {
+
+namespace {
+constexpr std::uint32_t kNoResource = std::numeric_limits<std::uint32_t>::max();
+}
+
+std::int64_t NetStats::total_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& [purpose, stats] : by_purpose) total += stats.bytes;
+  return total;
+}
+
+Network::Network(Topology topology, NetworkOptions options)
+    : topo_(std::move(topology)),
+      options_(options),
+      routes_(topo_),
+      jitter_rng_(options.seed) {
+  if (const Status status = topo_.validate(); !status.ok()) {
+    ENVNWS_LOG(error, "simnet") << "invalid topology: " << status.error().to_string();
+    assert(false && "invalid topology");
+  }
+  build_resources();
+}
+
+void Network::build_resources() {
+  link_res_ab_.assign(topo_.link_count(), kNoResource);
+  link_res_ba_.assign(topo_.link_count(), kNoResource);
+  hub_res_.assign(topo_.node_count(), kNoResource);
+
+  for (const Link& link : topo_.links()) {
+    if (link.half_duplex) {
+      const auto res = static_cast<std::uint32_t>(resource_capacity_.size());
+      resource_capacity_.push_back(std::max(link.bw_ab_bps, link.bw_ba_bps));
+      link_res_ab_[link.id.index()] = res;
+      link_res_ba_[link.id.index()] = res;
+    } else {
+      const auto res_ab = static_cast<std::uint32_t>(resource_capacity_.size());
+      resource_capacity_.push_back(link.bw_ab_bps);
+      const auto res_ba = static_cast<std::uint32_t>(resource_capacity_.size());
+      resource_capacity_.push_back(link.bw_ba_bps);
+      link_res_ab_[link.id.index()] = res_ab;
+      link_res_ba_[link.id.index()] = res_ba;
+    }
+  }
+  for (const Node& node : topo_.nodes()) {
+    if (node.kind == NodeKind::hub) {
+      const auto res = static_cast<std::uint32_t>(resource_capacity_.size());
+      resource_capacity_.push_back(node.hub_capacity_bps);
+      hub_res_[node.id.index()] = res;
+    }
+  }
+}
+
+EventHandle Network::schedule_at(SimTime t, EventFn fn) {
+  assert(t >= now_);
+  return queue_.schedule_at(t, std::move(fn));
+}
+
+EventHandle Network::schedule_after(double delay, EventFn fn) {
+  return schedule_at(now_ + std::max(0.0, delay), std::move(fn));
+}
+
+void Network::cancel(EventHandle handle) { queue_.cancel(handle); }
+
+bool Network::step() {
+  SimTime t = 0.0;
+  EventFn fn;
+  if (!queue_.pop(t, fn)) return false;
+  now_ = std::max(now_, t);
+  fn();
+  return true;
+}
+
+void Network::run() {
+  while (step()) {
+  }
+}
+
+void Network::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.next_time() <= t) step();
+  now_ = std::max(now_, t);
+}
+
+bool Network::can_communicate(NodeId a, NodeId b) const {
+  return check_communicate(a, b).ok();
+}
+
+Status Network::check_communicate(NodeId a, NodeId b) const {
+  const Node& na = topo_.node(a);
+  const Node& nb = topo_.node(b);
+  if (!na.up) return make_error(ErrorCode::host_down, na.name + " is down");
+  if (!nb.up) return make_error(ErrorCode::host_down, nb.name + " is down");
+  if (na.is_host() && nb.is_host()) {
+    bool share_zone = false;
+    for (const auto& zone : na.zones) {
+      if (nb.zones.count(zone) > 0) {
+        share_zone = true;
+        break;
+      }
+    }
+    if (!share_zone) {
+      return make_error(ErrorCode::blocked_by_firewall,
+                        na.name + " and " + nb.name + " live in disjoint firewall zones");
+    }
+  }
+  return {};
+}
+
+Result<std::vector<std::uint32_t>> Network::resources_for_path(const Path& path) const {
+  std::set<std::uint32_t> resources;
+  for (const Hop& hop : path.hops) {
+    const Link& link = topo_.link(hop.link);
+    resources.insert(hop.from == link.a ? link_res_ab_[hop.link.index()]
+                                        : link_res_ba_[hop.link.index()]);
+    if (hub_res_[hop.to.index()] != kNoResource) resources.insert(hub_res_[hop.to.index()]);
+  }
+  return std::vector<std::uint32_t>(resources.begin(), resources.end());
+}
+
+Result<FlowId> Network::start_flow(NodeId src, NodeId dst, std::int64_t bytes,
+                                   FlowCallback on_done, FlowOptions options) {
+  if (const Status status = check_communicate(src, dst); !status.ok()) return status.error();
+  auto path = routes_.path(src, dst);
+  if (!path.ok()) return path.error();
+  auto resources = resources_for_path(path.value());
+  if (!resources.ok()) return resources.error();
+
+  FlowState flow;
+  flow.id = FlowId(static_cast<FlowId::underlying_type>(flows_.size()));
+  flow.src = src;
+  flow.dst = dst;
+  flow.total_bits = static_cast<double>(bytes) * 8.0;
+  flow.remaining_bits = flow.total_bits;
+  flow.resources = std::move(resources.value());
+  flow.fwd_latency = path.value().total_latency(topo_);
+  // The ack travels the reverse path (may differ under asymmetric routes).
+  if (options.ack) {
+    const auto reverse = routes_.path(dst, src);
+    flow.rev_latency = reverse.ok() ? reverse.value().total_latency(topo_) : flow.fwd_latency;
+  }
+  flow.ack = options.ack;
+  flow.start_time = now_;
+  flow.on_done = std::move(on_done);
+  flow.purpose = options.purpose;
+
+  const FlowId id = flow.id;
+  flows_.push_back(std::move(flow));
+  ++stats_.flows_started;
+  auto& purpose_stats = stats_.by_purpose[flows_.back().purpose];
+  ++purpose_stats.flow_count;
+  purpose_stats.bytes += bytes;
+
+  schedule_after(flows_[id.index()].fwd_latency, [this, id] { activate_flow(id); });
+  return id;
+}
+
+void Network::activate_flow(FlowId id) {
+  FlowState& flow = flows_[id.index()];
+  assert(!flow.active && !flow.done);
+  settle_flows();
+  flow.active = true;
+  flow.last_settle = now_;
+  active_order_.push_back(id);
+  recompute_rates();
+}
+
+void Network::settle_flows() {
+  for (const FlowId id : active_order_) {
+    FlowState& flow = flows_[id.index()];
+    const double elapsed = now_ - flow.last_settle;
+    if (elapsed > 0.0 && std::isfinite(flow.rate_bps)) {
+      flow.remaining_bits = std::max(0.0, flow.remaining_bits - flow.rate_bps * elapsed);
+    } else if (elapsed > 0.0) {
+      flow.remaining_bits = 0.0;
+    }
+    flow.last_settle = now_;
+  }
+}
+
+void Network::recompute_rates() {
+  FairShareProblem problem;
+  problem.capacities = resource_capacity_;
+  problem.flows.reserve(active_order_.size());
+  for (const FlowId id : active_order_) {
+    problem.flows.push_back(flows_[id.index()].resources);
+  }
+  const std::vector<double> rates = solve_max_min(problem);
+
+  for (std::size_t i = 0; i < active_order_.size(); ++i) {
+    const FlowId id = active_order_[i];
+    FlowState& flow = flows_[id.index()];
+    flow.rate_bps = rates[i];
+    if (flow.completion_scheduled) {
+      queue_.cancel(flow.completion_event);
+      flow.completion_scheduled = false;
+    }
+    double remaining_time = 0.0;
+    if (flow.remaining_bits > 0.0) {
+      remaining_time = std::isfinite(flow.rate_bps) ? flow.remaining_bits / flow.rate_bps : 0.0;
+    }
+    flow.completion_event = schedule_after(remaining_time, [this, id] { finish_flow(id); });
+    flow.completion_scheduled = true;
+  }
+}
+
+void Network::finish_flow(FlowId id) {
+  FlowState& flow = flows_[id.index()];
+  assert(flow.active && !flow.done);
+  settle_flows();
+  flow.active = false;
+  flow.done = true;
+  flow.completion_scheduled = false;
+  flow.remaining_bits = 0.0;
+  active_order_.erase(std::find(active_order_.begin(), active_order_.end(), id));
+  recompute_rates();
+  ++stats_.flows_completed;
+
+  const double callback_delay = flow.ack ? flow.rev_latency : 0.0;
+  schedule_after(callback_delay, [this, id] {
+    FlowState& finished = flows_[id.index()];
+    if (!finished.on_done) return;
+    FlowResult result;
+    result.id = finished.id;
+    result.src = finished.src;
+    result.dst = finished.dst;
+    result.bytes = static_cast<std::int64_t>(finished.total_bits / 8.0);
+    result.start_time = finished.start_time;
+    result.end_time = now_;
+    // Move the callback out so captured state is released afterwards.
+    FlowCallback cb = std::move(finished.on_done);
+    finished.on_done = nullptr;
+    cb(result);
+  });
+}
+
+Status Network::send_message(NodeId src, NodeId dst, std::int64_t bytes,
+                             std::function<void()> on_delivered, const std::string& purpose) {
+  if (const Status status = check_communicate(src, dst); !status.ok()) return status.error();
+  const auto delay = message_delay(src, dst, bytes);
+  if (!delay.ok()) return delay.error();
+  ++stats_.messages_sent;
+  auto& purpose_stats = stats_.by_purpose[purpose];
+  ++purpose_stats.flow_count;
+  purpose_stats.bytes += bytes;
+  schedule_after(delay.value(), [this, dst, cb = std::move(on_delivered)] {
+    // A message addressed to a host that died in flight is dropped; the
+    // sender's own timeout logic is responsible for noticing.
+    if (!topo_.node(dst).up) return;
+    if (cb) cb();
+  });
+  return {};
+}
+
+Result<double> Network::message_delay(NodeId src, NodeId dst, std::int64_t bytes) const {
+  const auto path = routes_.path(src, dst);
+  if (!path.ok()) return path.error();
+  const double latency = path.value().total_latency(topo_);
+  const double bottleneck = path.value().bottleneck_bandwidth(topo_);
+  const double transmission =
+      bottleneck > 0.0 && std::isfinite(bottleneck)
+          ? static_cast<double>(bytes) * 8.0 / bottleneck
+          : 0.0;
+  return latency + transmission;
+}
+
+Result<std::vector<TracerouteHop>> Network::traceroute(NodeId src, NodeId dst) const {
+  const Node& source = topo_.node(src);
+  const Node& target = topo_.node(dst);
+  if (!source.up) return make_error(ErrorCode::host_down, source.name + " is down");
+  if (target.is_host()) {
+    if (const Status status = check_communicate(src, dst); !status.ok()) return status.error();
+  }
+  const auto path = routes_.path(src, dst);
+  if (!path.ok()) return path.error();
+
+  std::vector<TracerouteHop> hops;
+  for (const Hop& hop : path.value().hops) {
+    const Node& node = topo_.node(hop.to);
+    if (!node.ip_visible()) continue;  // hubs and switches are L2-invisible
+    TracerouteHop entry;
+    entry.node = node.id;
+    if (node.kind == NodeKind::router && !node.router.responds_to_traceroute) {
+      entry.responded = false;
+      entry.reported_ip = "*";
+      hops.push_back(entry);
+      continue;
+    }
+    Ipv4 reported = node.ip;
+    std::string reported_fqdn = node.fqdn;
+    if (node.kind == NodeKind::router && node.router.reported_address.has_value()) {
+      reported = *node.router.reported_address;
+    }
+    // A multi-homed host (firewall gateway) is seen through the interface
+    // facing the prober: report the identity whose zone the source shares.
+    if (node.is_host() && source.is_host() && !node.aliases.empty()) {
+      const bool primary_visible = [&] {
+        // The primary identity is usable when the source shares a zone
+        // that is not claimed by any alias (alias zones are secondary).
+        std::set<std::string> alias_zones;
+        for (const auto& alias : node.aliases) alias_zones.insert(alias.zone);
+        for (const auto& zone : source.zones) {
+          if (node.zones.count(zone) > 0 && alias_zones.count(zone) == 0) return true;
+        }
+        return false;
+      }();
+      if (!primary_visible) {
+        for (const auto& alias : node.aliases) {
+          if (source.zones.count(alias.zone) > 0) {
+            reported = alias.ip;
+            reported_fqdn = alias.fqdn;
+            break;
+          }
+        }
+      }
+    }
+    entry.reported_ip = reported.to_string();
+    const bool resolvable =
+        node.kind == NodeKind::router ? node.router.has_hostname : !reported_fqdn.empty();
+    entry.reported_name = resolvable ? reported_fqdn : "";
+    hops.push_back(entry);
+  }
+  return hops;
+}
+
+Result<double> Network::ground_truth_bandwidth(NodeId src, NodeId dst) const {
+  const auto path = routes_.path(src, dst);
+  if (!path.ok()) return path.error();
+  return path.value().bottleneck_bandwidth(topo_);
+}
+
+Result<double> Network::ground_truth_latency(NodeId src, NodeId dst) const {
+  const auto path = routes_.path(src, dst);
+  if (!path.ok()) return path.error();
+  return path.value().total_latency(topo_);
+}
+
+Result<std::vector<std::uint32_t>> Network::path_resources(NodeId src, NodeId dst) const {
+  const auto path = routes_.path(src, dst);
+  if (!path.ok()) return path.error();
+  return resources_for_path(path.value());
+}
+
+double Network::cpu_load(NodeId host, SimTime t) const {
+  return topo_.node(host).cpu_load.at(t);
+}
+
+double Network::cpu_availability(NodeId host, SimTime t) const {
+  // NWS reports the CPU share a newly started process would obtain; with
+  // `load` runnable processes already competing, that is 1 / (1 + load).
+  return 1.0 / (1.0 + cpu_load(host, t));
+}
+
+double Network::memory_free_mb(NodeId host, SimTime t) const {
+  const Node& node = topo_.node(host);
+  const double used_fraction = std::clamp(node.memory_used_fraction.at(t), 0.0, 1.0);
+  return node.memory_total_mb * (1.0 - used_fraction);
+}
+
+double Network::disk_free_mb(NodeId host, SimTime t) const {
+  const Node& node = topo_.node(host);
+  const double used_fraction = std::clamp(node.disk_used_fraction.at(t), 0.0, 1.0);
+  return node.disk_total_mb * (1.0 - used_fraction);
+}
+
+void Network::set_host_up(NodeId host, bool is_up) { topo_.node_mut(host).up = is_up; }
+
+double Network::measurement_jitter() {
+  if (options_.measurement_jitter_sigma <= 0.0) return 1.0;
+  const double factor = 1.0 + options_.measurement_jitter_sigma * jitter_rng_.normal();
+  return std::max(0.05, factor);
+}
+
+}  // namespace envnws::simnet

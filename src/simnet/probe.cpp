@@ -1,0 +1,99 @@
+#include "simnet/probe.hpp"
+
+#include <memory>
+
+namespace envnws::simnet {
+
+ProbeSession::ProbeSession(Network& net, ProbeOptions options)
+    : net_(net), options_(std::move(options)) {}
+
+void ProbeSession::finish_experiment(double started_at) {
+  ++experiments_;
+  net_.run_until(net_.now() + options_.stabilization_gap_s);
+  busy_time_ += net_.now() - started_at;
+}
+
+TransferOutcome ProbeSession::single(NodeId src, NodeId dst, std::int64_t bytes) {
+  auto outcomes = concurrent({TransferSpec{src, dst, bytes}});
+  return outcomes.front();
+}
+
+std::vector<TransferOutcome> ProbeSession::concurrent(const std::vector<TransferSpec>& specs) {
+  const double started_at = net_.now();
+  std::vector<TransferOutcome> outcomes(specs.size());
+  auto pending = std::make_shared<std::size_t>(0);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const TransferSpec& spec = specs[i];
+    TransferOutcome& outcome = outcomes[i];
+    outcome.src = spec.src;
+    outcome.dst = spec.dst;
+    outcome.bytes = spec.bytes;
+    const auto flow = net_.start_flow(
+        spec.src, spec.dst, spec.bytes,
+        [this, &outcome, pending](const FlowResult& result) {
+          outcome.ok = true;
+          outcome.duration_s = result.duration() * net_.measurement_jitter();
+          outcome.bandwidth_bps =
+              outcome.duration_s > 0.0
+                  ? static_cast<double>(result.bytes) * 8.0 / outcome.duration_s
+                  : 0.0;
+          --*pending;
+        },
+        FlowOptions{true, options_.purpose});
+    if (flow.ok()) {
+      ++*pending;
+      bytes_sent_ += spec.bytes;
+    } else {
+      outcome.ok = false;
+      outcome.error = flow.error();
+    }
+  }
+
+  while (*pending > 0 && net_.step()) {
+  }
+  finish_experiment(started_at);
+  return outcomes;
+}
+
+Result<double> ProbeSession::rtt(NodeId a, NodeId b, std::int64_t bytes) {
+  const double started_at = net_.now();
+  auto done = std::make_shared<bool>(false);
+  auto finish = std::make_shared<double>(0.0);
+
+  const Status forward = net_.send_message(
+      a, b, bytes,
+      [this, a, b, bytes, done, finish] {
+        const Status back = net_.send_message(
+            b, a, bytes,
+            [this, done, finish] {
+              *finish = net_.now();
+              *done = true;
+            },
+            options_.purpose);
+        if (!back.ok()) *done = true;  // reply lost: caller sees timeout below
+      },
+      options_.purpose);
+  if (!forward.ok()) {
+    finish_experiment(started_at);
+    return forward.error();
+  }
+  bytes_sent_ += 2 * bytes;
+
+  while (!*done && net_.step()) {
+  }
+  const bool replied = *finish > 0.0;
+  finish_experiment(started_at);
+  if (!replied) {
+    return make_error(ErrorCode::timeout, "no RTT reply received");
+  }
+  return (*finish - started_at) * net_.measurement_jitter();
+}
+
+Result<double> ProbeSession::connect_time(NodeId a, NodeId b) {
+  const auto round_trip = rtt(a, b, 1);
+  if (!round_trip.ok()) return round_trip.error();
+  return 1.5 * round_trip.value();
+}
+
+}  // namespace envnws::simnet

@@ -1,0 +1,71 @@
+// Synchronous user-level measurement sessions.
+//
+// ProbeSession is the only interface ENV has to the platform: it can time
+// a transfer, time several *concurrent* transfers, and measure small-
+// message round trips — exactly the observations available to an
+// unprivileged user process. Each experiment advances simulated time and
+// is followed by a configurable stabilization gap (the paper lets the
+// network settle between experiments).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "simnet/network.hpp"
+
+namespace envnws::simnet {
+
+struct ProbeOptions {
+  std::string purpose = "probe";
+  /// Idle time inserted after every experiment so flows from one
+  /// experiment never overlap the next.
+  double stabilization_gap_s = 2.0;
+};
+
+struct TransferSpec {
+  NodeId src;
+  NodeId dst;
+  std::int64_t bytes = 0;
+};
+
+struct TransferOutcome {
+  NodeId src;
+  NodeId dst;
+  std::int64_t bytes = 0;
+  bool ok = false;
+  Error error{};
+  double duration_s = 0.0;
+  double bandwidth_bps = 0.0;
+};
+
+class ProbeSession {
+ public:
+  explicit ProbeSession(Network& net, ProbeOptions options = {});
+
+  /// Time one transfer with the network otherwise idle.
+  TransferOutcome single(NodeId src, NodeId dst, std::int64_t bytes);
+  /// Start all transfers at the same instant and time each to completion.
+  std::vector<TransferOutcome> concurrent(const std::vector<TransferSpec>& specs);
+  /// Small-message round-trip time (the NWS latency experiment).
+  Result<double> rtt(NodeId a, NodeId b, std::int64_t bytes = 4);
+  /// TCP connect-disconnect time, modelled as 1.5 RTT (3-way handshake).
+  Result<double> connect_time(NodeId a, NodeId b);
+
+  [[nodiscard]] std::uint64_t experiment_count() const { return experiments_; }
+  [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
+  /// Total simulated time consumed by this session's experiments + gaps.
+  [[nodiscard]] double busy_time_s() const { return busy_time_; }
+
+ private:
+  void finish_experiment(double started_at);
+
+  Network& net_;
+  ProbeOptions options_;
+  std::uint64_t experiments_ = 0;
+  std::int64_t bytes_sent_ = 0;
+  double busy_time_ = 0.0;
+};
+
+}  // namespace envnws::simnet

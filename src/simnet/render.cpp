@@ -1,0 +1,88 @@
+#include "simnet/render.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace envnws::simnet {
+
+namespace {
+
+std::string node_label(const Node& node) {
+  std::ostringstream out;
+  out << node.name << " [" << to_string(node.kind);
+  if (!node.ip.is_zero()) out << " " << node.ip.to_string();
+  if (node.kind == NodeKind::hub) {
+    out << " " << strings::format_double(units::to_mbps(node.hub_capacity_bps), 0) << " Mbps";
+  }
+  if (node.is_host() && !node.zones.empty()) {
+    out << " zones:" << strings::join({node.zones.begin(), node.zones.end()}, "+");
+  }
+  out << "]";
+  return out.str();
+}
+
+void render_subtree(const Topology& topo, NodeId node, LinkId via, std::set<std::uint32_t>& seen,
+                    const std::string& indent, std::ostringstream& out) {
+  out << indent;
+  if (via.valid()) {
+    const Link& link = topo.link(via);
+    out << "+- (";
+    if (link.bw_ab_bps == link.bw_ba_bps) {
+      out << strings::format_double(units::to_mbps(link.bw_ab_bps), 0) << " Mbps";
+    } else {
+      out << strings::format_double(units::to_mbps(link.bw_ab_bps), 0) << "/"
+          << strings::format_double(units::to_mbps(link.bw_ba_bps), 0) << " Mbps";
+    }
+    if (!link.label.empty()) out << " " << link.label;
+    out << ") ";
+  }
+  if (seen.count(node.value()) > 0) {
+    out << topo.node(node).name << " (already shown)\n";
+    return;
+  }
+  seen.insert(node.value());
+  out << node_label(topo.node(node)) << "\n";
+  const std::string child_indent = indent + (via.valid() ? "|  " : "");
+  for (const LinkId lid : topo.node(node).links) {
+    if (lid == via) continue;
+    render_subtree(topo, topo.peer(lid, node), lid, seen, child_indent, out);
+  }
+}
+
+}  // namespace
+
+std::string render_physical(const Topology& topo) {
+  std::ostringstream out;
+  if (topo.node_count() == 0) return "(empty topology)\n";
+  const NodeId root = topo.edge_router().valid() ? topo.edge_router() : NodeId(0);
+  std::set<std::uint32_t> seen;
+  render_subtree(topo, root, LinkId::invalid(), seen, "", out);
+  // Disconnected pieces (should not happen in valid scenarios, but render
+  // honestly if they do).
+  for (const Node& node : topo.nodes()) {
+    if (seen.count(node.id.value()) == 0) {
+      out << "(disconnected) ";
+      render_subtree(topo, node.id, LinkId::invalid(), seen, "", out);
+    }
+  }
+  return out.str();
+}
+
+std::string render_link_table(const Topology& topo) {
+  Table table({"link", "a", "b", "a->b Mbps", "b->a Mbps", "latency us", "duplex"});
+  for (const Link& link : topo.links()) {
+    table.add_row({link.label.empty() ? std::to_string(link.id.value()) : link.label,
+                   topo.node(link.a).name, topo.node(link.b).name,
+                   strings::format_double(units::to_mbps(link.bw_ab_bps), 1),
+                   strings::format_double(units::to_mbps(link.bw_ba_bps), 1),
+                   strings::format_double(link.latency_s * 1e6, 0),
+                   link.half_duplex ? "half" : "full"});
+  }
+  return table.to_string();
+}
+
+}  // namespace envnws::simnet

@@ -1,0 +1,20 @@
+// ASCII rendering of the ground-truth physical topology (used by the
+// Fig. 1(a) bench and the examples). The effective/structural views have
+// their own renderers in the env library.
+#pragma once
+
+#include <string>
+
+#include "simnet/topology.hpp"
+
+namespace envnws::simnet {
+
+/// Tree-style dump rooted at the edge router (or node 0 when unset).
+/// Cycles are broken with "(already shown)" back-references so parallel
+/// links (e.g. the asymmetric giga path) stay visible.
+[[nodiscard]] std::string render_physical(const Topology& topo);
+
+/// One line per link: endpoints, per-direction capacity, latency.
+[[nodiscard]] std::string render_link_table(const Topology& topo);
+
+}  // namespace envnws::simnet

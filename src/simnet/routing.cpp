@@ -1,0 +1,116 @@
+#include "simnet/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace envnws::simnet {
+
+std::vector<NodeId> Path::nodes() const {
+  std::vector<NodeId> out;
+  out.push_back(src);
+  for (const Hop& hop : hops) out.push_back(hop.to);
+  return out;
+}
+
+double Path::total_latency(const Topology& topo) const {
+  double total = 0.0;
+  for (const Hop& hop : hops) total += topo.link(hop.link).latency_s;
+  return total;
+}
+
+double Path::bottleneck_bandwidth(const Topology& topo) const {
+  double bw = std::numeric_limits<double>::infinity();
+  for (const Hop& hop : hops) {
+    bw = std::min(bw, topo.capacity(hop.link, hop.from));
+    const Node& to = topo.node(hop.to);
+    if (to.kind == NodeKind::hub) bw = std::min(bw, to.hub_capacity_bps);
+  }
+  return bw;
+}
+
+RouteTable::RouteTable(const Topology& topo)
+    : topo_(topo),
+      built_(topo.node_count(), false),
+      pred_(topo.node_count()),
+      dist_(topo.node_count()) {}
+
+void RouteTable::build_from(NodeId src) const {
+  const std::size_t n = topo_.node_count();
+  auto& pred = pred_[src.index()];
+  auto& dist = dist_[src.index()];
+  pred.assign(n, Hop{LinkId::invalid(), NodeId::invalid(), NodeId::invalid()});
+  dist.assign(n, std::numeric_limits<double>::infinity());
+  dist[src.index()] = 0.0;
+
+  // (distance, node id) min-heap; the id component makes ties deterministic.
+  using Entry = std::pair<double, NodeId::underlying_type>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, src.value());
+  while (!heap.empty()) {
+    const auto [d, uv] = heap.top();
+    heap.pop();
+    const NodeId u{uv};
+    if (d > dist[u.index()]) continue;
+    for (LinkId lid : topo_.node(u).links) {
+      const NodeId v = topo_.peer(lid, u);
+      const double w = topo_.routing_weight(lid, u);
+      const double nd = d + w;
+      // Strict improvement, or an equal-cost path through a
+      // lower-numbered link: keeps route selection deterministic.
+      const bool better = nd < dist[v.index()] ||
+                          (nd == dist[v.index()] && pred[v.index()].link.valid() &&
+                           lid < pred[v.index()].link);
+      if (better) {
+        dist[v.index()] = nd;
+        pred[v.index()] = Hop{lid, u, v};
+        heap.emplace(nd, v.value());
+      }
+    }
+  }
+  built_[src.index()] = true;
+}
+
+Result<Path> RouteTable::path(NodeId src, NodeId dst) const {
+  if (src == dst) return Path{src, dst, {}};
+  const auto it = overrides_.find({src, dst});
+  if (it != overrides_.end()) return it->second;
+
+  if (!built_[src.index()]) build_from(src);
+  const auto& pred = pred_[src.index()];
+  if (!pred[dst.index()].link.valid()) {
+    return make_error(ErrorCode::unreachable,
+                      "no route from " + topo_.node(src).name + " to " + topo_.node(dst).name);
+  }
+  Path path{src, dst, {}};
+  NodeId cursor = dst;
+  while (cursor != src) {
+    const Hop& hop = pred[cursor.index()];
+    path.hops.push_back(hop);
+    cursor = hop.from;
+  }
+  std::reverse(path.hops.begin(), path.hops.end());
+  return path;
+}
+
+Status RouteTable::set_override(NodeId src, NodeId dst, const std::vector<LinkId>& links) {
+  Path path{src, dst, {}};
+  NodeId cursor = src;
+  for (LinkId lid : links) {
+    const Link& link = topo_.link(lid);
+    if (link.a != cursor && link.b != cursor) {
+      return make_error(ErrorCode::invalid_argument,
+                        "override link sequence is not a connected walk");
+    }
+    const NodeId next = topo_.peer(lid, cursor);
+    path.hops.push_back(Hop{lid, cursor, next});
+    cursor = next;
+  }
+  if (cursor != dst) {
+    return make_error(ErrorCode::invalid_argument, "override does not end at destination");
+  }
+  overrides_[{src, dst}] = std::move(path);
+  return {};
+}
+
+}  // namespace envnws::simnet

@@ -1,0 +1,64 @@
+// Static routing over the topology graph.
+//
+// Routes minimize the sum of per-direction link weights (defaulting to 1
+// per hop), with deterministic tie-breaking. Because weights are
+// *directional*, giving a slow uplink a small forward weight and a large
+// reverse weight reproduces the asymmetric routes of the ENS-Lyon network
+// (paper §4.3) without any special-case machinery. Explicit per-pair
+// overrides are also supported for tests.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+#include "simnet/topology.hpp"
+#include "simnet/types.hpp"
+
+namespace envnws::simnet {
+
+/// One step of a path: traverse `link` from `from` to `to`.
+struct Hop {
+  LinkId link;
+  NodeId from;
+  NodeId to;
+};
+
+struct Path {
+  NodeId src;
+  NodeId dst;
+  std::vector<Hop> hops;
+
+  [[nodiscard]] bool empty() const { return hops.empty(); }
+  /// All nodes visited, starting with src and ending with dst.
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+  [[nodiscard]] double total_latency(const Topology& topo) const;
+  /// Capacity of the narrowest traversed element, including hub media.
+  [[nodiscard]] double bottleneck_bandwidth(const Topology& topo) const;
+};
+
+class RouteTable {
+ public:
+  explicit RouteTable(const Topology& topo);
+
+  /// Shortest path honoring directional weights; Error if unreachable.
+  [[nodiscard]] Result<Path> path(NodeId src, NodeId dst) const;
+
+  /// Force the route for (src, dst) to the given link sequence (validated
+  /// to be a connected walk from src to dst).
+  Status set_override(NodeId src, NodeId dst, const std::vector<LinkId>& links);
+
+ private:
+  void build_from(NodeId src) const;
+
+  const Topology& topo_;
+  // Lazily-built Dijkstra predecessor trees, one per source.
+  mutable std::vector<bool> built_;
+  // pred_[src][node] = hop taken to reach `node` from `src`.
+  mutable std::vector<std::vector<Hop>> pred_;
+  mutable std::vector<std::vector<double>> dist_;
+  std::map<std::pair<NodeId, NodeId>, Path> overrides_;
+};
+
+}  // namespace envnws::simnet

@@ -1,0 +1,88 @@
+// Ready-made platform descriptions.
+//
+// `ens_lyon()` is the paper's evaluation network (Fig. 1(a)): two 100 Mbps
+// hubs joined across a 10 Mbps bottleneck with an asymmetric return route,
+// a firewalled private domain reachable only through dual-homed gateways,
+// a shared hub (myri) and a switched cluster (sci) behind them. The other
+// builders produce synthetic families used by tests, property sweeps and
+// the threshold-ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simnet/topology.hpp"
+
+namespace envnws::simnet {
+
+/// Ground-truth record of one LAN segment, used to score ENV's inference.
+struct GroundTruthNet {
+  enum class Kind { shared, switched };
+  Kind kind = Kind::shared;
+  std::vector<std::string> member_names;  ///< short host names
+  double local_bw_bps = 0.0;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  Topology topology;
+  /// Suggested ENV master host (short name).
+  std::string master;
+  /// Per-firewall-zone traceroute target (short node name). Zones not
+  /// listed use the topology's edge router.
+  std::map<std::string, std::string> zone_traceroute_target;
+  /// Ground truth segments for accuracy scoring (synthetic families).
+  std::vector<GroundTruthNet> ground_truth;
+
+  [[nodiscard]] NodeId id(const std::string& short_name) const {
+    return topology.find_by_name(short_name).value();
+  }
+};
+
+/// The ENS-Lyon network of paper Fig. 1(a). See file-top comment.
+Scenario ens_lyon();
+
+/// `n` hosts on one shared hub (half-duplex medium of `hub_bw_bps`).
+Scenario star_hub(int n, double hub_bw_bps, double latency_s = 50e-6);
+
+/// `n` hosts on one switch with full-duplex `port_bw_bps` ports.
+Scenario star_switch(int n, double port_bw_bps, double latency_s = 50e-6);
+
+/// Two switched clusters joined by a bottleneck link of `bottleneck_bps`;
+/// classic dumbbell used in collision / aggregation experiments.
+Scenario dumbbell(int left, int right, double port_bw_bps, double bottleneck_bps,
+                  double wan_latency_s = 5e-3);
+
+/// Master + two clusters, with a transversal cluster1<->cluster2 link the
+/// master-centric ENV methodology cannot observe (paper §4.3, the
+/// "master/slave paradigm" information-loss figure).
+Scenario two_cluster_transversal(int per_cluster, double port_bw_bps,
+                                 double transversal_bps);
+
+/// One physical switch carved into `vlan_count` VLANs joined by a router:
+/// the logical (effective) topology differs from the physical one (§3.1).
+Scenario vlan_lab(int hosts_per_vlan, int vlan_count, double port_bw_bps);
+
+/// A WAN "constellation of LANs": `sites` sites, each a LAN (alternating
+/// hub/switch) behind a site router, all joined by slow WAN links.
+Scenario wan_constellation(int sites, int hosts_per_site, double lan_bw_bps,
+                           double wan_bw_bps, double wan_latency_s = 10e-3);
+
+struct RandomLanParams {
+  int segment_count = 4;           ///< LAN segments hanging off the backbone
+  int min_hosts_per_segment = 2;
+  int max_hosts_per_segment = 6;
+  double backbone_bw_bps = 1e9;
+  /// Candidate segment speeds (picked uniformly).
+  std::vector<double> segment_bw_bps{10e6, 33e6, 100e6};
+  double shared_probability = 0.5;  ///< hub vs switch per segment
+};
+
+/// Randomized LAN with recorded ground truth, for property tests and the
+/// threshold-ablation bench.
+Scenario random_lan(std::uint64_t seed, const RandomLanParams& params = {});
+
+}  // namespace envnws::simnet

@@ -1,0 +1,42 @@
+// Core identifier and enum vocabulary of the network simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+
+namespace envnws::simnet {
+
+struct NodeIdTag {};
+struct LinkIdTag {};
+struct FlowIdTag {};
+struct ResourceIdTag {};
+
+using NodeId = Id<NodeIdTag>;
+using LinkId = Id<LinkIdTag>;
+using FlowId = Id<FlowIdTag>;
+/// A capacity-constrained element of the fluid model (a link direction,
+/// a half-duplex medium, or a hub collision domain).
+using ResourceId = Id<ResourceIdTag>;
+
+enum class NodeKind {
+  host,     ///< runs applications / sensors; traffic endpoint
+  hub,      ///< layer-1/2 shared medium: ONE collision domain for all ports
+  switch_,  ///< layer-2 switched: per-port full-duplex, line-rate backplane
+  router,   ///< layer-3 device: IP-visible hop, may answer traceroute
+};
+
+[[nodiscard]] constexpr const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::host: return "host";
+    case NodeKind::hub: return "hub";
+    case NodeKind::switch_: return "switch";
+    case NodeKind::router: return "router";
+  }
+  return "?";
+}
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+}  // namespace envnws::simnet

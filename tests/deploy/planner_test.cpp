@@ -1,0 +1,181 @@
+#include "deploy/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace envnws::deploy {
+namespace {
+
+using env::EnvNetwork;
+using env::NetKind;
+using units::mbps;
+
+EnvNetwork shared_net(const std::string& label, std::vector<std::string> machines,
+                      const std::string& gateway = "") {
+  EnvNetwork net;
+  net.kind = NetKind::shared;
+  net.label = label;
+  net.machines = std::move(machines);
+  net.gateway = gateway;
+  net.base_bw_bps = mbps(100);
+  net.base_local_bw_bps = mbps(100);
+  return net;
+}
+
+EnvNetwork switched_net(const std::string& label, std::vector<std::string> machines,
+                        const std::string& gateway = "") {
+  EnvNetwork net = shared_net(label, std::move(machines), gateway);
+  net.kind = NetKind::switched;
+  return net;
+}
+
+TEST(Planner, SharedNetworkGetsRepresentativePairAndSubstitution) {
+  EnvNetwork root;
+  root.kind = NetKind::structural;
+  root.label = "root";
+  root.children.push_back(shared_net("hub", {"a.x", "b.x", "c.x", "master.x"}));
+  const auto plan = plan_from_tree(root, "master.x");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().cliques.size(), 1u);
+  const PlannedClique& clique = plan.value().cliques.front();
+  EXPECT_EQ(clique.role, CliqueRole::shared_pair);
+  // Two members; never the master (the paper picked canaria+moby, not
+  // the-doors).
+  ASSERT_EQ(clique.members.size(), 2u);
+  EXPECT_EQ(clique.members[0], "a.x");
+  EXPECT_EQ(clique.members[1], "b.x");
+  ASSERT_EQ(plan.value().substitutions.size(), 1u);
+  EXPECT_EQ(plan.value().substitutions[0].covered.size(), 4u);
+}
+
+TEST(Planner, SwitchedNetworkGetsFullCliquePlusGateway) {
+  EnvNetwork root;
+  root.kind = NetKind::structural;
+  root.children.push_back(switched_net("sw", {"s1.x", "s2.x", "s3.x"}, "gw.x"));
+  root.machines = {"master.x", "gw.x"};
+  const auto plan = plan_from_tree(root, "master.x");
+  ASSERT_TRUE(plan.ok());
+  const PlannedClique* sw = nullptr;
+  for (const auto& clique : plan.value().cliques) {
+    if (clique.role == CliqueRole::switched_all) sw = &clique;
+  }
+  ASSERT_NE(sw, nullptr);
+  EXPECT_EQ(sw->members.size(), 4u);  // 3 members + gateway
+  EXPECT_TRUE(std::find(sw->members.begin(), sw->members.end(), "gw.x") != sw->members.end());
+  // Switched networks get no substitution entry.
+  EXPECT_TRUE(plan.value().substitutions.empty());
+}
+
+TEST(Planner, InconclusiveTreatedConservativelyAsFullClique) {
+  EnvNetwork root;
+  root.kind = NetKind::structural;
+  EnvNetwork odd = switched_net("odd", {"o1.x", "o2.x", "o3.x"});
+  odd.kind = NetKind::inconclusive;
+  root.children.push_back(odd);
+  const auto plan = plan_from_tree(root, "o1.x");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().cliques.size(), 1u);
+  EXPECT_EQ(plan.value().cliques[0].role, CliqueRole::switched_all);
+  EXPECT_EQ(plan.value().cliques[0].members.size(), 3u);
+}
+
+TEST(Planner, InterCliqueLinksSiblingRepresentatives) {
+  EnvNetwork root;
+  root.kind = NetKind::structural;
+  root.label = "edge";
+  root.children.push_back(shared_net("hubA", {"a1.x", "a2.x", "master.x"}));
+  root.children.push_back(shared_net("hubB", {"b1.x", "b2.x"}));
+  const auto plan = plan_from_tree(root, "master.x");
+  ASSERT_TRUE(plan.ok());
+  const PlannedClique* inter = nullptr;
+  for (const auto& clique : plan.value().cliques) {
+    if (clique.role == CliqueRole::inter) inter = &clique;
+  }
+  ASSERT_NE(inter, nullptr);
+  ASSERT_EQ(inter->members.size(), 2u);
+  // One representative per hub, never the master.
+  EXPECT_EQ(inter->members[0], "a1.x");
+  EXPECT_EQ(inter->members[1], "b1.x");
+}
+
+TEST(Planner, PreferredRepresentativesWin) {
+  EnvNetwork root;
+  root.kind = NetKind::structural;
+  root.children.push_back(shared_net("hubA", {"a1.x", "a2.x", "master.x"}));
+  root.children.push_back(shared_net("hubB", {"b1.x", "b2.x", "zeta.x"}));
+  PlannerOptions options;
+  options.preferred_representatives = {"zeta.x"};
+  const auto plan = plan_from_tree(root, "master.x", options);
+  ASSERT_TRUE(plan.ok());
+  const PlannedClique* inter = nullptr;
+  for (const auto& clique : plan.value().cliques) {
+    if (clique.role == CliqueRole::inter) inter = &clique;
+  }
+  ASSERT_NE(inter, nullptr);
+  EXPECT_TRUE(std::find(inter->members.begin(), inter->members.end(), "zeta.x") !=
+              inter->members.end());
+}
+
+TEST(Planner, LoneMachinesJoinInterCliqueDirectly) {
+  EnvNetwork root;
+  root.kind = NetKind::structural;
+  EnvNetwork lone;
+  lone.kind = NetKind::structural;
+  lone.machines = {"lonely.x"};
+  root.children.push_back(lone);
+  root.children.push_back(shared_net("hub", {"a.x", "b.x", "master.x"}));
+  const auto plan = plan_from_tree(root, "master.x");
+  ASSERT_TRUE(plan.ok());
+  const PlannedClique* inter = nullptr;
+  for (const auto& clique : plan.value().cliques) {
+    if (clique.role == CliqueRole::inter) inter = &clique;
+  }
+  ASSERT_NE(inter, nullptr);
+  EXPECT_TRUE(std::find(inter->members.begin(), inter->members.end(), "lonely.x") !=
+              inter->members.end());
+}
+
+TEST(Planner, MaxCliqueSizeSplitsSwitchedNetworks) {
+  EnvNetwork root;
+  root.kind = NetKind::structural;
+  std::vector<std::string> machines;
+  for (int i = 0; i < 9; ++i) machines.push_back("n" + std::to_string(i) + ".x");
+  root.children.push_back(switched_net("big", machines));
+  PlannerOptions options;
+  options.max_clique_size = 4;
+  const auto plan = plan_from_tree(root, "n0.x", options);
+  ASSERT_TRUE(plan.ok());
+  std::size_t switched_cliques = 0;
+  std::string pivot;
+  for (const auto& clique : plan.value().cliques) {
+    if (clique.role != CliqueRole::switched_all) continue;
+    ++switched_cliques;
+    EXPECT_LE(clique.members.size(), 4u);
+    if (pivot.empty()) pivot = clique.members.front();
+    // The pivot member stitches all sub-cliques together.
+    EXPECT_TRUE(std::find(clique.members.begin(), clique.members.end(), pivot) !=
+                clique.members.end());
+  }
+  EXPECT_GE(switched_cliques, 3u);
+}
+
+TEST(Planner, EmptyTreeIsRejected) {
+  EnvNetwork root;
+  root.kind = NetKind::structural;
+  EXPECT_FALSE(plan_from_tree(root, "m.x").ok());
+}
+
+TEST(Planner, ExperimentsPerCycleCountsOrderedPairs) {
+  EnvNetwork root;
+  root.kind = NetKind::structural;
+  root.children.push_back(switched_net("sw", {"a.x", "b.x", "c.x"}));
+  const auto plan = plan_from_tree(root, "a.x");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().experiments_per_cycle(), 6u);  // 3*2 ordered pairs
+}
+
+}  // namespace
+}  // namespace envnws::deploy

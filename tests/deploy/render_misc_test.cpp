@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "core/autodeploy.hpp"
+#include "deploy/plan.hpp"
+#include "deploy/validate.hpp"
+
+namespace envnws::deploy {
+namespace {
+
+using units::mbps;
+
+TEST(PlanMisc, FindCliqueByName) {
+  DeploymentPlan plan;
+  PlannedClique clique;
+  clique.name = "x";
+  plan.cliques.push_back(clique);
+  EXPECT_NE(plan.find_clique("x"), nullptr);
+  EXPECT_EQ(plan.find_clique("y"), nullptr);
+}
+
+TEST(PlanMisc, RenderListsEverything) {
+  DeploymentPlan plan;
+  plan.master = "m";
+  plan.nameserver_host = "m";
+  plan.forecaster_host = "m";
+  plan.memory_hosts = {"m", "g"};
+  plan.use_host_locks = true;
+  PlannedClique clique;
+  clique.name = "c1";
+  clique.role = CliqueRole::shared_pair;
+  clique.members = {"a", "b"};
+  clique.network_label = "hub";
+  plan.cliques.push_back(clique);
+  Substitution sub;
+  sub.network_label = "hub";
+  sub.covered = {"a", "b", "c"};
+  sub.rep_a = "a";
+  sub.rep_b = "b";
+  plan.substitutions.push_back(sub);
+  const std::string out = plan.render();
+  for (const char* needle : {"master: m", "host locks", "c1", "shared-pair", "hub",
+                             "any pair of {a, b, c}", "experiments per cycle: 2"}) {
+    EXPECT_TRUE(strings::contains(out, needle)) << "missing: " << needle << "\n" << out;
+  }
+}
+
+TEST(PlanMisc, ExperimentsPerCycleIgnoresDegenerateCliques) {
+  DeploymentPlan plan;
+  PlannedClique lone;
+  lone.name = "lone";
+  lone.members = {"only"};
+  plan.cliques.push_back(lone);
+  EXPECT_EQ(plan.experiments_per_cycle(), 0u);
+}
+
+TEST(ValidateMisc, RenderShowsViolations) {
+  auto scenario = simnet::star_hub(4, mbps(100));
+  simnet::Network net(std::move(scenario.topology));
+  DeploymentPlan plan;
+  plan.master = "h0.lan";
+  plan.nameserver_host = "h0.lan";
+  plan.forecaster_host = "h0.lan";
+  plan.hosts = {"h0.lan", "h1.lan", "h2.lan", "h3.lan"};
+  for (int c = 0; c < 2; ++c) {
+    PlannedClique clique;
+    clique.name = "c" + std::to_string(c);
+    clique.role = CliqueRole::shared_pair;
+    clique.members = {"h" + std::to_string(2 * c) + ".lan",
+                      "h" + std::to_string(2 * c + 1) + ".lan"};
+    plan.cliques.push_back(clique);
+  }
+  const ValidationReport report = validate_plan(plan, net);
+  const std::string out = report.render();
+  EXPECT_TRUE(strings::contains(out, "VIOLATIONS"));
+  EXPECT_TRUE(strings::contains(out, "NO"));
+  EXPECT_TRUE(strings::contains(out, "uncovered"));
+}
+
+TEST(ValidateMisc, ToleranceOptionControlsFindings) {
+  simnet::Scenario scenario = simnet::ens_lyon();
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  auto result = core::auto_deploy(net, scenario);
+  ASSERT_TRUE(result.ok());
+  // With a 60% tolerance even the asymmetric-return collisions pass.
+  ValidatorOptions relaxed;
+  relaxed.collision_tolerance = 0.6;
+  const ValidationReport report = validate_plan(result.value().plan, net, relaxed);
+  EXPECT_TRUE(report.collision_free);
+  // The worst error is still *reported* regardless of tolerance.
+  EXPECT_GT(report.worst_collision_error, 0.4);
+  result.value().system->stop();
+}
+
+TEST(QueryMisc, UnknownHostsAreNotCoverable) {
+  DeploymentPlan plan;
+  PlannedClique clique;
+  clique.name = "c";
+  clique.members = {"a", "b"};
+  plan.cliques.push_back(clique);
+  const CoverageGraph coverage(plan);
+  EXPECT_TRUE(coverage.coverable("a", "b"));
+  EXPECT_FALSE(coverage.coverable("a", "ghost"));
+  EXPECT_TRUE(coverage.route("ghost", "a").empty());
+}
+
+TEST(QueryMisc, RouteIsEmptyForSameHost) {
+  DeploymentPlan plan;
+  PlannedClique clique;
+  clique.name = "c";
+  clique.members = {"a", "b"};
+  plan.cliques.push_back(clique);
+  const CoverageGraph coverage(plan);
+  EXPECT_TRUE(coverage.route("a", "a").empty());
+  EXPECT_TRUE(coverage.coverable("a", "a"));
+}
+
+}  // namespace
+}  // namespace envnws::deploy

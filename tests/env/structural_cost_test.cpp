@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "env/cost_model.hpp"
+#include "env/structural.hpp"
+
+namespace envnws::env {
+namespace {
+
+TEST(Structural, BuildsPaperFig2Tree) {
+  // Hop lists as traceroute reports them: host-side first, target last.
+  std::vector<HostTrace> traces;
+  const auto hop = [](const std::string& ip, const std::string& name) {
+    return TraceHop{ip, name, true};
+  };
+  for (const std::string host : {"the-doors.ens-lyon.fr", "canaria.ens-lyon.fr",
+                                 "moby.cri2000.ens-lyon.fr"}) {
+    traces.push_back(
+        HostTrace{host, {hop("140.77.13.1", ""), hop("192.168.254.1", "")}});
+  }
+  for (const std::string host :
+       {"myri.ens-lyon.fr", "popc.ens-lyon.fr", "sci.ens-lyon.fr"}) {
+    traces.push_back(HostTrace{host,
+                               {hop("140.77.12.1", "routlhpc"),
+                                hop("140.77.161.1", "routeur-backbone"),
+                                hop("192.168.254.1", "")}});
+  }
+
+  const StructuralNode root = build_structural_tree(traces);
+  EXPECT_EQ(root.ip, "192.168.254.1");
+  ASSERT_EQ(root.children.size(), 2u);
+  const StructuralNode& r13 = root.children[0];
+  EXPECT_EQ(r13.ip, "140.77.13.1");
+  EXPECT_EQ(r13.machines.size(), 3u);
+  const StructuralNode& backbone = root.children[1];
+  EXPECT_EQ(backbone.name, "routeur-backbone");
+  ASSERT_EQ(backbone.children.size(), 1u);
+  EXPECT_EQ(backbone.children[0].name, "routlhpc");
+  EXPECT_EQ(backbone.children[0].machines.size(), 3u);
+  EXPECT_EQ(root.machine_count(), 6u);
+}
+
+TEST(Structural, SilentHopsAreSkipped) {
+  std::vector<HostTrace> traces{
+      HostTrace{"a.lan",
+                {TraceHop{"10.0.0.1", "", true}, TraceHop{"*", "", false},
+                 TraceHop{"10.0.0.254", "edge", true}}},
+      HostTrace{"b.lan",
+                {TraceHop{"10.0.0.1", "", true}, TraceHop{"10.0.0.254", "edge", true}}}};
+  const StructuralNode root = build_structural_tree(traces);
+  EXPECT_EQ(root.ip, "10.0.0.254");
+  // Both hosts cluster under the same branch despite the dropped hop.
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].machines.size(), 2u);
+}
+
+TEST(Structural, EmptyTraceAttachesAtRoot) {
+  std::vector<HostTrace> traces{
+      HostTrace{"master.lan", {}},
+      HostTrace{"other.lan", {TraceHop{"10.0.0.254", "gw", true}}}};
+  const StructuralNode root = build_structural_tree(traces);
+  EXPECT_EQ(root.ip, "10.0.0.254");
+  // master (no hops) and other (target only) both live at the root.
+  EXPECT_EQ(root.machines.size(), 2u);
+  EXPECT_TRUE(root.children.empty());
+}
+
+TEST(Structural, NameBackfilledWhenLaterTraceResolvesIt) {
+  std::vector<HostTrace> traces{
+      HostTrace{"a.lan", {TraceHop{"10.0.0.1", "", true}, TraceHop{"10.9.9.9", "root", true}}},
+      HostTrace{"b.lan",
+                {TraceHop{"10.0.0.1", "gw.lan", true}, TraceHop{"10.9.9.9", "root", true}}}};
+  const StructuralNode root = build_structural_tree(traces);
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].name, "gw.lan");
+  EXPECT_EQ(root.children[0].display(), "gw.lan");
+}
+
+TEST(Structural, RenderShowsHierarchy) {
+  std::vector<HostTrace> traces{
+      HostTrace{"a.lan", {TraceHop{"10.0.0.1", "gw", true}, TraceHop{"10.9.9.9", "", true}}}};
+  const std::string out = render_structural(build_structural_tree(traces));
+  EXPECT_NE(out.find("10.9.9.9"), std::string::npos);
+  EXPECT_NE(out.find("gw"), std::string::npos);
+  EXPECT_NE(out.find("- a.lan"), std::string::npos);
+}
+
+// --- cost model (§4.3 scale claim) ---------------------------------------
+
+TEST(CostModel, PaperClaimFiftyDaysForTwentyHosts) {
+  const MappingCost naive = naive_full_mapping_cost(20);
+  // 380 directed links, C(380,2) pairs, 2 experiments per pair.
+  EXPECT_EQ(naive.experiments, 380u + 2u * (380u * 379u / 2u));
+  // "the whole process would last about 50 days for 20 hosts"
+  EXPECT_NEAR(naive.days(30.0), 50.0, 1.0);
+}
+
+TEST(CostModel, EnvCostIsQuadraticNotQuartic) {
+  const MappingCost env16 = env_worst_case_cost(16);
+  const MappingCost env32 = env_worst_case_cost(32);
+  const MappingCost naive16 = naive_full_mapping_cost(16);
+  const MappingCost naive32 = naive_full_mapping_cost(32);
+  // Doubling hosts roughly x4 for ENV, x16 for naive.
+  EXPECT_NEAR(static_cast<double>(env32.experiments) / env16.experiments, 4.0, 0.7);
+  EXPECT_NEAR(static_cast<double>(naive32.experiments) / naive16.experiments, 16.0, 1.5);
+  // ENV is orders of magnitude cheaper at 20 hosts already.
+  EXPECT_GT(naive_full_mapping_cost(20).experiments /
+                env_worst_case_cost(20).experiments,
+            100u);
+}
+
+TEST(CostModel, DegenerateSizes) {
+  EXPECT_EQ(naive_full_mapping_cost(0).experiments, 0u);
+  EXPECT_EQ(naive_full_mapping_cost(1).experiments, 0u);
+  EXPECT_EQ(env_worst_case_cost(1).experiments, 0u);
+  EXPECT_EQ(naive_full_mapping_cost(2).experiments, 2u + 2u * 1u);
+}
+
+}  // namespace
+}  // namespace envnws::env

@@ -1,0 +1,246 @@
+// End-to-end: map -> plan -> apply -> monitor -> query, on the paper's
+// ENS-Lyon platform and on synthetic families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/units.hpp"
+#include "core/autodeploy.hpp"
+
+namespace envnws::core {
+namespace {
+
+using units::mbps;
+
+class EnsLyonDeploy : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new simnet::Scenario(simnet::ens_lyon());
+    net_ = new simnet::Network(simnet::Scenario(*scenario_).topology);
+    auto result = auto_deploy(*net_, *scenario_);
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    deploy_ = new AutoDeployResult(std::move(result.value()));
+    // Let the monitoring run for a while.
+    net_->run_until(net_->now() + 900.0);
+  }
+  static void TearDownTestSuite() {
+    if (deploy_ != nullptr) deploy_->system->stop();
+    delete deploy_;
+    deploy_ = nullptr;
+    delete net_;
+    net_ = nullptr;
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  static simnet::Scenario* scenario_;
+  static simnet::Network* net_;
+  static AutoDeployResult* deploy_;
+};
+
+simnet::Scenario* EnsLyonDeploy::scenario_ = nullptr;
+simnet::Network* EnsLyonDeploy::net_ = nullptr;
+AutoDeployResult* EnsLyonDeploy::deploy_ = nullptr;
+
+TEST_F(EnsLyonDeploy, PlanMatchesPaperFigure3) {
+  const deploy::DeploymentPlan& plan = deploy_->plan;
+  ASSERT_EQ(plan.cliques.size(), 5u);
+
+  const auto members_of = [&](deploy::CliqueRole role,
+                              const std::string& containing) -> std::vector<std::string> {
+    for (const auto& clique : plan.cliques) {
+      if (clique.role == role &&
+          std::find(clique.members.begin(), clique.members.end(), containing) !=
+              clique.members.end()) {
+        return clique.members;
+      }
+    }
+    return {};
+  };
+
+  // "moby and canaria are used to test the Hub 1"
+  const auto hub1 = members_of(deploy::CliqueRole::shared_pair, "canaria.ens-lyon.fr");
+  EXPECT_EQ(hub1, (std::vector<std::string>{"canaria.ens-lyon.fr",
+                                            "moby.cri2000.ens-lyon.fr"}));
+  // "myri0 and popc0 were chosen to test the network characteristics on Hub 2"
+  const auto hub2 = members_of(deploy::CliqueRole::shared_pair, "popc.ens-lyon.fr");
+  EXPECT_EQ(hub2,
+            (std::vector<std::string>{"popc.ens-lyon.fr", "myri.ens-lyon.fr"}));
+  // "the myri cluster is shared, so we pick only two hosts (myri1, myri2)"
+  const auto hub3 = members_of(deploy::CliqueRole::shared_pair, "myri1.popc.private");
+  EXPECT_EQ(hub3,
+            (std::vector<std::string>{"myri1.popc.private", "myri2.popc.private"}));
+  // "the sci cluster is switched, so we pick all its machines"
+  const auto sci = members_of(deploy::CliqueRole::switched_all, "sci1.popc.private");
+  EXPECT_EQ(sci.size(), 7u);  // sci gateway + sci1..sci6
+  // "the connection between canaria and popc0 is used to test the
+  // connexion between these hubs"
+  const auto inter = members_of(deploy::CliqueRole::inter, "canaria.ens-lyon.fr");
+  ASSERT_EQ(inter.size(), 2u);
+  EXPECT_TRUE(std::find(inter.begin(), inter.end(), "popc.ens-lyon.fr") != inter.end());
+}
+
+TEST_F(EnsLyonDeploy, ProcessPlacementIsHierarchical) {
+  EXPECT_EQ(deploy_->plan.nameserver_host, "the-doors.ens-lyon.fr");
+  EXPECT_EQ(deploy_->plan.forecaster_host, "the-doors.ens-lyon.fr");
+  // One memory per site: the master's and the private zone's.
+  ASSERT_EQ(deploy_->plan.memory_hosts.size(), 2u);
+  EXPECT_EQ(deploy_->plan.memory_hosts[0], "the-doors.ens-lyon.fr");
+  EXPECT_EQ(deploy_->plan.memory_hosts[1], "popc.ens-lyon.fr");
+}
+
+TEST_F(EnsLyonDeploy, DeploymentIsComplete) {
+  EXPECT_TRUE(deploy_->validation.complete);
+  EXPECT_EQ(deploy_->validation.max_clique_size, 7u);
+  // 15 hosts monitored with ~50 experiments/cycle instead of 15*14=210.
+  EXPECT_LE(deploy_->validation.experiments_per_cycle, 60u);
+}
+
+TEST_F(EnsLyonDeploy, DirectQueryMatchesGroundTruth) {
+  auto reply = deploy_->queries->bandwidth("the-doors", "canaria.ens-lyon.fr",
+                                           "moby.cri2000.ens-lyon.fr");
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+  EXPECT_EQ(reply.value().method, deploy::QueryMethod::direct);
+  EXPECT_NEAR(reply.value().value, mbps(100), mbps(10));
+}
+
+TEST_F(EnsLyonDeploy, SubstitutedQueryUsesRepresentativePair) {
+  // (the-doors, moby) is not measured directly: hub1's pair answers.
+  auto reply = deploy_->queries->bandwidth("the-doors", "the-doors.ens-lyon.fr",
+                                           "moby.cri2000.ens-lyon.fr");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().method, deploy::QueryMethod::substituted);
+  EXPECT_NEAR(reply.value().value, mbps(100), mbps(10));
+}
+
+TEST_F(EnsLyonDeploy, AggregatedQueryFindsBottleneck) {
+  // the-doors -> sci3 crosses the 10 Mbps link: min along the chain.
+  auto reply =
+      deploy_->queries->bandwidth("the-doors", "the-doors.ens-lyon.fr", "sci3.popc.private");
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+  EXPECT_EQ(reply.value().method, deploy::QueryMethod::aggregated);
+  EXPECT_GE(reply.value().segments.size(), 3u);
+  EXPECT_NEAR(reply.value().value, mbps(10), mbps(1.5));
+}
+
+TEST_F(EnsLyonDeploy, AggregatedLatencyAddsUp) {
+  auto reply =
+      deploy_->queries->latency("the-doors", "the-doors.ens-lyon.fr", "sci3.popc.private");
+  ASSERT_TRUE(reply.ok());
+  const double truth =
+      2.0 * net_->ground_truth_latency(scenario_->id("the-doors"), scenario_->id("sci3"))
+                .value();  // RTT
+  // Sum of segment RTTs >= end-to-end RTT; same order of magnitude.
+  EXPECT_GT(reply.value().value, truth * 0.5);
+  EXPECT_LT(reply.value().value, truth * 4.0);
+}
+
+TEST_F(EnsLyonDeploy, EveryHostPairIsAnswerable) {
+  const auto& hosts = deploy_->plan.hosts;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = i + 1; j < hosts.size(); ++j) {
+      auto reply = deploy_->queries->bandwidth("the-doors", hosts[i], hosts[j]);
+      EXPECT_TRUE(reply.ok()) << hosts[i] << " <-> " << hosts[j] << ": "
+                              << (reply.ok() ? "" : reply.error().to_string());
+      if (reply.ok()) EXPECT_GT(reply.value().value, 0.0);
+    }
+  }
+}
+
+TEST_F(EnsLyonDeploy, ConfigTextDescribesDeployment) {
+  EXPECT_NE(deploy_->config_text.find("[global]"), std::string::npos);
+  EXPECT_NE(deploy_->config_text.find("master = the-doors.ens-lyon.fr"), std::string::npos);
+  const auto parsed = deploy::parse_config(deploy_->config_text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().cliques.size(), deploy_->plan.cliques.size());
+  // Per-host duties extractable for every host.
+  const auto assignment =
+      deploy::local_assignment(parsed.value(), "the-doors.ens-lyon.fr");
+  EXPECT_TRUE(assignment.nameserver);
+}
+
+TEST_F(EnsLyonDeploy, CollisionReportSeparatesTwoInterferenceRegimes) {
+  // Reproduction finding: NWS has no host-level locks (paper conclusion),
+  // so the inter-hub clique can run concurrently with the hub-local
+  // cliques. Two regimes emerge:
+  //  - forward direction (canaria -> popc) is capped by the 10 Mbps
+  //    bottleneck: it only dents a hub-local experiment by ~10%;
+  //  - return direction (popc -> canaria) rides the gigabit asymmetric
+  //    route, contends at full speed, and can halve a hub measurement.
+  double worst_forward = 0.0;
+  double worst_return = 0.0;
+  for (const auto& finding : deploy_->validation.collisions) {
+    const bool involves_return = finding.pair_a.find("popc->canaria") != std::string::npos ||
+                                 finding.pair_b.find("popc->canaria") != std::string::npos;
+    if (involves_return) {
+      worst_return = std::max(worst_return, finding.worst_error);
+    } else {
+      worst_forward = std::max(worst_forward, finding.worst_error);
+    }
+  }
+  EXPECT_NEAR(worst_return, 0.50, 0.02);
+  EXPECT_LE(worst_forward, 0.12);
+  EXPECT_NEAR(deploy_->validation.worst_collision_error, 0.50, 0.02);
+}
+
+TEST_F(EnsLyonDeploy, RenderedReportIsComprehensive) {
+  const std::string report = deploy_->render();
+  EXPECT_NE(report.find("ENV effective view"), std::string::npos);
+  EXPECT_NE(report.find("deployment plan"), std::string::npos);
+  EXPECT_NE(report.find("validation"), std::string::npos);
+}
+
+TEST(AutoDeploySynthetic, WanConstellationDeploysHierarchically) {
+  auto scenario = simnet::wan_constellation(3, 4, mbps(100), mbps(10));
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  auto result = auto_deploy(net, scenario);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  // Per-site cliques plus a root inter-site clique.
+  std::size_t inter_cliques = 0;
+  for (const auto& clique : result.value().plan.cliques) {
+    if (clique.role == deploy::CliqueRole::inter) ++inter_cliques;
+  }
+  EXPECT_GE(inter_cliques, 1u);
+  EXPECT_TRUE(result.value().validation.complete);
+  net.run_until(net.now() + 400.0);
+  auto reply = result.value().queries->bandwidth("site0n0", "site0n0.site0.org",
+                                                 "site2n1.site2.org");
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+  EXPECT_NEAR(reply.value().value, mbps(10), mbps(2));
+  result.value().system->stop();
+}
+
+TEST(AutoDeploySynthetic, SingleLanNeedsNoInterClique) {
+  auto scenario = simnet::star_hub(5, mbps(100));
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  auto result = auto_deploy(net, scenario);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().plan.cliques.size(), 1u);
+  EXPECT_EQ(result.value().plan.cliques[0].role, deploy::CliqueRole::shared_pair);
+  EXPECT_TRUE(result.value().validation.ok());
+  result.value().system->stop();
+}
+
+TEST(AutoDeployFailure, MonitoringSurvivesHostDeath) {
+  auto scenario = simnet::star_switch(4, mbps(100));
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  auto result = auto_deploy(net, scenario);
+  ASSERT_TRUE(result.ok());
+  net.run_until(net.now() + 120.0);
+  net.set_host_up(net.topology().find_by_name("h1").value(), false);
+  net.run_until(net.now() + 400.0);
+  // Measurements among survivors continue (token either routed around
+  // the dead member or was regenerated — both are recovery paths; the
+  // deterministic regeneration case is covered in the nws suite).
+  const auto* series =
+      result.value().system->find_series({nws::ResourceKind::bandwidth, "h2", "h3"});
+  ASSERT_NE(series, nullptr);
+  EXPECT_GT(series->latest().time, net.now() - 100.0);
+  // Queries about dead-host pairs still answer from history.
+  auto reply = result.value().queries->bandwidth("h0", "h0.lan", "h1.lan");
+  EXPECT_TRUE(reply.ok());
+  result.value().system->stop();
+}
+
+}  // namespace
+}  // namespace envnws::core

@@ -1,0 +1,83 @@
+#include "simnet/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace envnws::simnet {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&order] { order.push_back(3); });
+  queue.schedule_at(1.0, [&order] { order.push_back(1); });
+  queue.schedule_at(2.0, [&order] { order.push_back(2); });
+  SimTime t = 0;
+  EventFn fn;
+  while (queue.pop(t, fn)) fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  SimTime t = 0;
+  EventFn fn;
+  while (queue.pop(t, fn)) fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool fired = false;
+  const EventHandle handle = queue.schedule_at(1.0, [&fired] { fired = true; });
+  queue.cancel(handle);
+  SimTime t = 0;
+  EventFn fn;
+  EXPECT_FALSE(queue.pop(t, fn));
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSelective) {
+  EventQueue queue;
+  int fired = 0;
+  const EventHandle a = queue.schedule_at(1.0, [&fired] { ++fired; });
+  queue.schedule_at(2.0, [&fired] { ++fired; });
+  queue.cancel(a);
+  queue.cancel(a);  // double cancel is a no-op
+  SimTime t = 0;
+  EventFn fn;
+  while (queue.pop(t, fn)) fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLiveEvent) {
+  EventQueue queue;
+  const EventHandle early = queue.schedule_at(1.0, [] {});
+  queue.schedule_at(2.0, [] {});
+  EXPECT_DOUBLE_EQ(queue.next_time(), 1.0);
+  queue.cancel(early);
+  // The heap may still surface the cancelled entry until popped; pop
+  // must skip it.
+  SimTime t = 0;
+  EventFn fn;
+  ASSERT_TRUE(queue.pop(t, fn));
+  EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(EventQueue, SizeCountsLiveEventsOnly) {
+  EventQueue queue;
+  const EventHandle a = queue.schedule_at(1.0, [] {});
+  queue.schedule_at(2.0, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.cancel(a);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+}  // namespace
+}  // namespace envnws::simnet

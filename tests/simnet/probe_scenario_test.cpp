@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "simnet/probe.hpp"
+#include "simnet/render.hpp"
+#include "simnet/scenario.hpp"
+
+namespace envnws::simnet {
+namespace {
+
+using units::mbps;
+
+TEST(Probe, SingleMeasuresBandwidth) {
+  auto scenario = star_switch(3, mbps(100));
+  Network net(std::move(scenario.topology));
+  ProbeSession session(net);
+  const auto outcome = session.single(net.topology().find_by_name("h0").value(),
+                                      net.topology().find_by_name("h1").value(),
+                                      units::mib(1));
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_NEAR(outcome.bandwidth_bps, mbps(100), mbps(1));
+  EXPECT_EQ(session.experiment_count(), 1u);
+  EXPECT_EQ(session.bytes_sent(), units::mib(1));
+  EXPECT_GT(session.busy_time_s(), 0.0);
+}
+
+TEST(Probe, ConcurrentSeesContentionOnHub) {
+  auto scenario = star_hub(4, mbps(100));
+  Network net(std::move(scenario.topology));
+  ProbeSession session(net);
+  const NodeId h0 = net.topology().find_by_name("h0").value();
+  const NodeId h1 = net.topology().find_by_name("h1").value();
+  const NodeId h2 = net.topology().find_by_name("h2").value();
+  const NodeId h3 = net.topology().find_by_name("h3").value();
+  const auto outcomes = session.concurrent(
+      {TransferSpec{h0, h1, units::mib(1)}, TransferSpec{h2, h3, units::mib(1)}});
+  ASSERT_TRUE(outcomes[0].ok);
+  ASSERT_TRUE(outcomes[1].ok);
+  EXPECT_NEAR(outcomes[0].bandwidth_bps, mbps(50), mbps(1));
+  EXPECT_NEAR(outcomes[1].bandwidth_bps, mbps(50), mbps(1));
+  EXPECT_EQ(session.experiment_count(), 1u);  // one concurrent experiment
+}
+
+TEST(Probe, ConcurrentIndependentOnSwitch) {
+  auto scenario = star_switch(4, mbps(100));
+  Network net(std::move(scenario.topology));
+  ProbeSession session(net);
+  const auto outcomes = session.concurrent(
+      {TransferSpec{net.topology().find_by_name("h0").value(),
+                    net.topology().find_by_name("h1").value(), units::mib(1)},
+       TransferSpec{net.topology().find_by_name("h2").value(),
+                    net.topology().find_by_name("h3").value(), units::mib(1)}});
+  EXPECT_NEAR(outcomes[0].bandwidth_bps, mbps(100), mbps(1));
+  EXPECT_NEAR(outcomes[1].bandwidth_bps, mbps(100), mbps(1));
+}
+
+TEST(Probe, BlockedTransferReportsError) {
+  auto scenario = ens_lyon();
+  Network net(std::move(scenario.topology));
+  ProbeSession session(net);
+  const auto outcome = session.single(net.topology().find_by_name("the-doors").value(),
+                                      net.topology().find_by_name("sci3").value(), 1000);
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error.code, ErrorCode::blocked_by_firewall);
+}
+
+TEST(Probe, RttIsTwiceOneWayLatency) {
+  Topology topo;
+  const NodeId a = topo.add_host("a", "a.lan", Ipv4(10, 0, 0, 1));
+  const NodeId b = topo.add_host("b", "b.lan", Ipv4(10, 0, 0, 2));
+  topo.connect(a, b, mbps(100), 5e-3);
+  Network net(std::move(topo));
+  ProbeSession session(net);
+  const auto rtt = session.rtt(a, b);
+  ASSERT_TRUE(rtt.ok());
+  EXPECT_NEAR(rtt.value(), 10e-3, 1e-5);
+  const auto connect = session.connect_time(a, b);
+  ASSERT_TRUE(connect.ok());
+  EXPECT_NEAR(connect.value(), 15e-3, 1e-4);
+}
+
+TEST(Probe, StabilizationGapSeparatesExperiments) {
+  auto scenario = star_switch(2, mbps(100));
+  Network net(std::move(scenario.topology));
+  ProbeSession session(net, ProbeOptions{"probe", 30.0});
+  const NodeId h0 = net.topology().find_by_name("h0").value();
+  const NodeId h1 = net.topology().find_by_name("h1").value();
+  session.single(h0, h1, 1000);
+  const double after_first = net.now();
+  EXPECT_GE(after_first, 30.0);
+  session.single(h0, h1, 1000);
+  EXPECT_GE(net.now(), after_first + 30.0);
+}
+
+// --- scenarios -----------------------------------------------------------
+
+TEST(Scenario, AllBuildersValidate) {
+  EXPECT_TRUE(ens_lyon().topology.validate().ok());
+  EXPECT_TRUE(star_hub(5, mbps(10)).topology.validate().ok());
+  EXPECT_TRUE(star_switch(5, mbps(100)).topology.validate().ok());
+  EXPECT_TRUE(dumbbell(3, 3, mbps(100), mbps(10)).topology.validate().ok());
+  EXPECT_TRUE(two_cluster_transversal(3, mbps(100), mbps(100)).topology.validate().ok());
+  EXPECT_TRUE(vlan_lab(3, 2, mbps(100)).topology.validate().ok());
+  EXPECT_TRUE(wan_constellation(3, 4, mbps(100), mbps(10)).topology.validate().ok());
+  EXPECT_TRUE(random_lan(7).topology.validate().ok());
+}
+
+TEST(Scenario, EnsLyonGroundTruthHolds) {
+  auto scenario = ens_lyon();
+  Network net(std::move(scenario.topology));
+  const auto id = [&net](const std::string& name) {
+    return net.topology().find_by_name(name).value();
+  };
+  // sci cluster: ~33 Mbps switched ports.
+  EXPECT_DOUBLE_EQ(net.ground_truth_bandwidth(id("sci1"), id("sci2")).value(), mbps(33));
+  // private hosts unreachable from the public side.
+  EXPECT_FALSE(net.can_communicate(id("the-doors"), id("sci1")));
+  EXPECT_TRUE(net.can_communicate(id("popc"), id("sci1")));
+  EXPECT_TRUE(net.can_communicate(id("the-doors"), id("popc")));
+  // the asymmetric bottleneck.
+  EXPECT_DOUBLE_EQ(net.ground_truth_bandwidth(id("the-doors"), id("myri")).value(), mbps(10));
+  EXPECT_DOUBLE_EQ(net.ground_truth_bandwidth(id("myri"), id("the-doors")).value(), mbps(100));
+}
+
+TEST(Scenario, RandomLanIsDeterministicPerSeed) {
+  const auto a = random_lan(123);
+  const auto b = random_lan(123);
+  EXPECT_EQ(a.topology.node_count(), b.topology.node_count());
+  EXPECT_EQ(a.topology.link_count(), b.topology.link_count());
+  ASSERT_EQ(a.ground_truth.size(), b.ground_truth.size());
+  for (std::size_t i = 0; i < a.ground_truth.size(); ++i) {
+    EXPECT_EQ(a.ground_truth[i].kind, b.ground_truth[i].kind);
+    EXPECT_EQ(a.ground_truth[i].member_names, b.ground_truth[i].member_names);
+  }
+}
+
+TEST(Scenario, TransversalLinkCarriesInterClusterTraffic) {
+  auto scenario = two_cluster_transversal(2, mbps(100), mbps(50));
+  Network net(std::move(scenario.topology));
+  const NodeId a0 = net.topology().find_by_name("a0").value();
+  const NodeId b0 = net.topology().find_by_name("b0").value();
+  // Route a0 -> b0 takes the transversal link C (cheap weight), which
+  // caps at 50; the master-side path would give 100.
+  EXPECT_DOUBLE_EQ(net.ground_truth_bandwidth(a0, b0).value(), mbps(50));
+}
+
+TEST(Scenario, RenderersProduceOutput) {
+  auto scenario = ens_lyon();
+  const std::string physical = render_physical(scenario.topology);
+  EXPECT_NE(physical.find("the-doors"), std::string::npos);
+  EXPECT_NE(physical.find("hub2"), std::string::npos);
+  const std::string links = render_link_table(scenario.topology);
+  EXPECT_NE(links.find("slow-10mbps"), std::string::npos);
+}
+
+// --- parameterized: hub/switch families at several sizes -----------------
+
+class StarFamily : public ::testing::TestWithParam<int> {};
+
+TEST_P(StarFamily, HubShareScalesInverselyWithFlows) {
+  const int n = GetParam();
+  auto scenario = star_hub(2 * n, mbps(100));
+  Network net(std::move(scenario.topology));
+  ProbeSession session(net);
+  std::vector<TransferSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    specs.push_back(TransferSpec{net.topology().find_by_name("h" + std::to_string(2 * i)).value(),
+                                 net.topology().find_by_name("h" + std::to_string(2 * i + 1)).value(),
+                                 units::mib(1)});
+  }
+  const auto outcomes = session.concurrent(specs);
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_NEAR(outcome.bandwidth_bps, mbps(100) / n, mbps(100) / n * 0.02);
+  }
+}
+
+TEST_P(StarFamily, SwitchFlowsStayAtLineRate) {
+  const int n = GetParam();
+  auto scenario = star_switch(2 * n, mbps(100));
+  Network net(std::move(scenario.topology));
+  ProbeSession session(net);
+  std::vector<TransferSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    specs.push_back(TransferSpec{net.topology().find_by_name("h" + std::to_string(2 * i)).value(),
+                                 net.topology().find_by_name("h" + std::to_string(2 * i + 1)).value(),
+                                 units::mib(1)});
+  }
+  const auto outcomes = session.concurrent(specs);
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_NEAR(outcome.bandwidth_bps, mbps(100), mbps(2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StarFamily, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace envnws::simnet

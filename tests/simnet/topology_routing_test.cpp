@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "simnet/routing.hpp"
+#include "simnet/topology.hpp"
+
+namespace envnws::simnet {
+namespace {
+
+using units::mbps;
+
+TEST(Topology, BuildersAssignKindsAndNames) {
+  Topology topo;
+  const NodeId host = topo.add_host("h", "h.lan", Ipv4(10, 0, 0, 1));
+  const NodeId hub = topo.add_hub("hub", mbps(100));
+  const NodeId sw = topo.add_switch("sw");
+  const NodeId router = topo.add_router("r", "r.lan", Ipv4(10, 0, 0, 254));
+  EXPECT_EQ(topo.node(host).kind, NodeKind::host);
+  EXPECT_EQ(topo.node(hub).kind, NodeKind::hub);
+  EXPECT_EQ(topo.node(sw).kind, NodeKind::switch_);
+  EXPECT_EQ(topo.node(router).kind, NodeKind::router);
+  EXPECT_EQ(topo.node_count(), 4u);
+  EXPECT_TRUE(topo.find_by_name("hub").ok());
+  EXPECT_FALSE(topo.find_by_name("nope").ok());
+}
+
+TEST(Topology, HubLinksAreHalfDuplex) {
+  Topology topo;
+  const NodeId host = topo.add_host("h", "h.lan", Ipv4(10, 0, 0, 1));
+  const NodeId hub = topo.add_hub("hub", mbps(10));
+  const NodeId sw = topo.add_switch("sw");
+  const LinkId to_hub = topo.connect(host, hub, mbps(10), 1e-6);
+  const LinkId to_switch = topo.connect(host, sw, mbps(100), 1e-6);
+  EXPECT_TRUE(topo.link(to_hub).half_duplex);
+  EXPECT_FALSE(topo.link(to_switch).half_duplex);
+}
+
+TEST(Topology, FqdnAndAliasLookup) {
+  Topology topo;
+  const NodeId gw = topo.add_host("popc", "popc.ens-lyon.fr", Ipv4(140, 77, 12, 51));
+  topo.add_alias(gw, HostAlias{"popc0.popc.private", Ipv4(192, 168, 81, 51), "popc.private"});
+  EXPECT_EQ(topo.find_host_by_fqdn("popc.ens-lyon.fr").value(), gw);
+  EXPECT_EQ(topo.find_host_by_fqdn("popc0.popc.private").value(), gw);
+  EXPECT_FALSE(topo.find_host_by_fqdn("other").ok());
+  // Alias registration adds the zone.
+  EXPECT_EQ(topo.node(gw).zones.count("popc.private"), 1u);
+}
+
+TEST(Topology, ZoneQueries) {
+  Topology topo;
+  const NodeId a = topo.add_host("a", "a.lan", Ipv4(10, 0, 0, 1));
+  const NodeId b = topo.add_host("b", "b.lan", Ipv4(10, 0, 0, 2));
+  const NodeId gw = topo.add_host("gw", "gw.lan", Ipv4(10, 0, 0, 3));
+  topo.set_zones(a, {"left"});
+  topo.set_zones(b, {"right"});
+  topo.set_zones(gw, {"left", "right"});
+  EXPECT_EQ(topo.hosts_in_zone("left").size(), 2u);
+  EXPECT_EQ(topo.hosts_in_zone("right").size(), 2u);
+  const auto zones = topo.zones();
+  EXPECT_EQ(zones.size(), 2u);
+  const auto gateways = topo.gateways_between("left", "right");
+  ASSERT_EQ(gateways.size(), 1u);
+  EXPECT_EQ(gateways[0], gw);
+}
+
+TEST(Topology, ValidateCatchesProblems) {
+  {
+    Topology topo;
+    const NodeId a = topo.add_host("a", "a.lan", Ipv4(10, 0, 0, 1));
+    const NodeId b = topo.add_host("b", "b.lan", Ipv4(10, 0, 0, 2));
+    topo.connect_directional(a, b, 0.0, mbps(1), 1e-6);
+    EXPECT_FALSE(topo.validate().ok());
+  }
+  {
+    Topology topo;
+    topo.add_hub("hub", 0.0);
+    EXPECT_FALSE(topo.validate().ok());
+  }
+  {
+    Topology topo;
+    const NodeId a = topo.add_host("a", "a.lan", Ipv4(10, 0, 0, 1));
+    const NodeId b = topo.add_host("b", "b.lan", Ipv4(10, 0, 0, 2));
+    topo.connect(a, b, mbps(1), -1.0);
+    EXPECT_FALSE(topo.validate().ok());
+  }
+  {
+    Topology topo;
+    const NodeId a = topo.add_host("a", "a.lan", Ipv4(10, 0, 0, 1));
+    const NodeId b = topo.add_host("b", "b.lan", Ipv4(10, 0, 0, 2));
+    topo.connect(a, b, mbps(1), 1e-6);
+    EXPECT_TRUE(topo.validate().ok());
+  }
+}
+
+TEST(Routing, ShortestPathByWeight) {
+  Topology topo;
+  const NodeId a = topo.add_host("a", "a.lan", Ipv4(10, 0, 0, 1));
+  const NodeId r1 = topo.add_router("r1", "r1.lan", Ipv4(10, 0, 0, 251));
+  const NodeId r2 = topo.add_router("r2", "r2.lan", Ipv4(10, 0, 0, 252));
+  const NodeId b = topo.add_host("b", "b.lan", Ipv4(10, 0, 0, 2));
+  topo.connect(a, r1, mbps(100), 1e-6);
+  topo.connect(r1, r2, mbps(100), 1e-6);
+  topo.connect(r2, b, mbps(100), 1e-6);
+  // Direct but expensive detour.
+  const LinkId direct = topo.connect(a, b, mbps(100), 1e-6);
+  topo.set_routing_weight(direct, 10.0, 10.0);
+
+  RouteTable routes(topo);
+  const auto path = routes.path(a, b);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path.value().hops.size(), 3u);  // a-r1-r2-b beats weight-10 direct
+}
+
+TEST(Routing, DirectionalWeightsYieldAsymmetricRoutes) {
+  Topology topo;
+  const NodeId a = topo.add_host("a", "a.lan", Ipv4(10, 0, 0, 1));
+  const NodeId b = topo.add_host("b", "b.lan", Ipv4(10, 0, 0, 2));
+  const NodeId via = topo.add_router("via", "via.lan", Ipv4(10, 0, 0, 250));
+  const LinkId slow = topo.connect(a, b, mbps(10), 1e-6, "slow");
+  topo.set_routing_weight(slow, 1.0, 100.0);
+  const LinkId leg1 = topo.connect(a, via, mbps(1000), 1e-6);
+  topo.set_routing_weight(leg1, 50.0, 1.0);
+  const LinkId leg2 = topo.connect(via, b, mbps(1000), 1e-6);
+  topo.set_routing_weight(leg2, 50.0, 1.0);
+
+  RouteTable routes(topo);
+  const auto forward = routes.path(a, b);
+  const auto backward = routes.path(b, a);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_EQ(forward.value().hops.size(), 1u);   // direct slow link
+  EXPECT_EQ(backward.value().hops.size(), 2u);  // via the fast detour
+  EXPECT_DOUBLE_EQ(forward.value().bottleneck_bandwidth(topo), mbps(10));
+  EXPECT_DOUBLE_EQ(backward.value().bottleneck_bandwidth(topo), mbps(1000));
+}
+
+TEST(Routing, OverrideForcesRoute) {
+  Topology topo;
+  const NodeId a = topo.add_host("a", "a.lan", Ipv4(10, 0, 0, 1));
+  const NodeId b = topo.add_host("b", "b.lan", Ipv4(10, 0, 0, 2));
+  const NodeId via = topo.add_router("via", "via.lan", Ipv4(10, 0, 0, 250));
+  topo.connect(a, b, mbps(10), 1e-6);  // would be the shortest path
+  const LinkId leg1 = topo.connect(a, via, mbps(100), 1e-6);
+  const LinkId leg2 = topo.connect(via, b, mbps(100), 1e-6);
+
+  RouteTable routes(topo);
+  ASSERT_TRUE(routes.set_override(a, b, {leg1, leg2}).ok());
+  const auto path = routes.path(a, b);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path.value().hops.size(), 2u);
+  // Reverse direction unaffected by the override.
+  EXPECT_EQ(routes.path(b, a).value().hops.size(), 1u);
+}
+
+TEST(Routing, OverrideValidatesWalk) {
+  Topology topo;
+  const NodeId a = topo.add_host("a", "a.lan", Ipv4(10, 0, 0, 1));
+  const NodeId b = topo.add_host("b", "b.lan", Ipv4(10, 0, 0, 2));
+  const NodeId c = topo.add_host("c", "c.lan", Ipv4(10, 0, 0, 3));
+  topo.connect(a, b, mbps(10), 1e-6);
+  const LinkId bc = topo.connect(b, c, mbps(10), 1e-6);
+  RouteTable routes(topo);
+  EXPECT_FALSE(routes.set_override(a, c, {bc}).ok());       // not connected to a
+  EXPECT_FALSE(routes.set_override(a, b, {LinkId(0), bc}).ok());  // ends at c, not b
+}
+
+TEST(Routing, UnreachableReportsError) {
+  Topology topo;
+  const NodeId a = topo.add_host("a", "a.lan", Ipv4(10, 0, 0, 1));
+  const NodeId b = topo.add_host("b", "b.lan", Ipv4(10, 0, 0, 2));
+  (void)b;
+  RouteTable routes(topo);
+  const auto path = routes.path(a, NodeId(1));
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.error().code, ErrorCode::unreachable);
+  EXPECT_TRUE(routes.path(a, a).ok());  // self route is empty but valid
+}
+
+TEST(Routing, PathLatencyAndNodes) {
+  Topology topo;
+  const NodeId a = topo.add_host("a", "a.lan", Ipv4(10, 0, 0, 1));
+  const NodeId r = topo.add_router("r", "r.lan", Ipv4(10, 0, 0, 250));
+  const NodeId b = topo.add_host("b", "b.lan", Ipv4(10, 0, 0, 2));
+  topo.connect(a, r, mbps(100), 1e-3);
+  topo.connect(r, b, mbps(100), 2e-3);
+  RouteTable routes(topo);
+  const auto path = routes.path(a, b);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path.value().total_latency(topo), 3e-3);
+  const auto nodes = path.value().nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes.front(), a);
+  EXPECT_EQ(nodes[1], r);
+  EXPECT_EQ(nodes.back(), b);
+}
+
+TEST(LoadModel, DeterministicAndClamped) {
+  LoadModel model{0.5, 0.4, 100.0, 0.0, 0.3, 5.0, 99};
+  const double v1 = model.at(42.0);
+  const double v2 = model.at(42.0);
+  EXPECT_DOUBLE_EQ(v1, v2);
+  for (double t = 0.0; t < 500.0; t += 7.3) {
+    EXPECT_GE(model.at(t), 0.0);
+  }
+}
+
+TEST(LoadModel, SinusoidMovesLoad) {
+  LoadModel model{1.0, 0.5, 100.0, 0.0, 0.0, 10.0, 1};
+  EXPECT_NEAR(model.at(25.0), 1.5, 1e-9);  // sin peak at quarter period
+  EXPECT_NEAR(model.at(75.0), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace envnws::simnet
