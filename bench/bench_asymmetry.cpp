@@ -52,8 +52,8 @@ int main() {
   simnet::Scenario scenario = simnet::ens_lyon();
   simnet::Network net(simnet::Scenario(scenario).topology);
 
-  const auto doors = scenario.id("the-doors");
-  const auto popc = scenario.id("popc");
+  const auto doors = scenario.id("the-doors").value();
+  const auto popc = scenario.id("popc").value();
   const double truth_fwd = net.ground_truth_bandwidth(doors, popc).value();
   const double truth_rev = net.ground_truth_bandwidth(popc, doors).value();
 

@@ -6,14 +6,14 @@
 #include "simnet/render.hpp"
 #include "simnet/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace envnws;
   bench::banner("FIG1A", "paper Fig. 1(a): physical topology (simplified schema)",
                 "hub1{the-doors,canaria,moby} / 10 Mbps bottleneck with asymmetric"
                 " gigabit return / hub2{popc,myri,sci} / myri hub / sci switch;"
                 " popc.private firewalled behind dual-homed gateways");
 
-  const simnet::Scenario scenario = simnet::ens_lyon();
+  const simnet::Scenario scenario = bench::scenario_from_cli(argc, argv, "ens-lyon");
   std::printf("%s\n", scenario.description.c_str());
   std::printf("\n--- topology tree (rooted at the edge router) ---\n%s",
               simnet::render_physical(scenario.topology).c_str());

@@ -3,14 +3,11 @@
 // output with the paper's ENV_base_BW / ENV_base_local_BW properties.
 #include <cstdio>
 
+#include "api/envnws.hpp"
 #include "bench_util.hpp"
 #include "common/units.hpp"
-#include "env/mapper.hpp"
-#include "env/scenario_zones.hpp"
-#include "env/sim_probe_engine.hpp"
-#include "simnet/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace envnws;
   bench::banner(
       "FIG1B", "paper Fig. 1(b): effective topology from the-doors's point of view",
@@ -19,27 +16,24 @@ int main() {
       " bottleneck; Hub3 shared {myri1, myri2}; sci cluster switched {sci1..sci6}"
       " ~33 Mbps (paper GridML: base 32.65 / local 32.29)");
 
-  simnet::Scenario scenario = simnet::ens_lyon();
+  simnet::Scenario scenario = bench::scenario_from_cli(argc, argv, "ens-lyon");
   simnet::Network net(simnet::Scenario(scenario).topology);
-  env::MapperOptions options;
-  env::SimProbeEngine engine(net, options);
-  env::Mapper mapper(engine, options);
 
-  auto result = mapper.map(env::zones_from_scenario(scenario),
-                           env::gateway_aliases_from_scenario(scenario));
-  if (!result.ok()) {
-    std::fprintf(stderr, "mapping failed: %s\n", result.error().to_string().c_str());
+  // Only the map stage of the pipeline runs here.
+  api::Session session(net, scenario);
+  if (auto status = session.map(); !status.ok()) {
+    std::fprintf(stderr, "mapping failed: %s\n", status.error().to_string().c_str());
     return 1;
   }
+  const env::MapResult& result = session.map_result();
 
   std::printf("--- merged effective view (master: %s) ---\n%s\n",
-              result.value().master_fqdn.c_str(),
-              env::render_effective(result.value().root).c_str());
+              result.master_fqdn.c_str(), env::render_effective(result.root).c_str());
 
   std::printf("--- measured vs paper-reported segment bandwidths ---\n");
   const auto show = [&](const char* label, const char* member, double paper_base_mbps,
                         double paper_local_mbps) {
-    const env::EnvNetwork* segment = result.value().root.find_containing(member);
+    const env::EnvNetwork* segment = result.root.find_containing(member);
     if (segment == nullptr) return;
     std::printf("  %-10s measured base %6.2f local %6.2f | paper-shape base %6.2f local %6.2f"
                 " | verdict %s\n",
@@ -54,11 +48,11 @@ int main() {
 
   std::printf("\n--- mapping cost ---\n");
   std::printf("  experiments: %llu, bytes injected: %.1f MiB, simulated time: %.1f min\n",
-              static_cast<unsigned long long>(result.value().stats.experiments),
-              static_cast<double>(result.value().stats.bytes_sent) / (1024.0 * 1024.0),
-              result.value().stats.duration_s / 60.0);
+              static_cast<unsigned long long>(result.stats.experiments),
+              static_cast<double>(result.stats.bytes_sent) / (1024.0 * 1024.0),
+              result.stats.duration_s / 60.0);
 
   std::printf("\n--- merged GridML (CLAIM-MERGE: both sites, gateways cross-aliased) ---\n%s",
-              result.value().grid.to_string().c_str());
+              result.grid.to_string().c_str());
   return 0;
 }

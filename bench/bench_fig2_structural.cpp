@@ -8,7 +8,7 @@
 #include "env/sim_probe_engine.hpp"
 #include "simnet/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace envnws;
   bench::banner("FIG2", "paper Fig. 2: structural topology (the initial tree in ENV)",
                 "root 192.168.254.1 (non-routable, kept per the paper's ENV fix);"
@@ -16,14 +16,18 @@ int main() {
                 " branch routeur-backbone -> routlhpc -> {myri, popc, sci};"
                 " the silent giga-router is invisible (dropped traceroute)");
 
-  simnet::Scenario scenario = simnet::ens_lyon();
+  simnet::Scenario scenario = bench::scenario_from_cli(argc, argv, "ens-lyon");
   simnet::Network net(simnet::Scenario(scenario).topology);
   env::MapperOptions options;
   env::SimProbeEngine engine(net, options);
   env::Mapper mapper(engine, options);
 
   const auto zones = env::zones_from_scenario(scenario);
-  for (const auto& zone : zones) {
+  if (!zones.ok()) {
+    std::fprintf(stderr, "%s\n", zones.error().to_string().c_str());
+    return 1;
+  }
+  for (const auto& zone : zones.value()) {
     auto result = mapper.map_zone(zone);
     if (!result.ok()) {
       std::fprintf(stderr, "zone %s failed: %s\n", zone.zone_name.c_str(),

@@ -1,11 +1,13 @@
 // FIG3: the NWS deployment plan for ENS-Lyon (paper Fig. 3) plus the
-// §2.3 constraint validation of the resulting deployment.
+// §2.3 constraint validation of the resulting deployment, produced stage
+// by stage through the api::Session pipeline. `--scenario=<spec>` plans
+// any registry platform instead.
 #include <cstdio>
 
+#include "api/envnws.hpp"
 #include "bench_util.hpp"
-#include "core/autodeploy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace envnws;
   bench::banner(
       "FIG3", "paper Fig. 3: NWS deployment plan in ENS-Lyon",
@@ -14,19 +16,17 @@ int main() {
       " {sci0, sci1..sci6}; inter-hub clique {canaria, popc0};"
       " NS/forecaster on the-doors, one memory per site");
 
-  simnet::Scenario scenario = simnet::ens_lyon();
+  simnet::Scenario scenario = bench::scenario_from_cli(argc, argv, "ens-lyon");
   simnet::Network net(simnet::Scenario(scenario).topology);
-  auto result = core::auto_deploy(net, scenario);
-  if (!result.ok()) {
-    std::fprintf(stderr, "auto-deploy failed: %s\n", result.error().to_string().c_str());
+  api::Session session(net, scenario);
+  if (auto status = session.run_all(); !status.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", status.error().to_string().c_str());
     return 1;
   }
 
-  std::printf("%s\n", result.value().plan.render().c_str());
-  std::printf("--- constraint validation (§2.3) ---\n%s\n",
-              result.value().validation.render().c_str());
-  std::printf("--- shared manager configuration (§5.2) ---\n%s",
-              result.value().config_text.c_str());
-  result.value().system->stop();
+  std::printf("%s\n", session.plan_result().render().c_str());
+  std::printf("--- constraint validation (§2.3) ---\n%s\n", session.validation().render().c_str());
+  std::printf("--- shared manager configuration (§5.2) ---\n%s", session.config_text().c_str());
+  session.system().stop();
   return 0;
 }

@@ -11,31 +11,31 @@
 //   3. the naive full mesh of uncoordinated probes (fast but colliding).
 #include <cstdio>
 
+#include "api/envnws.hpp"
 #include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "core/autodeploy.hpp"
 #include "deploy/validate.hpp"
 
 using namespace envnws;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("CLAIM-INTRUSIVE",
                 "§2.3/§5.1 intrusiveness & scalability of the ENV-derived plan",
                 "the ENV plan needs ~4x fewer experiments per cycle than one"
                 " all-hosts clique, refreshes pairs ~5x faster, keeps completeness"
                 " (substitution + aggregation), and stays collision-bounded");
 
-  simnet::Scenario scenario = simnet::ens_lyon();
+  simnet::Scenario scenario = bench::scenario_from_cli(argc, argv, "ens-lyon");
   simnet::Network net(simnet::Scenario(scenario).topology);
-  auto deployed = core::auto_deploy(net, scenario);
-  if (!deployed.ok()) {
-    std::fprintf(stderr, "auto-deploy failed\n");
+  api::Session session(net, scenario);
+  if (auto status = session.run_all(); !status.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", status.error().to_string().c_str());
     return 1;
   }
-  const deploy::DeploymentPlan& env_plan = deployed.value().plan;
-  const deploy::ValidationReport env_report = deployed.value().validation;
+  const deploy::DeploymentPlan& env_plan = session.plan_result();
+  const deploy::ValidationReport env_report = session.validation();
 
   // Naive alternative 1: every host in one giant clique. Note: the
   // firewall makes a true all-hosts clique impossible on this platform
@@ -84,6 +84,6 @@ int main() {
     std::printf("  %-36s %zu members (%s)\n", clique.name.c_str(), clique.members.size(),
                 to_string(clique.role));
   }
-  deployed.value().system->stop();
+  session.system().stop();
   return 0;
 }

@@ -43,7 +43,7 @@ LoadResult map_under_load(double intensity, std::uint64_t seed) {
   env::SimProbeEngine engine(net, options);
   env::Mapper mapper(engine, options);
   const auto zones = env::zones_from_scenario(scenario);
-  auto result = mapper.map_zone(zones.front());
+  auto result = mapper.map_zone(zones.value().front());
   for (auto& generator : generators) generator->stop();
 
   LoadResult score;

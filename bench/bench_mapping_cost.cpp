@@ -36,7 +36,7 @@ int main() {
     env::SimProbeEngine engine(net, options);
     env::Mapper mapper(engine, options);
     const auto zones = env::zones_from_scenario(scenario);
-    auto result = mapper.map_zone(zones.front());
+    auto result = mapper.map_zone(zones.value().front());
     if (!result.ok()) {
       std::fprintf(stderr, "mapping failed at n=%d\n", n);
       return 1;

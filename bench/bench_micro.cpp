@@ -108,7 +108,7 @@ void BM_GridmlParse(benchmark::State& state) {
   env::SimProbeEngine engine(net, options);
   env::Mapper mapper(engine, options);
   simnet::Scenario fresh = simnet::ens_lyon();
-  auto mapped = mapper.map(env::zones_from_scenario(fresh),
+  auto mapped = mapper.map(env::zones_from_scenario(fresh).value(),
                            env::gateway_aliases_from_scenario(fresh));
   const std::string xml = mapped.ok() ? mapped.value().grid.to_string() : "<GRID />";
   for (auto _ : state) {
@@ -125,7 +125,7 @@ void BM_FullEnvMapping(benchmark::State& state) {
     env::MapperOptions options;
     env::SimProbeEngine engine(net, options);
     env::Mapper mapper(engine, options);
-    auto result = mapper.map(env::zones_from_scenario(scenario),
+    auto result = mapper.map(env::zones_from_scenario(scenario).value(),
                              env::gateway_aliases_from_scenario(scenario));
     benchmark::DoNotOptimize(result);
   }

@@ -50,7 +50,7 @@ Score score_options(const env::MapperOptions& options) {
     env::SimProbeEngine engine(net, options);
     env::Mapper mapper(engine, options);
     const auto zones = env::zones_from_scenario(scenario);
-    auto result = mapper.map_zone(zones.front());
+    auto result = mapper.map_zone(zones.value().front());
     if (!result.ok()) continue;
     for (const auto& truth : scenario.ground_truth) {
       if (truth.member_names.size() < 2) continue;

@@ -2,7 +2,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+
+#include "api/scenario_registry.hpp"
+#include "simnet/scenario.hpp"
 
 namespace envnws::bench {
 
@@ -12,6 +17,39 @@ inline void banner(const std::string& experiment_id, const std::string& paper_ar
   std::printf("%s — reproduces %s\n", experiment_id.c_str(), paper_artifact.c_str());
   std::printf("expected shape: %s\n", expectation.c_str());
   std::printf("==============================================================\n\n");
+}
+
+/// Common bench CLI: `--scenario=<spec>` overrides the bench's default
+/// platform, `--list` prints the scenario catalog and exits. Exits with a
+/// usage message on unknown flags or unresolvable specs, so every bench
+/// main can stay a straight-line experiment.
+inline simnet::Scenario scenario_from_cli(int argc, char** argv,
+                                          const std::string& default_spec) {
+  std::string spec = default_spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      std::printf("available scenarios (spec: name[:D1xD2...][@R1/R2...], rates in Mbps):\n%s",
+                  api::ScenarioRegistry::builtin().render_catalog().c_str());
+      std::exit(0);
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      spec = arg.substr(std::strlen("--scenario="));
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      spec = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scenario=<spec>] [--list]   (default: %s)\n",
+                   argv[0], default_spec.c_str());
+      std::exit(2);
+    }
+  }
+  auto made = api::ScenarioRegistry::builtin().make(spec);
+  if (!made.ok()) {
+    std::fprintf(stderr, "bad scenario '%s': %s\n", spec.c_str(),
+                 made.error().to_string().c_str());
+    std::exit(2);
+  }
+  return std::move(made.value());
 }
 
 }  // namespace envnws::bench

@@ -7,9 +7,10 @@
 //   $ ./examples/constellation [sites] [hosts_per_site]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "api/envnws.hpp"
 #include "common/units.hpp"
-#include "core/autodeploy.hpp"
 
 using namespace envnws;
 
@@ -17,24 +18,28 @@ int main(int argc, char** argv) {
   const int sites = argc > 1 ? std::atoi(argv[1]) : 4;
   const int hosts = argc > 2 ? std::atoi(argv[2]) : 5;
 
-  simnet::Scenario scenario =
-      simnet::wan_constellation(sites, hosts, units::mbps(100), units::mbps(10));
-  simnet::Network net(simnet::Scenario(scenario).topology);
-
-  auto deployed = core::auto_deploy(net, scenario);
-  if (!deployed.ok()) {
-    std::fprintf(stderr, "auto-deploy failed: %s\n", deployed.error().to_string().c_str());
+  const std::string spec =
+      "constellation:" + std::to_string(sites) + "x" + std::to_string(hosts) + "@100/10";
+  auto scenario = api::ScenarioRegistry::builtin().make(spec);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.error().to_string().c_str());
     return 1;
   }
-  core::AutoDeployResult& result = deployed.value();
-  std::printf("%s\n", result.render().c_str());
+  simnet::Network net(simnet::Scenario(scenario.value()).topology);
+
+  api::Session session(net, scenario.value());
+  if (auto status = session.run_all(); !status.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", status.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s\n", session.render().c_str());
 
   net.run_until(net.now() + units::minutes(15));
 
   // Compare intra-site vs inter-site forecasts with ground truth.
   std::printf("=== forecasts vs ground truth ===\n");
   const auto compare = [&](const std::string& src, const std::string& dst) {
-    const auto reply = result.queries->bandwidth(src, src, dst);
+    const auto reply = session.queries().bandwidth(src, src, dst);
     const auto src_id = net.topology().find_host_by_fqdn(src);
     const auto dst_id = net.topology().find_host_by_fqdn(dst);
     if (!reply.ok() || !src_id.ok() || !dst_id.ok()) return;
@@ -52,10 +57,10 @@ int main(int argc, char** argv) {
   // Show how stale each series can get: the measurement frequency of
   // every clique (paper constraint 2, "scalability concerns").
   std::printf("\n=== clique cycle times ===\n");
-  for (const auto& clique : result.system->cliques()) {
+  for (const auto& clique : session.system().cliques()) {
     std::printf("  %-34s %2zu members, full cycle %6.1f s\n", clique->name().c_str(),
                 clique->spec().members.size(), clique->expected_cycle_time());
   }
-  result.system->stop();
+  session.system().stop();
   return 0;
 }

@@ -1,47 +1,61 @@
-// The paper's experiment, end to end: map the ENS-Lyon network with ENV
-// (both firewall zones), merge, plan the NWS deployment, apply it, verify
-// the deployment constraints, and query the running system.
+// The paper's experiment, end to end and stage by stage: map the
+// ENS-Lyon network with ENV (both firewall zones), merge, plan the NWS
+// deployment, apply it, verify the deployment constraints, and query the
+// running system — each stage run explicitly on an api::Session so its
+// intermediate output can be inspected before the next one starts.
 //
 //   $ ./examples/ens_lyon
 #include <cstdio>
 
+#include "api/envnws.hpp"
 #include "common/units.hpp"
-#include "core/autodeploy.hpp"
 #include "env/structural.hpp"
 #include "simnet/render.hpp"
 
 using namespace envnws;
 
 int main() {
-  simnet::Scenario scenario = simnet::ens_lyon();
+  auto made = api::ScenarioRegistry::builtin().make("ens-lyon");
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.error().to_string().c_str());
+    return 1;
+  }
+  simnet::Scenario& scenario = made.value();
   std::printf("=== physical topology (paper Fig. 1a, ground truth) ===\n%s\n",
               simnet::render_physical(scenario.topology).c_str());
 
   simnet::Network net(simnet::Scenario(scenario).topology);
-  auto deployed = core::auto_deploy(net, scenario);
-  if (!deployed.ok()) {
-    std::fprintf(stderr, "auto-deploy failed: %s\n", deployed.error().to_string().c_str());
+  api::Session session(net, scenario);
+
+  // Stage 1 — map. The per-zone structural trees are only available on
+  // the intermediate result, which the one-call wrapper hides.
+  if (auto status = session.map(); !status.ok()) {
+    std::fprintf(stderr, "map failed: %s\n", status.error().to_string().c_str());
     return 1;
   }
-  core::AutoDeployResult& result = deployed.value();
-
   std::printf("=== structural topology (paper Fig. 2) ===\n%s\n",
-              env::render_structural(result.map.zones.front().structural).c_str());
-  std::printf("%s\n", result.render().c_str());
+              env::render_structural(session.map_result().zones.front().structural).c_str());
+
+  // Stages 2-4 — plan, apply, validate.
+  if (auto status = session.run_all(); !status.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", status.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s\n", session.render().c_str());
   std::printf("=== shared manager configuration (paper S5.2) ===\n%s\n",
-              result.config_text.c_str());
+              session.config_text().c_str());
 
   // Per-host duties, as each host's manager instance would apply them.
   std::printf("=== per-host process assignments ===\n");
-  for (const auto& host : result.plan.hosts) {
-    std::printf("  %s\n", deploy::local_assignment(result.plan, host).render().c_str());
+  for (const auto& host : session.plan_result().hosts) {
+    std::printf("  %s\n", deploy::local_assignment(session.plan_result(), host).render().c_str());
   }
 
   // Run the monitoring system, then demonstrate the three query paths.
   net.run_until(net.now() + units::minutes(20));
   std::printf("\n=== queries after 20 minutes of monitoring ===\n");
   const auto show = [&](const char* src, const char* dst) {
-    const auto reply = result.queries->bandwidth("the-doors", src, dst);
+    const auto reply = session.queries().bandwidth("the-doors", src, dst);
     if (reply.ok()) {
       std::printf("  bandwidth %s -> %s: %.2f Mbps [%s, %zu segment(s)]\n", src, dst,
                   units::to_mbps(reply.value().value), to_string(reply.value().method),
@@ -56,6 +70,6 @@ int main() {
   show("the-doors.ens-lyon.fr", "sci3.popc.private");        // aggregated
   show("myri1.popc.private", "sci5.popc.private");           // aggregated, private
 
-  result.system->stop();
+  session.system().stop();
   return 0;
 }

@@ -1,33 +1,37 @@
 // Firewalled mapping and the GridML merge (paper §4.3, "Firewalls").
 //
-// Runs ENV separately inside each zone of the ENS-Lyon network — the
-// private popc.private hosts cannot talk to the outside world — and shows
-// the per-zone GridML documents, the user-provided gateway alias groups,
-// and the merged document the deployment planner consumes.
+// Runs only the map stage of an api::Session on the ENS-Lyon network —
+// ENV executes separately inside each zone, since the private
+// popc.private hosts cannot talk to the outside world — and shows the
+// per-zone GridML documents, the user-provided gateway alias groups, and
+// the merged document the deployment planner consumes.
 //
 //   $ ./examples/firewall_merge
 #include <cstdio>
 
-#include "env/mapper.hpp"
+#include "api/envnws.hpp"
 #include "env/scenario_zones.hpp"
-#include "env/sim_probe_engine.hpp"
-#include "simnet/scenario.hpp"
 
 using namespace envnws;
 
 int main() {
-  simnet::Scenario scenario = simnet::ens_lyon();
+  auto made = api::ScenarioRegistry::builtin().make("ens-lyon");
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.error().to_string().c_str());
+    return 1;
+  }
+  simnet::Scenario& scenario = made.value();
   simnet::Network net(simnet::Scenario(scenario).topology);
 
-  env::MapperOptions options;
-  env::SimProbeEngine engine(net, options);
-  env::Mapper mapper(engine, options);
-
   const auto zones = env::zones_from_scenario(scenario);
+  if (!zones.ok()) {
+    std::fprintf(stderr, "%s\n", zones.error().to_string().c_str());
+    return 1;
+  }
   const auto aliases = env::gateway_aliases_from_scenario(scenario);
 
   std::printf("=== zones to map (firewall partitions) ===\n");
-  for (const auto& zone : zones) {
+  for (const auto& zone : zones.value()) {
     std::printf("  zone '%s': %zu hosts, master %s, traceroute target %s\n",
                 zone.zone_name.c_str(), zone.hostnames.size(), zone.master.c_str(),
                 zone.traceroute_target.c_str());
@@ -40,14 +44,16 @@ int main() {
     std::printf("\n");
   }
 
-  auto result = mapper.map(zones, aliases);
-  if (!result.ok()) {
-    std::fprintf(stderr, "mapping failed: %s\n", result.error().to_string().c_str());
+  // Only the map stage runs; the session never plans or deploys anything.
+  api::Session session(net, scenario);
+  if (auto status = session.map(); !status.ok()) {
+    std::fprintf(stderr, "mapping failed: %s\n", status.error().to_string().c_str());
     return 1;
   }
+  const env::MapResult& result = session.map_result();
 
   std::printf("\n=== per-zone effective views ===\n");
-  for (const auto& zone : result.value().zones) {
+  for (const auto& zone : result.zones) {
     std::printf("--- zone %s (master %s, %llu experiments) ---\n%s\n",
                 zone.spec.zone_name.c_str(), zone.master_fqdn.c_str(),
                 static_cast<unsigned long long>(zone.stats.experiments),
@@ -55,7 +61,7 @@ int main() {
   }
 
   std::printf("=== merged effective view ===\n%s\n",
-              env::render_effective(result.value().root).c_str());
-  std::printf("=== merged GridML document ===\n%s", result.value().grid.to_string().c_str());
+              env::render_effective(result.root).c_str());
+  std::printf("=== merged GridML document ===\n%s", result.grid.to_string().c_str());
   return 0;
 }

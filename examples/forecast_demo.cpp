@@ -1,17 +1,19 @@
 // The NWS forecasting battery on synthetic load traces (paper §2: the
 // forecasters "deduce the future evolutions of measurement time series
-// using statistics"). Shows per-predictor errors and the dynamic
-// selection picking a different winner per trace family.
+// using statistics"), then on a live measurement series from an NWS
+// deployed through the staged api::Session on a registry-named platform.
 //
-//   $ ./examples/forecast_demo
+//   $ ./examples/forecast_demo [scenario-spec]    (default: star:4@100)
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "api/envnws.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "common/units.hpp"
 #include "nws/forecast.hpp"
 
 using namespace envnws;
@@ -41,7 +43,7 @@ std::vector<double> make_trace(const std::string& family, int n, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Rng rng(2003);
   const std::vector<std::string> families{"constant", "noisy", "trend", "periodic", "bursty"};
 
@@ -68,5 +70,35 @@ int main() {
                      strings::format_double(mean_mae, 3)});
   }
   std::printf("%s", summary.to_string().c_str());
+
+  // The same battery on a live series: deploy the NWS on a named platform
+  // through the staged pipeline and forecast a measured bandwidth pair.
+  auto scenario = api::ScenarioRegistry::builtin().make(argc > 1 ? argv[1] : "star:4@100");
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.error().to_string().c_str());
+    return 1;
+  }
+  simnet::Network net(simnet::Scenario(scenario.value()).topology);
+  api::Session session(net, scenario.value());
+  if (auto status = session.run_all(); !status.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", status.error().to_string().c_str());
+    return 1;
+  }
+  net.run_until(net.now() + units::minutes(10));
+
+  const auto& hosts = session.plan_result().hosts;
+  if (hosts.size() < 2) {
+    std::fprintf(stderr, "scenario has fewer than two hosts; no pair to forecast\n");
+    session.system().stop();
+    return 1;
+  }
+  const auto reply = session.queries().bandwidth(hosts.front(), hosts.front(), hosts[1]);
+  if (reply.ok()) {
+    std::printf("\n--- live series (%s) ---\n", session.plan_result().cliques.front().name.c_str());
+    std::printf("  %s -> %s after 10 minutes of monitoring: %.2f Mbps [%s]\n",
+                hosts.front().c_str(), hosts[1].c_str(), units::to_mbps(reply.value().value),
+                to_string(reply.value().method));
+  }
+  session.system().stop();
   return 0;
 }

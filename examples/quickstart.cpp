@@ -1,45 +1,66 @@
-// Quickstart: build a small platform, auto-deploy the NWS on it, and ask
-// for a forecast — the whole pipeline of the paper in ~60 lines.
+// Quickstart: pick a platform by name, run the staged deployment
+// pipeline, and ask for a forecast — the whole pipeline of the paper in
+// ~60 lines.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [scenario-spec]     (default: dumbbell:3x3@100/10)
 #include <cstdio>
 
-#include "core/autodeploy.hpp"
+#include "api/envnws.hpp"
 #include "common/units.hpp"
 
 using namespace envnws;
 
-int main() {
-  // A platform: two switched clusters joined by a 10 Mbps bottleneck.
-  simnet::Scenario scenario = simnet::dumbbell(/*left=*/3, /*right=*/3,
-                                               units::mbps(100), units::mbps(10));
-  simnet::Network net(simnet::Scenario(scenario).topology);
+namespace {
 
-  // Map with ENV, plan the NWS deployment, apply it, verify constraints.
-  auto deployed = core::auto_deploy(net, scenario);
-  if (!deployed.ok()) {
-    std::fprintf(stderr, "auto-deploy failed: %s\n", deployed.error().to_string().c_str());
+// Stage progress straight from the pipeline's observer hook.
+struct PrintObserver final : api::Observer {
+  void on_event(const api::Event& event) override {
+    if (event.kind == api::Event::Kind::note) return;
+    std::printf("[%8.1f s] %-8s %-8s %s\n", event.sim_time_s, to_string(event.stage),
+                to_string(event.kind), event.detail.c_str());
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A platform by name: two switched clusters joined by a 10 Mbps bottleneck.
+  auto scenario =
+      api::ScenarioRegistry::builtin().make(argc > 1 ? argv[1] : "dumbbell:3x3@100/10");
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.error().to_string().c_str());
     return 1;
   }
-  core::AutoDeployResult& result = deployed.value();
-  std::printf("%s\n", result.render().c_str());
+  simnet::Network net(simnet::Scenario(scenario.value()).topology);
+
+  // The staged pipeline: map with ENV, plan the NWS deployment, apply it,
+  // verify the four deployment constraints.
+  PrintObserver progress;
+  api::Session session(net, scenario.value());
+  session.set_observer(&progress);
+  if (auto status = session.run_all(); !status.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", status.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", session.render().c_str());
 
   // Let the monitoring system take measurements for ten simulated minutes.
   net.run_until(net.now() + units::minutes(10));
 
-  // Ask for end-to-end forecasts, including pairs no clique measures
-  // directly (the aggregation layer chains measured segments).
-  for (const auto& [src, dst] : {std::pair<const char*, const char*>{"l0.lan", "l1.lan"},
-                                 {"l0.lan", "r2.lan"}}) {
-    const auto bw = result.queries->bandwidth("l0.lan", src, dst);
-    const auto lat = result.queries->latency("l0.lan", src, dst);
-    if (bw.ok() && lat.ok()) {
-      std::printf("%s -> %s: %.1f Mbps (%s over %zu segment(s)), rtt %.2f ms\n", src, dst,
-                  units::to_mbps(bw.value().value), to_string(bw.value().method),
-                  bw.value().segments.size(), lat.value().value * 1e3);
-    }
+  // Ask for end-to-end forecasts between the deployment's first and last
+  // hosts (the aggregation layer chains measured segments when no clique
+  // covers the pair directly).
+  const auto& hosts = session.plan_result().hosts;
+  const std::string& src = hosts.front();
+  const std::string& dst = hosts.back();
+  const auto bw = session.queries().bandwidth(src, src, dst);
+  const auto lat = session.queries().latency(src, src, dst);
+  if (bw.ok() && lat.ok()) {
+    std::printf("%s -> %s: %.1f Mbps (%s over %zu segment(s)), rtt %.2f ms\n", src.c_str(),
+                dst.c_str(), units::to_mbps(bw.value().value), to_string(bw.value().method),
+                bw.value().segments.size(), lat.value().value * 1e3);
   }
 
-  result.system->stop();
+  session.system().stop();
   return 0;
 }

@@ -1,0 +1,64 @@
+// Structured progress events of the staged deployment pipeline.
+//
+// Every `api::Session` stage announces itself through this interface:
+// started / finished / failed markers plus free-form notes (per-zone
+// mapping progress, planner decisions, validator verdicts). Observers are
+// how CLIs show progress bars, tests assert ordering, and services export
+// pipeline telemetry without the pipeline knowing about any of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace envnws::api {
+
+/// The four pipeline stages, in execution order.
+enum class Stage { map, plan, apply, validate };
+
+[[nodiscard]] constexpr const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::map: return "map";
+    case Stage::plan: return "plan";
+    case Stage::apply: return "apply";
+    case Stage::validate: return "validate";
+  }
+  return "unknown";
+}
+
+struct Event {
+  enum class Kind { stage_started, stage_finished, stage_failed, note };
+  Kind kind = Kind::note;
+  Stage stage = Stage::map;
+  std::string detail;     ///< summary / note text; error text for stage_failed
+  double sim_time_s = 0;  ///< simulated clock when the event fired
+};
+
+[[nodiscard]] constexpr const char* to_string(Event::Kind kind) {
+  switch (kind) {
+    case Event::Kind::stage_started: return "started";
+    case Event::Kind::stage_finished: return "finished";
+    case Event::Kind::stage_failed: return "failed";
+    case Event::Kind::note: return "note";
+  }
+  return "unknown";
+}
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+/// Observer that records everything — the default choice for tests and
+/// for CLIs that render a summary afterwards.
+class EventLog final : public Observer {
+ public:
+  void on_event(const Event& event) override { events_.push_back(event); }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace envnws::api

@@ -1,0 +1,239 @@
+#include "api/scenario_registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace envnws::api {
+
+namespace {
+
+Result<int> parse_int(const std::string& piece, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const int value = std::stoi(piece, &used);
+    if (used != piece.size()) throw std::invalid_argument(piece);
+    return value;
+  } catch (const std::exception&) {
+    return make_error(ErrorCode::invalid_argument,
+                      "bad " + what + " '" + piece + "' (expected an integer)");
+  }
+}
+
+Result<double> parse_rate(const std::string& piece) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(piece, &used);
+    if (used != piece.size() || value <= 0.0) throw std::invalid_argument(piece);
+    return value;
+  } catch (const std::exception&) {
+    return make_error(ErrorCode::invalid_argument,
+                      "bad rate '" + piece + "' (expected Mbps > 0)");
+  }
+}
+
+/// Reject specs carrying more parameters than the builder understands —
+/// a typoed spec should fail loudly, not half-apply.
+Status check_arity(const ScenarioSpec& spec, std::size_t max_dims, std::size_t max_rates) {
+  if (spec.dims.size() > max_dims) {
+    return make_error(ErrorCode::invalid_argument,
+                      "scenario '" + spec.name + "' takes at most " +
+                          std::to_string(max_dims) + " dimension(s), got " +
+                          std::to_string(spec.dims.size()));
+  }
+  if (spec.rates_mbps.size() > max_rates) {
+    return make_error(ErrorCode::invalid_argument,
+                      "scenario '" + spec.name + "' takes at most " +
+                          std::to_string(max_rates) + " rate(s), got " +
+                          std::to_string(spec.rates_mbps.size()));
+  }
+  return {};
+}
+
+Result<int> positive_dim(const ScenarioSpec& spec, std::size_t i, int fallback) {
+  if (i >= spec.dims.size()) return fallback;
+  if (spec.dims[i] <= 0) {
+    return make_error(ErrorCode::invalid_argument,
+                      "scenario '" + spec.name + "': dimension " + std::to_string(i + 1) +
+                          " must be positive");
+  }
+  return spec.dims[i];
+}
+
+double rate_bps_or(const ScenarioSpec& spec, std::size_t i, double fallback_mbps) {
+  return units::mbps(i < spec.rates_mbps.size() ? spec.rates_mbps[i] : fallback_mbps);
+}
+
+}  // namespace
+
+Result<ScenarioSpec> ScenarioSpec::parse(const std::string& text) {
+  ScenarioSpec spec;
+  std::string head = strings::trim(text);
+  if (const auto at = head.find('@'); at != std::string::npos) {
+    for (const auto& piece : strings::split(head.substr(at + 1), '/')) {
+      auto rate = parse_rate(piece);
+      if (!rate.ok()) return rate.error();
+      spec.rates_mbps.push_back(rate.value());
+    }
+    if (spec.rates_mbps.empty()) {
+      return make_error(ErrorCode::invalid_argument, "empty rate list after '@' in '" + text + "'");
+    }
+    head = head.substr(0, at);
+  }
+  if (const auto colon = head.find(':'); colon != std::string::npos) {
+    for (const auto& piece : strings::split(head.substr(colon + 1), 'x')) {
+      auto dim = parse_int(piece, "dimension");
+      if (!dim.ok()) return dim.error();
+      spec.dims.push_back(dim.value());
+    }
+    if (spec.dims.empty()) {
+      return make_error(ErrorCode::invalid_argument,
+                        "empty dimension list after ':' in '" + text + "'");
+    }
+    head = head.substr(0, colon);
+  }
+  spec.name = strings::to_lower(strings::trim(head));
+  if (spec.name.empty()) {
+    return make_error(ErrorCode::invalid_argument, "scenario spec '" + text + "' has no name");
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::to_string() const {
+  std::ostringstream out;
+  out << name;
+  for (std::size_t i = 0; i < dims.size(); ++i) out << (i == 0 ? ':' : 'x') << dims[i];
+  for (std::size_t i = 0; i < rates_mbps.size(); ++i) {
+    out << (i == 0 ? '@' : '/') << rates_mbps[i];
+  }
+  return out.str();
+}
+
+void ScenarioRegistry::add(Entry entry) {
+  const std::string key = entry.name;
+  entries_[key] = std::move(entry);
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+Result<simnet::Scenario> ScenarioRegistry::make(const std::string& spec_text) const {
+  auto spec = ScenarioSpec::parse(spec_text);
+  if (!spec.ok()) return spec.error();
+  return make(spec.value());
+}
+
+Result<simnet::Scenario> ScenarioRegistry::make(const ScenarioSpec& spec) const {
+  const auto it = entries_.find(spec.name);
+  if (it == entries_.end()) {
+    std::vector<std::string> known;
+    known.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) known.push_back(name);
+    return make_error(ErrorCode::not_found,
+                      "unknown scenario '" + spec.name + "' (known: " +
+                          strings::join(known, ", ") + ")");
+  }
+  return it->second.factory(spec);
+}
+
+std::vector<const ScenarioRegistry::Entry*> ScenarioRegistry::entries() const {
+  std::vector<const Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(&entry);
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::string ScenarioRegistry::render_catalog() const {
+  std::ostringstream out;
+  for (const Entry* entry : entries()) {
+    out << "  " << strings::pad_right(entry->synopsis, 40) << entry->description << "\n";
+  }
+  return out.str();
+}
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry registry = [] {
+    ScenarioRegistry r;
+    r.add({"ens-lyon", "ens-lyon",
+           "the paper's ENS-Lyon evaluation network (Fig. 1a)",
+           [](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
+             if (auto st = check_arity(spec, 0, 0); !st.ok()) return st.error();
+             return simnet::ens_lyon();
+           }});
+    const auto star_factory = [](bool hub) {
+      return [hub](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
+        if (auto st = check_arity(spec, 1, 1); !st.ok()) return st.error();
+        auto n = positive_dim(spec, 0, 8);
+        if (!n.ok()) return n.error();
+        const double bw = rate_bps_or(spec, 0, 100.0);
+        return hub ? simnet::star_hub(n.value(), bw) : simnet::star_switch(n.value(), bw);
+      };
+    };
+    r.add({"star", "star[:N][@bw]",
+           "N hosts on one shared hub (alias of star-hub)", star_factory(true)});
+    r.add({"star-hub", "star-hub[:N][@bw]",
+           "N hosts on one shared half-duplex hub", star_factory(true)});
+    r.add({"star-switch", "star-switch[:N][@bw]",
+           "N hosts on one full-duplex switch", star_factory(false)});
+    r.add({"dumbbell", "dumbbell[:LxR][@port/bottleneck]",
+           "two switched clusters joined by a bottleneck link",
+           [](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
+             if (auto st = check_arity(spec, 2, 2); !st.ok()) return st.error();
+             auto left = positive_dim(spec, 0, 3);
+             auto right = positive_dim(spec, 1, 3);
+             if (!left.ok()) return left.error();
+             if (!right.ok()) return right.error();
+             return simnet::dumbbell(left.value(), right.value(), rate_bps_or(spec, 0, 100.0),
+                                     rate_bps_or(spec, 1, 10.0));
+           }});
+    r.add({"two-cluster", "two-cluster[:N][@port/transversal]",
+           "master + two N-host clusters with a transversal link",
+           [](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
+             if (auto st = check_arity(spec, 1, 2); !st.ok()) return st.error();
+             auto per = positive_dim(spec, 0, 4);
+             if (!per.ok()) return per.error();
+             return simnet::two_cluster_transversal(per.value(), rate_bps_or(spec, 0, 100.0),
+                                                    rate_bps_or(spec, 1, 50.0));
+           }});
+    r.add({"vlan", "vlan[:HxV][@port]",
+           "one switch carved into V VLANs of H hosts joined by a router",
+           [](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
+             if (auto st = check_arity(spec, 2, 1); !st.ok()) return st.error();
+             auto hosts = positive_dim(spec, 0, 4);
+             auto vlans = positive_dim(spec, 1, 2);
+             if (!hosts.ok()) return hosts.error();
+             if (!vlans.ok()) return vlans.error();
+             return simnet::vlan_lab(hosts.value(), vlans.value(), rate_bps_or(spec, 0, 100.0));
+           }});
+    r.add({"constellation", "constellation[:SxH][@lan/wan]",
+           "WAN constellation of S LAN sites with H hosts each",
+           [](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
+             if (auto st = check_arity(spec, 2, 2); !st.ok()) return st.error();
+             auto sites = positive_dim(spec, 0, 4);
+             auto hosts = positive_dim(spec, 1, 5);
+             if (!sites.ok()) return sites.error();
+             if (!hosts.ok()) return hosts.error();
+             return simnet::wan_constellation(sites.value(), hosts.value(),
+                                              rate_bps_or(spec, 0, 100.0),
+                                              rate_bps_or(spec, 1, 10.0));
+           }});
+    r.add({"random-lan", "random-lan[:SEED]",
+           "randomized multi-segment LAN with recorded ground truth",
+           [](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
+             if (auto st = check_arity(spec, 1, 0); !st.ok()) return st.error();
+             const int seed = spec.dims.empty() ? 1 : spec.dims[0];
+             if (seed < 0) {
+               return make_error(ErrorCode::invalid_argument,
+                                 "scenario 'random-lan': seed must be >= 0");
+             }
+             return simnet::random_lan(static_cast<std::uint64_t>(seed));
+           }});
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace envnws::api

@@ -1,0 +1,70 @@
+// String-keyed scenario construction: `"dumbbell:3x3@100/10"` -> Scenario.
+//
+// Every platform builder in simnet/scenario.hpp is registered under a
+// stable name, so examples, benches and tests can select workloads at run
+// time instead of recompiling. A spec string is
+//
+//     name[:D1xD2...][@R1/R2...]
+//
+// where the D's are integer dimensions (host counts, site counts, seeds)
+// and the R's are link rates in Mbps. Each entry documents its own
+// parameter meaning; omitted parameters fall back to the entry's
+// defaults, so `"dumbbell"` alone is a runnable platform.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "simnet/scenario.hpp"
+
+namespace envnws::api {
+
+/// Parsed form of a scenario spec string.
+struct ScenarioSpec {
+  std::string name;
+  std::vector<int> dims;          ///< ":3x3" -> {3, 3}
+  std::vector<double> rates_mbps; ///< "@100/10" -> {100, 10}
+
+  static Result<ScenarioSpec> parse(const std::string& text);
+  /// Canonical spec string; `parse(s.to_string())` round-trips.
+  [[nodiscard]] std::string to_string() const;
+};
+
+class ScenarioRegistry {
+ public:
+  using Factory = std::function<Result<simnet::Scenario>(const ScenarioSpec&)>;
+
+  struct Entry {
+    std::string name;
+    std::string synopsis;  ///< e.g. "dumbbell[:LxR][@port/bottleneck]"
+    std::string description;
+    Factory factory;
+  };
+
+  ScenarioRegistry() = default;
+
+  void add(Entry entry);
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Build a scenario from a spec string ("ens-lyon", "star:8@100", ...).
+  /// Unknown names fail with `not_found` listing what is available;
+  /// malformed or out-of-range parameters fail with `invalid_argument`.
+  [[nodiscard]] Result<simnet::Scenario> make(const std::string& spec_text) const;
+  [[nodiscard]] Result<simnet::Scenario> make(const ScenarioSpec& spec) const;
+
+  /// Entries sorted by name.
+  [[nodiscard]] std::vector<const Entry*> entries() const;
+  /// Human-readable catalog (the `--list` output of the benches).
+  [[nodiscard]] std::string render_catalog() const;
+
+  /// The shared registry with every simnet builder pre-registered.
+  static const ScenarioRegistry& builtin();
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace envnws::api

@@ -1,0 +1,264 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "env/scenario_zones.hpp"
+#include "env/sim_probe_engine.hpp"
+
+namespace envnws::api {
+
+namespace {
+
+ProbeEngineFactory sim_engine_factory() {
+  return [](simnet::Network& net, const env::MapperOptions& options) {
+    return std::make_unique<env::SimProbeEngine>(net, options);
+  };
+}
+
+}  // namespace
+
+Session::Session(simnet::Network& net, simnet::Scenario scenario, SessionOptions options)
+    : net_(net),
+      scenario_(std::move(scenario)),
+      options_(std::move(options)),
+      engine_factory_(sim_engine_factory()) {}
+
+Session::Session(simnet::Network& net, SessionOptions options)
+    : net_(net), options_(std::move(options)), engine_factory_(sim_engine_factory()) {}
+
+Session& Session::set_observer(Observer* observer) {
+  observer_ = observer;
+  return *this;
+}
+
+Session& Session::set_probe_engine_factory(ProbeEngineFactory factory) {
+  engine_factory_ = factory ? std::move(factory) : sim_engine_factory();
+  return *this;
+}
+
+void Session::emit(Event::Kind kind, Stage stage, std::string detail) {
+  if (observer_ == nullptr) return;
+  observer_->on_event(Event{kind, stage, std::move(detail), net_.now()});
+}
+
+Status Session::fail(Stage stage, const Error& error) {
+  emit(Event::Kind::stage_failed, stage, error.to_string());
+  return error;
+}
+
+Status Session::map() {
+  if (!scenario_.has_value()) {
+    // Before invalidate(): a map seeded via load_map*() must survive
+    // this argument error.
+    emit(Event::Kind::stage_started, Stage::map);
+    return fail(Stage::map,
+                make_error(ErrorCode::invalid_argument,
+                           "session has no scenario; seed the map stage with load_map() "
+                           "or load_map_from_gridml()"));
+  }
+  invalidate(Stage::map);
+  emit(Event::Kind::stage_started, Stage::map);
+  auto engine = engine_factory_(net_, options_.mapper);
+  env::Mapper mapper(*engine, options_.mapper);
+  const auto zones = env::zones_from_scenario(*scenario_);
+  if (!zones.ok()) return fail(Stage::map, zones.error());
+  const auto aliases = env::gateway_aliases_from_scenario(*scenario_);
+  emit(Event::Kind::note, Stage::map,
+       "mapping " + std::to_string(zones.value().size()) + " firewall zone(s) of scenario '" +
+           scenario_->name + "'");
+  auto result = mapper.map(zones.value(), aliases);
+  if (!result.ok()) return fail(Stage::map, result.error());
+  map_ = std::move(result.value());
+  published_view_ = false;
+  for (const auto& warning : map_->warnings) {
+    emit(Event::Kind::note, Stage::map, "warning: " + warning);
+  }
+  emit(Event::Kind::stage_finished, Stage::map,
+       std::to_string(map_->zones.size()) + " zone(s), " +
+           std::to_string(map_->stats.experiments) + " experiments, " +
+           strings::format_double(
+               static_cast<double>(map_->stats.bytes_sent) / (1024.0 * 1024.0), 1) +
+           " MiB injected");
+  return {};
+}
+
+Status Session::plan() {
+  if (!map_.has_value()) {
+    if (auto status = map(); !status.ok()) return status;
+  }
+  invalidate(Stage::plan);
+  emit(Event::Kind::stage_started, Stage::plan);
+  auto planned = published_view_
+                     ? deploy::plan_from_tree(map_->root, map_->master_fqdn, options_.planner)
+                     : deploy::plan_deployment(*map_, options_.planner);
+  if (!planned.ok()) return fail(Stage::plan, planned.error());
+  plan_ = std::move(planned.value());
+  if (published_view_) {
+    // Without zone information, place one memory on the master and one on
+    // each gateway of the published view (the site heads).
+    for (const auto& gateway : map_->root.gateways()) {
+      if (std::find(plan_->memory_hosts.begin(), plan_->memory_hosts.end(), gateway) ==
+          plan_->memory_hosts.end()) {
+        plan_->memory_hosts.push_back(gateway);
+      }
+    }
+  }
+  config_text_ = deploy::generate_config(*plan_);
+  emit(Event::Kind::stage_finished, Stage::plan,
+       std::to_string(plan_->cliques.size()) + " clique(s) over " +
+           std::to_string(plan_->hosts.size()) + " host(s), " +
+           std::to_string(plan_->memory_hosts.size()) + " memory server(s)");
+  return {};
+}
+
+Status Session::apply() {
+  if (!plan_.has_value()) {
+    if (auto status = plan(); !status.ok()) return status;
+  }
+  invalidate(Stage::apply);
+  emit(Event::Kind::stage_started, Stage::apply);
+  auto system = deploy::apply_plan(*plan_, net_, options_.manager);
+  if (!system.ok()) return fail(Stage::apply, system.error());
+  system_ = std::move(system.value());
+  queries_ = std::make_unique<deploy::QueryService>(*system_, *plan_);
+  emit(Event::Kind::stage_finished, Stage::apply,
+       "NWS running: nameserver on " + plan_->nameserver_host + ", " +
+           std::to_string(plan_->cliques.size()) + " clique(s) circulating");
+  return {};
+}
+
+Status Session::validate() {
+  if (!plan_.has_value()) {
+    if (auto status = plan(); !status.ok()) return status;
+  }
+  invalidate(Stage::validate);
+  emit(Event::Kind::stage_started, Stage::validate);
+  auto options = options_.validator;
+  options.bandwidth_probe_bytes = options_.manager.bandwidth_probe_bytes;
+  validation_ = deploy::validate_plan(*plan_, net_, options);
+  emit(Event::Kind::stage_finished, Stage::validate,
+       std::string(validation_->complete ? "complete" : "INCOMPLETE") + ", worst collision error " +
+           strings::format_double(validation_->worst_collision_error * 100.0, 1) + "%");
+  return {};
+}
+
+Status Session::run_all(bool with_validation) {
+  // apply() auto-runs any missing plan()/map() prerequisites itself.
+  if (system_ == nullptr) {
+    if (auto status = apply(); !status.ok()) return status;
+  }
+  if (with_validation && !validation_.has_value()) {
+    if (auto status = validate(); !status.ok()) return status;
+  }
+  return {};
+}
+
+void Session::load_map(env::MapResult map) {
+  invalidate(Stage::map);
+  map_ = std::move(map);
+  published_view_ = false;
+  emit(Event::Kind::note, Stage::map,
+       "map stage seeded from a cached view (master " + map_->master_fqdn + ")");
+}
+
+Status Session::load_map_from_gridml(const std::string& gridml_text, const std::string& master) {
+  invalidate(Stage::map);
+  auto grid = gridml::GridDoc::parse(gridml_text);
+  if (!grid.ok()) return fail(Stage::map, grid.error());
+  if (grid.value().networks.empty()) {
+    return fail(Stage::map, make_error(ErrorCode::invalid_argument,
+                                       "published GridML carries no NETWORK tree"));
+  }
+  env::MapResult map;
+  map.grid = std::move(grid.value());
+  // The merged effective view is the last NETWORK element by convention
+  // (Mapper::map appends it after the per-zone SITE data).
+  map.root = env::EnvNetwork::from_gridml(map.grid.networks.back());
+  map.master_fqdn = map.canonical(master);
+  map_ = std::move(map);
+  published_view_ = true;
+  emit(Event::Kind::note, Stage::map,
+       "map stage seeded from published GridML (master " + map_->master_fqdn + ")");
+  return {};
+}
+
+void Session::invalidate(Stage stage) {
+  switch (stage) {
+    case Stage::map:
+      map_.reset();
+      published_view_ = false;
+      [[fallthrough]];
+    case Stage::plan:
+      plan_.reset();
+      config_text_.clear();
+      [[fallthrough]];
+    case Stage::apply:
+      queries_.reset();  // references the system; must go first
+      if (system_ != nullptr) system_->stop();
+      system_.reset();
+      [[fallthrough]];
+    case Stage::validate:
+      validation_.reset();
+  }
+}
+
+bool Session::has(Stage stage) const {
+  switch (stage) {
+    case Stage::map: return map_.has_value();
+    case Stage::plan: return plan_.has_value();
+    case Stage::apply: return system_ != nullptr;
+    case Stage::validate: return validation_.has_value();
+  }
+  return false;
+}
+
+const env::MapResult& Session::map_result() const {
+  assert(map_.has_value());
+  return *map_;
+}
+env::MapResult& Session::map_result() {
+  assert(map_.has_value());
+  return *map_;
+}
+const deploy::DeploymentPlan& Session::plan_result() const {
+  assert(plan_.has_value());
+  return *plan_;
+}
+deploy::DeploymentPlan& Session::plan_result() {
+  assert(plan_.has_value());
+  return *plan_;
+}
+nws::NwsSystem& Session::system() {
+  assert(system_ != nullptr);  // apply() has run and take_system() hasn't
+  return *system_;
+}
+deploy::QueryService& Session::queries() {
+  assert(queries_ != nullptr);
+  return *queries_;
+}
+const deploy::ValidationReport& Session::validation() const {
+  assert(validation_.has_value());
+  return *validation_;
+}
+
+std::string Session::render() const {
+  std::ostringstream out;
+  if (map_.has_value()) {
+    out << "=== ENV effective view (master: " << map_->master_fqdn << ") ===\n";
+    out << env::render_effective(map_->root);
+    out << "\nENV mapping cost: " << map_->stats.experiments << " experiments, "
+        << strings::format_double(
+               static_cast<double>(map_->stats.bytes_sent) / (1024.0 * 1024.0), 1)
+        << " MiB injected, " << strings::format_double(map_->stats.duration_s / 60.0, 1)
+        << " simulated minutes\n";
+  }
+  if (plan_.has_value()) out << "\n=== deployment plan ===\n" << plan_->render();
+  if (validation_.has_value()) out << "\n=== validation ===\n" << validation_->render();
+  return out.str();
+}
+
+}  // namespace envnws::api

@@ -1,0 +1,135 @@
+// api::Session — the paper's pipeline as a staged, observable object.
+//
+// The four stages of the title ("automatic deployment of the NWS using
+// an effective network view": map the platform with ENV, derive a
+// deployment plan, apply it, validate the §2.3 constraints) are
+// individually runnable and resumable:
+//
+//   api::Session session(net, scenario);
+//   session.map();       // probe the platform (or load a cached view)
+//   session.plan();      // re-runnable with different planner options
+//   session.apply();     // launch the NWS processes
+//   session.validate();  // check the four deployment constraints
+//
+// Calling a stage whose prerequisites have not run yet runs them first;
+// calling a stage again re-runs it from the cached output of the stage
+// before it and drops everything downstream. `load_map()` /
+// `load_map_from_gridml()` seed the map stage without probing — the
+// §4.3 "publish the mapping" workflow — so a platform mapped once can
+// be re-planned forever. Probing itself goes through a pluggable
+// `ProbeEngineFactory` (simulator by default; scripted traces and real
+// sockets implement the same `env::ProbeEngine` interface).
+//
+// Progress flows through `api::Observer` (see observer.hpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/observer.hpp"
+#include "common/result.hpp"
+#include "deploy/manager.hpp"
+#include "deploy/plan.hpp"
+#include "deploy/planner.hpp"
+#include "deploy/query.hpp"
+#include "deploy/validate.hpp"
+#include "env/mapper.hpp"
+#include "env/options.hpp"
+#include "env/probe_engine.hpp"
+#include "simnet/scenario.hpp"
+
+namespace envnws::api {
+
+struct SessionOptions {
+  env::MapperOptions mapper;
+  deploy::PlannerOptions planner;
+  deploy::ManagerOptions manager;
+  deploy::ValidatorOptions validator;
+};
+
+/// Builds the probe engine the map stage observes the platform with.
+using ProbeEngineFactory = std::function<std::unique_ptr<env::ProbeEngine>(
+    simnet::Network& net, const env::MapperOptions& options)>;
+
+class Session {
+ public:
+  /// A session around a scenario: zones and gateway aliases for the map
+  /// stage are derived from it.
+  Session(simnet::Network& net, simnet::Scenario scenario, SessionOptions options = {});
+  /// A session without a scenario: the map stage must be seeded through
+  /// `load_map()` or `load_map_from_gridml()`.
+  Session(simnet::Network& net, SessionOptions options = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Observer is not owned; nullptr disables events.
+  Session& set_observer(Observer* observer);
+  /// Replace the probe backend (default: env::SimProbeEngine).
+  Session& set_probe_engine_factory(ProbeEngineFactory factory);
+
+  // --- stages -------------------------------------------------------------
+  Status map();
+  Status plan();
+  Status apply();
+  Status validate();
+  /// map -> plan -> apply [-> validate]; stages already run are reused.
+  Status run_all(bool with_validation = true);
+
+  // --- stage reuse --------------------------------------------------------
+  /// Seed the map stage with a previously computed view (no probing).
+  void load_map(env::MapResult map);
+  /// Seed the map stage from published GridML text (§4.3 "Bandwidth
+  /// waste": deploy from the published mapping without redoing it).
+  /// Memory servers are later placed on the master and on every gateway
+  /// named in the view, since zone data is not published.
+  Status load_map_from_gridml(const std::string& gridml_text, const std::string& master);
+  /// Drop `stage`'s output and everything downstream of it.
+  void invalidate(Stage stage);
+  [[nodiscard]] bool has(Stage stage) const;
+
+  /// Mutable: tweak between stage runs (e.g. re-plan with host locks).
+  SessionOptions& options() { return options_; }
+  [[nodiscard]] simnet::Network& network() { return net_; }
+
+  // --- stage outputs (valid once the stage has run) -----------------------
+  [[nodiscard]] const env::MapResult& map_result() const;
+  [[nodiscard]] env::MapResult& map_result();
+  [[nodiscard]] const deploy::DeploymentPlan& plan_result() const;
+  [[nodiscard]] deploy::DeploymentPlan& plan_result();
+  [[nodiscard]] const std::string& config_text() const { return config_text_; }
+  [[nodiscard]] nws::NwsSystem& system();
+  [[nodiscard]] deploy::QueryService& queries();
+  [[nodiscard]] const deploy::ValidationReport& validation() const;
+
+  /// Transfer ownership of the running system / query service out of the
+  /// session (the core::auto_deploy compatibility wrapper uses these).
+  std::unique_ptr<nws::NwsSystem> take_system() { return std::move(system_); }
+  std::unique_ptr<deploy::QueryService> take_queries() { return std::move(queries_); }
+
+  /// One-page report of every stage that has run so far.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  void emit(Event::Kind kind, Stage stage, std::string detail = {});
+  Status fail(Stage stage, const Error& error);
+
+  simnet::Network& net_;
+  std::optional<simnet::Scenario> scenario_;
+  SessionOptions options_;
+  Observer* observer_ = nullptr;
+  ProbeEngineFactory engine_factory_;
+
+  std::optional<env::MapResult> map_;
+  /// The map was loaded from published GridML (no zone information).
+  bool published_view_ = false;
+  std::optional<deploy::DeploymentPlan> plan_;
+  std::string config_text_;
+  std::unique_ptr<nws::NwsSystem> system_;
+  std::unique_ptr<deploy::QueryService> queries_;
+  std::optional<deploy::ValidationReport> validation_;
+};
+
+}  // namespace envnws::api

@@ -1,90 +1,57 @@
+// Compatibility wrappers: the original one-call pipeline entry points,
+// now thin shims over the staged api::Session.
 #include "core/autodeploy.hpp"
 
-#include <algorithm>
 #include <sstream>
+#include <utility>
 
+#include "api/session.hpp"
 #include "common/strings.hpp"
-#include "common/units.hpp"
-#include "env/scenario_zones.hpp"
-#include "env/sim_probe_engine.hpp"
 
 namespace envnws::core {
 
+namespace {
+
+api::SessionOptions to_session_options(const AutoDeployOptions& options) {
+  api::SessionOptions session_options;
+  session_options.mapper = options.mapper;
+  session_options.planner = options.planner;
+  session_options.manager = options.manager;
+  session_options.validator = options.validator;
+  return session_options;
+}
+
+Result<AutoDeployResult> harvest(api::Session& session, bool validated) {
+  AutoDeployResult result;
+  result.map = std::move(session.map_result());
+  result.plan = std::move(session.plan_result());
+  result.config_text = session.config_text();
+  result.system = session.take_system();
+  result.queries = session.take_queries();
+  if (validated) result.validation = session.validation();
+  return result;
+}
+
+}  // namespace
+
 Result<AutoDeployResult> auto_deploy(simnet::Network& net, const simnet::Scenario& scenario,
                                      AutoDeployOptions options) {
-  AutoDeployResult result;
-
-  // --- phase 1: map the platform with ENV -------------------------------
-  env::SimProbeEngine engine(net, options.mapper);
-  env::Mapper mapper(engine, options.mapper);
-  const auto zones = env::zones_from_scenario(scenario);
-  const auto aliases = env::gateway_aliases_from_scenario(scenario);
-  auto map = mapper.map(zones, aliases);
-  if (!map.ok()) return map.error();
-  result.map = std::move(map.value());
-
-  // --- phase 2: deployment planning --------------------------------------
-  auto plan = deploy::plan_deployment(result.map, options.planner);
-  if (!plan.ok()) return plan.error();
-  result.plan = std::move(plan.value());
-  result.config_text = deploy::generate_config(result.plan);
-
-  // --- phase 3: apply the plan -------------------------------------------
-  auto system = deploy::apply_plan(result.plan, net, options.manager);
-  if (!system.ok()) return system.error();
-  result.system = std::move(system.value());
-  result.queries = std::make_unique<deploy::QueryService>(*result.system, result.plan);
-
-  // --- phase 4: verify the deployment constraints -------------------------
-  if (options.validate) {
-    options.validator.bandwidth_probe_bytes = options.manager.bandwidth_probe_bytes;
-    result.validation = deploy::validate_plan(result.plan, net, options.validator);
-  }
-  return result;
+  api::Session session(net, scenario, to_session_options(options));
+  auto status = session.run_all(options.validate);
+  if (!status.ok()) return status.error();
+  return harvest(session, options.validate);
 }
 
 Result<AutoDeployResult> deploy_from_gridml(simnet::Network& net,
                                             const std::string& gridml_text,
                                             const std::string& master,
                                             AutoDeployOptions options) {
-  AutoDeployResult result;
-
-  auto grid = gridml::GridDoc::parse(gridml_text);
-  if (!grid.ok()) return grid.error();
-  if (grid.value().networks.empty()) {
-    return make_error(ErrorCode::invalid_argument,
-                      "published GridML carries no NETWORK tree");
-  }
-  result.map.grid = std::move(grid.value());
-  // The merged effective view is the last NETWORK element by convention
-  // (Mapper::map appends it after the per-zone SITE data).
-  result.map.root = env::EnvNetwork::from_gridml(result.map.grid.networks.back());
-  result.map.master_fqdn = result.map.canonical(master);
-
-  auto plan = deploy::plan_from_tree(result.map.root, result.map.master_fqdn,
-                                     options.planner);
-  if (!plan.ok()) return plan.error();
-  result.plan = std::move(plan.value());
-  // Without zone information, place one memory on the master and one on
-  // each gateway of the published view (the site heads).
-  for (const auto& gateway : result.map.root.gateways()) {
-    if (std::find(result.plan.memory_hosts.begin(), result.plan.memory_hosts.end(),
-                  gateway) == result.plan.memory_hosts.end()) {
-      result.plan.memory_hosts.push_back(gateway);
-    }
-  }
-  result.config_text = deploy::generate_config(result.plan);
-
-  auto system = deploy::apply_plan(result.plan, net, options.manager);
-  if (!system.ok()) return system.error();
-  result.system = std::move(system.value());
-  result.queries = std::make_unique<deploy::QueryService>(*result.system, result.plan);
-
-  if (options.validate) {
-    options.validator.bandwidth_probe_bytes = options.manager.bandwidth_probe_bytes;
-    result.validation = deploy::validate_plan(result.plan, net, options.validator);
-  }
-  return result;
+  api::Session session(net, to_session_options(options));
+  auto loaded = session.load_map_from_gridml(gridml_text, master);
+  if (!loaded.ok()) return loaded.error();
+  auto status = session.run_all(options.validate);
+  if (!status.ok()) return status.error();
+  return harvest(session, options.validate);
 }
 
 std::string AutoDeployResult::render() const {

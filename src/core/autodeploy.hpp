@@ -1,6 +1,11 @@
 // The end-to-end automatic deployment pipeline — what the paper's title
 // promises: map the platform with ENV, derive an NWS deployment plan,
 // apply it, and verify the four deployment constraints hold.
+//
+// These one-call entry points are compatibility wrappers over the staged
+// api::Session (api/session.hpp), which is the surface to use when you
+// need intermediate results, stage reuse, progress events, or a custom
+// probe backend.
 #pragma once
 
 #include <memory>

@@ -19,10 +19,11 @@ std::string zone_local_name(const simnet::Node& host, const std::string& zone) {
 
 }  // namespace
 
-std::vector<ZoneSpec> zones_from_scenario(const simnet::Scenario& scenario) {
+Result<std::vector<ZoneSpec>> zones_from_scenario(const simnet::Scenario& scenario) {
   const simnet::Topology& topo = scenario.topology;
-  const NodeId master_id = scenario.id(scenario.master);
-  const simnet::Node& master_node = topo.node(master_id);
+  const auto master_id = scenario.id(scenario.master);
+  if (!master_id.ok()) return master_id.error();
+  const simnet::Node& master_node = topo.node(master_id.value());
 
   // Zones ordered with the master's first (it becomes the primary zone).
   std::vector<std::string> zones = topo.zones();
@@ -58,7 +59,12 @@ std::vector<ZoneSpec> zones_from_scenario(const simnet::Scenario& scenario) {
 
     const auto target_it = scenario.zone_traceroute_target.find(zone);
     if (target_it != scenario.zone_traceroute_target.end()) {
-      const simnet::Node& target = topo.node(scenario.id(target_it->second));
+      const auto target_id = scenario.id(target_it->second);
+      if (!target_id.ok()) {
+        return make_error(ErrorCode::not_found, "zone '" + zone + "' traceroute target: " +
+                                                    target_id.error().message);
+      }
+      const simnet::Node& target = topo.node(target_id.value());
       spec.traceroute_target =
           target.is_host() ? zone_local_name(target, zone) : target.name;
     } else if (topo.edge_router().valid()) {

@@ -9,13 +9,17 @@
 
 #include <vector>
 
+#include "common/result.hpp"
 #include "env/mapper.hpp"
 #include "gridml/merge.hpp"
 #include "simnet/scenario.hpp"
 
 namespace envnws::env {
 
-[[nodiscard]] std::vector<ZoneSpec> zones_from_scenario(const simnet::Scenario& scenario);
+/// Fails with `not_found` when the scenario names a master or traceroute
+/// target that does not exist in its topology.
+[[nodiscard]] Result<std::vector<ZoneSpec>> zones_from_scenario(
+    const simnet::Scenario& scenario);
 
 [[nodiscard]] std::vector<gridml::AliasGroup> gateway_aliases_from_scenario(
     const simnet::Scenario& scenario);

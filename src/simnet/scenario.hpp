@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "simnet/topology.hpp"
 
 namespace envnws::simnet {
@@ -37,8 +38,15 @@ struct Scenario {
   /// Ground truth segments for accuracy scoring (synthetic families).
   std::vector<GroundTruthNet> ground_truth;
 
-  [[nodiscard]] NodeId id(const std::string& short_name) const {
-    return topology.find_by_name(short_name).value();
+  /// Node id of a scenario host by short name. A missing name is a
+  /// `not_found` error naming the scenario and the host — not a crash.
+  [[nodiscard]] Result<NodeId> id(const std::string& short_name) const {
+    auto found = topology.find_by_name(short_name);
+    if (!found.ok()) {
+      return make_error(ErrorCode::not_found,
+                        "scenario '" + name + "' has no node named '" + short_name + "'");
+    }
+    return found.value();
   }
 };
 

@@ -1,0 +1,225 @@
+// The staged pipeline: stage reuse, observer event ordering, probe
+// backend pluggability, and equivalence with the core::auto_deploy
+// compatibility wrapper.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "api/envnws.hpp"
+#include "common/units.hpp"
+#include "env/sim_probe_engine.hpp"
+
+namespace envnws::api {
+namespace {
+
+using units::mbps;
+
+simnet::Scenario test_scenario() {
+  return ScenarioRegistry::builtin().make("dumbbell:3x3@100/10").value();
+}
+
+std::uint64_t probe_flows(const simnet::Network& net) {
+  const auto it = net.stats().by_purpose.find("env-probe");
+  return it == net.stats().by_purpose.end() ? 0 : it->second.flow_count;
+}
+
+TEST(Session, PlanFromCachedMapIsIdenticalToAutoDeploy) {
+  const auto scenario = test_scenario();
+
+  simnet::Network reference_net(simnet::Scenario(scenario).topology);
+  auto reference = core::auto_deploy(reference_net, scenario);
+  ASSERT_TRUE(reference.ok()) << reference.error().to_string();
+
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  Session session(net, scenario);
+  ASSERT_TRUE(session.map().ok());
+  ASSERT_TRUE(session.plan().ok());
+  EXPECT_EQ(session.config_text(), reference.value().config_text);
+  EXPECT_EQ(session.plan_result().render(), reference.value().plan.render());
+  reference.value().system->stop();
+}
+
+TEST(Session, RePlanningReusesTheCachedMapWithoutReProbing) {
+  simnet::Network net(simnet::Scenario(test_scenario()).topology);
+  Session session(net, test_scenario());
+  ASSERT_TRUE(session.plan().ok());  // auto-runs the map stage first
+  EXPECT_TRUE(session.has(Stage::map));
+  const std::uint64_t probes_after_map = probe_flows(net);
+  ASSERT_GT(probes_after_map, 0u);
+  const std::string first_config = session.config_text();
+
+  // Re-plan with host locks: different plan, not a single new probe.
+  session.options().planner.use_host_locks = true;
+  ASSERT_TRUE(session.plan().ok());
+  EXPECT_EQ(probe_flows(net), probes_after_map);
+  EXPECT_NE(session.config_text(), first_config);
+
+  // And back: byte-identical to the first plan.
+  session.options().planner.use_host_locks = false;
+  ASSERT_TRUE(session.plan().ok());
+  EXPECT_EQ(probe_flows(net), probes_after_map);
+  EXPECT_EQ(session.config_text(), first_config);
+}
+
+TEST(Session, LoadedMapIsPlannedWithoutProbing) {
+  // First session maps and publishes; second one re-plans from the cache.
+  simnet::Network net1(simnet::Scenario(test_scenario()).topology);
+  Session first(net1, test_scenario());
+  ASSERT_TRUE(first.map().ok());
+  ASSERT_TRUE(first.plan().ok());
+  const std::string expected_config = first.config_text();
+  env::MapResult cached = std::move(first.map_result());
+
+  simnet::Network net2(simnet::Scenario(test_scenario()).topology);
+  Session second(net2);  // no scenario: map stage must come from the cache
+  second.load_map(std::move(cached));
+  ASSERT_TRUE(second.run_all().ok());
+  EXPECT_EQ(probe_flows(net2), 0u);
+  EXPECT_EQ(second.config_text(), expected_config);
+  second.system().stop();
+}
+
+TEST(Session, MapFailsWithoutScenarioOrCache) {
+  simnet::Network net(simnet::Scenario(test_scenario()).topology);
+  Session session(net);
+  EventLog log;
+  session.set_observer(&log);
+  auto status = session.run_all();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::invalid_argument);
+  ASSERT_FALSE(log.events().empty());
+  EXPECT_EQ(log.events().back().kind, Event::Kind::stage_failed);
+  EXPECT_EQ(log.events().back().stage, Stage::map);
+}
+
+TEST(Session, FailedMapCallDoesNotDiscardASeededMap) {
+  simnet::Network net1(simnet::Scenario(test_scenario()).topology);
+  Session first(net1, test_scenario());
+  ASSERT_TRUE(first.map().ok());
+  env::MapResult cached = std::move(first.map_result());
+
+  simnet::Network net2(simnet::Scenario(test_scenario()).topology);
+  Session session(net2);
+  session.load_map(std::move(cached));
+  // Probing is impossible without a scenario — but the error must not
+  // wipe the cache it tells the caller to provide.
+  EXPECT_FALSE(session.map().ok());
+  EXPECT_TRUE(session.has(Stage::map));
+  EXPECT_TRUE(session.plan().ok());
+}
+
+TEST(Session, ObserverSeesStagesInPipelineOrder) {
+  simnet::Network net(simnet::Scenario(test_scenario()).topology);
+  Session session(net, test_scenario());
+  EventLog log;
+  session.set_observer(&log);
+  ASSERT_TRUE(session.run_all().ok());
+
+  std::vector<std::pair<Event::Kind, Stage>> markers;
+  for (const auto& event : log.events()) {
+    if (event.kind != Event::Kind::note) markers.emplace_back(event.kind, event.stage);
+  }
+  const std::vector<std::pair<Event::Kind, Stage>> expected{
+      {Event::Kind::stage_started, Stage::map},
+      {Event::Kind::stage_finished, Stage::map},
+      {Event::Kind::stage_started, Stage::plan},
+      {Event::Kind::stage_finished, Stage::plan},
+      {Event::Kind::stage_started, Stage::apply},
+      {Event::Kind::stage_finished, Stage::apply},
+      {Event::Kind::stage_started, Stage::validate},
+      {Event::Kind::stage_finished, Stage::validate},
+  };
+  EXPECT_EQ(markers, expected);
+
+  // Event timestamps never go backwards (the map stage advances the
+  // simulated clock, later stages are instantaneous).
+  for (std::size_t i = 1; i < log.events().size(); ++i) {
+    EXPECT_GE(log.events()[i].sim_time_s, log.events()[i - 1].sim_time_s);
+  }
+  session.system().stop();
+}
+
+TEST(Session, CustomProbeEngineFactoryIsUsed) {
+  simnet::Network net(simnet::Scenario(test_scenario()).topology);
+  Session session(net, test_scenario());
+  int factory_calls = 0;
+  session.set_probe_engine_factory(
+      [&factory_calls](simnet::Network& target, const env::MapperOptions& options)
+          -> std::unique_ptr<env::ProbeEngine> {
+        ++factory_calls;
+        return std::make_unique<env::SimProbeEngine>(target, options);
+      });
+  ASSERT_TRUE(session.map().ok());
+  EXPECT_EQ(factory_calls, 1);
+  // Re-planning does not touch the probe backend again.
+  ASSERT_TRUE(session.plan().ok());
+  EXPECT_EQ(factory_calls, 1);
+  // Re-mapping builds a fresh engine.
+  ASSERT_TRUE(session.map().ok());
+  EXPECT_EQ(factory_calls, 2);
+}
+
+TEST(Session, InvalidateDropsDownstreamStages) {
+  simnet::Network net(simnet::Scenario(test_scenario()).topology);
+  Session session(net, test_scenario());
+  ASSERT_TRUE(session.run_all().ok());
+  EXPECT_TRUE(session.has(Stage::map));
+  EXPECT_TRUE(session.has(Stage::validate));
+
+  session.invalidate(Stage::plan);
+  EXPECT_TRUE(session.has(Stage::map));
+  EXPECT_FALSE(session.has(Stage::plan));
+  EXPECT_FALSE(session.has(Stage::apply));
+  EXPECT_FALSE(session.has(Stage::validate));
+
+  // The pipeline resumes from the surviving map stage.
+  const std::uint64_t probes = probe_flows(net);
+  ASSERT_TRUE(session.run_all().ok());
+  EXPECT_EQ(probe_flows(net), probes);
+  session.system().stop();
+}
+
+TEST(Session, GridmlSeededSessionMatchesDeployFromGridml) {
+  // Map once and publish the GridML text.
+  std::string published;
+  {
+    simnet::Network net(simnet::Scenario(test_scenario()).topology);
+    Session session(net, test_scenario());
+    ASSERT_TRUE(session.map().ok());
+    published = session.map_result().grid.to_string();
+  }
+
+  simnet::Network net(simnet::Scenario(test_scenario()).topology);
+  Session session(net);
+  ASSERT_TRUE(session.load_map_from_gridml(published, "l0.lan").ok());
+  ASSERT_TRUE(session.run_all().ok());
+  EXPECT_EQ(probe_flows(net), 0u);
+
+  simnet::Network reference_net(simnet::Scenario(test_scenario()).topology);
+  auto reference = core::deploy_from_gridml(reference_net, published, "l0.lan");
+  ASSERT_TRUE(reference.ok()) << reference.error().to_string();
+  EXPECT_EQ(session.config_text(), reference.value().config_text);
+  EXPECT_EQ(session.plan_result().memory_hosts, reference.value().plan.memory_hosts);
+  reference.value().system->stop();
+  session.system().stop();
+
+  // Garbage documents fail loudly.
+  Session bad(net);
+  EXPECT_FALSE(bad.load_map_from_gridml("<GRID />", "l0.lan").ok());
+  EXPECT_FALSE(bad.load_map_from_gridml("not xml at all", "x").ok());
+}
+
+TEST(ScenarioId, MissingHostIsNamedErrorNotCrash) {
+  const auto scenario = test_scenario();
+  auto found = scenario.id("l0");
+  ASSERT_TRUE(found.ok());
+  auto missing = scenario.id("does-not-exist");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::not_found);
+  EXPECT_NE(missing.error().message.find("does-not-exist"), std::string::npos);
+  EXPECT_NE(missing.error().message.find(scenario.name), std::string::npos);
+}
+
+}  // namespace
+}  // namespace envnws::api

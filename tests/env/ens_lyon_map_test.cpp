@@ -23,7 +23,8 @@ class EnsLyonMap : public ::testing::Test {
     SimProbeEngine* engine = new SimProbeEngine(*net_, options);
     Mapper mapper(*engine, options);
     auto result =
-        mapper.map(zones_from_scenario(*scenario_), gateway_aliases_from_scenario(*scenario_));
+        mapper.map(zones_from_scenario(*scenario_).value(),
+                   gateway_aliases_from_scenario(*scenario_));
     ASSERT_TRUE(result.ok()) << result.error().to_string();
     map_ = new MapResult(std::move(result.value()));
   }

@@ -18,8 +18,9 @@ ZoneMapResult map_single_zone(simnet::Network& net, const simnet::Scenario& scen
   SimProbeEngine engine(net, options);
   Mapper mapper(engine, options);
   const auto zones = zones_from_scenario(scenario);
-  EXPECT_EQ(zones.size(), 1u);
-  auto result = mapper.map_zone(zones.front());
+  EXPECT_TRUE(zones.ok());
+  EXPECT_EQ(zones.value().size(), 1u);
+  auto result = mapper.map_zone(zones.value().front());
   EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().to_string());
   return result.value();
 }

@@ -128,7 +128,8 @@ TEST_F(EnsLyonDeploy, AggregatedLatencyAddsUp) {
       deploy_->queries->latency("the-doors", "the-doors.ens-lyon.fr", "sci3.popc.private");
   ASSERT_TRUE(reply.ok());
   const double truth =
-      2.0 * net_->ground_truth_latency(scenario_->id("the-doors"), scenario_->id("sci3"))
+      2.0 * net_->ground_truth_latency(scenario_->id("the-doors").value(),
+                                       scenario_->id("sci3").value())
                 .value();  // RTT
   // Sum of segment RTTs >= end-to-end RTT; same order of magnitude.
   EXPECT_GT(reply.value().value, truth * 0.5);
