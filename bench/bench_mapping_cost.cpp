@@ -2,35 +2,49 @@
 // all... the whole process would last about 50 days for 20 hosts. That is
 // why ENV does not try to completely map the network."
 //
-// Prints the naive full-mapping cost model next to MEASURED ENV runs on
-// switched LANs of growing size.
+// Three sections:
+//  1. The naive full-mapping cost model next to MEASURED ENV runs over a
+//     growing scenario family (`--scenario` template, default
+//     star-switch:{N}@100 — the swept host count substitutes into {N}).
+//  2. Concurrent zone mapping: the same multi-zone platform mapped with
+//     --threads=1 and --threads=K; prints the (simulated) wall-clock
+//     speedup and verifies the merged results are identical.
+//  3. With --map-cache=DIR: maps once through the persistent cache, then
+//     again — the second run must reload with ZERO probe experiments.
+#include <chrono>
 #include <cstdio>
 
+#include "api/envnws.hpp"
 #include "bench_util.hpp"
-#include "common/table.hpp"
 #include "common/strings.hpp"
+#include "common/table.hpp"
+
 #include "common/units.hpp"
 #include "env/cost_model.hpp"
+#include "env/env_tree.hpp"
 #include "env/mapper.hpp"
 #include "env/scenario_zones.hpp"
 #include "env/sim_probe_engine.hpp"
 #include "simnet/scenario.hpp"
 
-int main() {
-  using namespace envnws;
-  bench::banner("CLAIM-SCALE",
-                "§4.3 mapping-cost argument (naive ~50 days at 20 hosts, 30 s/experiment)",
-                "naive experiment count grows ~n^4 (all link pairs), ENV ~n^2;"
-                " naive hits ~50 days at n=20 while ENV stays at simulated minutes");
+using namespace envnws;
 
+namespace {
+
+constexpr const char* kDefaultTemplate = "star-switch:{N}@100";
+constexpr const char* kParallelScenario = "multi-firewall:8x8";
+
+void sweep_section(const std::string& spec_template) {
   Table table({"hosts", "naive exps", "naive days@30s", "env model exps", "env measured exps",
                "env sim minutes", "naive/env ratio"});
 
   for (const int n : {4, 8, 12, 16, 20, 24, 32}) {
-    const env::MappingCost naive = env::naive_full_mapping_cost(n);
-    const env::MappingCost model = env::env_worst_case_cost(n);
+    const std::string spec = bench::instantiate_spec(spec_template, n);
+    simnet::Scenario scenario = bench::make_scenario_or_exit(spec);
+    const int hosts = static_cast<int>(scenario.topology.hosts().size());
+    const env::MappingCost naive = env::naive_full_mapping_cost(hosts);
+    const env::MappingCost model = env::env_worst_case_cost(hosts);
 
-    simnet::Scenario scenario = simnet::star_switch(n, units::mbps(100));
     simnet::Network net(simnet::Scenario(scenario).topology);
     env::MapperOptions options;
     env::SimProbeEngine engine(net, options);
@@ -38,21 +52,131 @@ int main() {
     const auto zones = env::zones_from_scenario(scenario);
     auto result = mapper.map_zone(zones.value().front());
     if (!result.ok()) {
-      std::fprintf(stderr, "mapping failed at n=%d\n", n);
-      return 1;
+      std::fprintf(stderr, "mapping '%s' failed: %s\n", spec.c_str(),
+                   result.error().to_string().c_str());
+      std::exit(1);
     }
     const auto measured = result.value().stats;
     table.add_row(
-        {std::to_string(n), std::to_string(naive.experiments),
+        {std::to_string(hosts), std::to_string(naive.experiments),
          strings::format_double(naive.days(30.0), 1), std::to_string(model.experiments),
          std::to_string(measured.experiments),
          strings::format_double(measured.duration_s / 60.0, 1),
          strings::format_double(static_cast<double>(naive.experiments) /
                                     static_cast<double>(measured.experiments),
                                 0)});
+    if (!bench::is_spec_template(spec_template)) break;  // single fixed scenario
   }
   std::printf("%s\n", table.to_string().c_str());
-  std::printf("paper anchor: naive at 20 hosts = %.1f days (paper: \"about 50 days\")\n",
+  std::printf("paper anchor: naive at 20 hosts = %.1f days (paper: \"about 50 days\")\n\n",
               env::naive_full_mapping_cost(20).days(30.0));
+}
+
+/// Map `scenario` through a Session with the given zone-worker count;
+/// returns the elapsed real time in seconds.
+double timed_map(api::Session& session, int threads) {
+  session.options().mapper.map_threads = threads;
+  const auto begin = std::chrono::steady_clock::now();
+  if (auto status = session.map(); !status.ok()) {
+    std::fprintf(stderr, "map failed: %s\n", status.error().to_string().c_str());
+    std::exit(1);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+}
+
+void parallel_section(const std::string& spec, int threads) {
+  simnet::Scenario scenario = bench::make_scenario_or_exit(spec);
+  std::printf("--- concurrent zone mapping: %s ---\n", spec.c_str());
+
+  simnet::Network seq_net(simnet::Scenario(scenario).topology);
+  api::Session sequential(seq_net, scenario);
+  const double seq_real_s = timed_map(sequential, 1);
+  const env::MapStats seq = sequential.map_result().stats;
+
+  simnet::Network par_net(simnet::Scenario(scenario).topology);
+  api::Session parallel(par_net, scenario);
+  const double par_real_s = timed_map(parallel, threads);
+  const env::MapStats par = parallel.map_result().stats;
+
+  Table table({"threads", "zones", "experiments", "sim minutes", "real seconds"});
+  table.add_row({"1", std::to_string(sequential.map_result().zones.size()),
+                 std::to_string(seq.experiments),
+                 strings::format_double(seq.duration_s / 60.0, 2),
+                 strings::format_double(seq_real_s, 2)});
+  table.add_row({std::to_string(threads), std::to_string(parallel.map_result().zones.size()),
+                 std::to_string(par.experiments),
+                 strings::format_double(par.duration_s / 60.0, 2),
+                 strings::format_double(par_real_s, 2)});
+  std::printf("%s", table.to_string().c_str());
+
+  const double sim_speedup = par.duration_s > 0.0 ? seq.duration_s / par.duration_s : 0.0;
+  const bool identical =
+      sequential.map_result().grid.to_string() == parallel.map_result().grid.to_string() &&
+      env::render_effective(sequential.map_result().root) ==
+          env::render_effective(parallel.map_result().root) &&
+      sequential.map_result().warnings == parallel.map_result().warnings &&
+      sequential.map_result().master_fqdn == parallel.map_result().master_fqdn;
+  std::printf("mapping wall-clock speedup with --threads=%d: %sx (simulated)\n", threads,
+              strings::format_double(sim_speedup, 1).c_str());
+  std::printf("parallel merged MapResult (grid, root, warnings) identical to sequential: %s\n\n",
+              identical ? "yes" : "NO — BUG");
+  if (!identical) std::exit(1);
+}
+
+void cache_section(const std::string& spec, const std::string& cache_dir) {
+  simnet::Scenario scenario = bench::make_scenario_or_exit(spec);
+  std::printf("--- persistent map cache (%s) ---\n", cache_dir.c_str());
+
+  simnet::Network first_net(simnet::Scenario(scenario).topology);
+  api::Session first(first_net, scenario);
+  first.set_map_cache(cache_dir);
+  if (auto status = first.map(); !status.ok()) {
+    std::fprintf(stderr, "map failed: %s\n", status.error().to_string().c_str());
+    std::exit(1);
+  }
+  const env::MapStats cold = first.map_result().stats;
+
+  simnet::Network second_net(simnet::Scenario(scenario).topology);
+  api::Session second(second_net, scenario);
+  second.set_map_cache(cache_dir);
+  if (auto status = second.map(); !status.ok()) {
+    std::fprintf(stderr, "cached map failed: %s\n", status.error().to_string().c_str());
+    std::exit(1);
+  }
+  const env::MapStats warm = second.map_result().stats;
+
+  std::printf("first  map(): %llu experiments, %s MiB injected\n",
+              static_cast<unsigned long long>(cold.experiments),
+              strings::format_double(static_cast<double>(cold.bytes_sent) / (1024.0 * 1024.0), 1)
+                  .c_str());
+  std::printf("second map(): %llu experiments (reloaded from cache)\n",
+              static_cast<unsigned long long>(warm.experiments));
+  if (warm.experiments != 0) {
+    std::fprintf(stderr, "BUG: cache reload still probed\n");
+    std::exit(1);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchCli cli = bench::bench_cli(argc, argv, kDefaultTemplate);
+  bench::banner("CLAIM-SCALE",
+                "§4.3 mapping-cost argument (naive ~50 days at 20 hosts, 30 s/experiment)",
+                "naive experiment count grows ~n^4 (all link pairs), ENV ~n^2; naive hits"
+                " ~50 days at n=20 while ENV stays at simulated minutes — and concurrent"
+                " zone mapping cuts those minutes by ~the zone count");
+
+  sweep_section(cli.scenario_spec);
+
+  // The zone fan-out needs a genuinely multi-zone platform: use the
+  // given scenario when it is one concrete spec, the default firewall
+  // family when the bench swept a template.
+  const std::string parallel_spec =
+      bench::is_spec_template(cli.scenario_spec) ? kParallelScenario : cli.scenario_spec;
+  parallel_section(parallel_spec, cli.threads);
+
+  if (!cli.map_cache_dir.empty()) cache_section(parallel_spec, cli.map_cache_dir);
   return 0;
 }

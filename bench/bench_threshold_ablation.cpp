@@ -31,18 +31,18 @@ struct Score {
   }
 };
 
-/// Map every seed's LAN with the given options and score segment
-/// classification. All segments run at one speed so no verdict is masked
-/// by an upstream bottleneck (that effect is a separate experiment), and
-/// every measurement carries 5% multiplicative jitter — the noise the
-/// thresholds were designed to absorb.
-Score score_options(const env::MapperOptions& options) {
+/// Map every seed's platform with the given options and score segment
+/// classification. The platform family is a spec template whose
+/// placeholder receives the seed (default random-lan:{SEED}@100: all
+/// segments run at one speed so no verdict is masked by an upstream
+/// bottleneck — that effect is a separate experiment). Every measurement
+/// carries 5% multiplicative jitter — the noise the thresholds were
+/// designed to absorb.
+Score score_options(const std::string& spec_template, const env::MapperOptions& options) {
   Score score;
-  simnet::RandomLanParams params;
-  params.segment_count = 4;
-  params.segment_bw_bps = {units::mbps(100)};
   for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u, 66u}) {
-    simnet::Scenario scenario = simnet::random_lan(seed, params);
+    simnet::Scenario scenario = bench::make_scenario_or_exit(
+        bench::instantiate_spec(spec_template, static_cast<long long>(seed)));
     simnet::NetworkOptions net_options;
     net_options.measurement_jitter_sigma = 0.05;
     net_options.seed = seed;
@@ -52,11 +52,19 @@ Score score_options(const env::MapperOptions& options) {
     const auto zones = env::zones_from_scenario(scenario);
     auto result = mapper.map_zone(zones.value().front());
     if (!result.ok()) continue;
+    // Ground-truth members are short names; the mapped view speaks
+    // fqdns. Resolve through the topology so any scenario family works.
+    const auto fqdn_of = [&scenario](const std::string& short_name) {
+      const auto id = scenario.id(short_name);
+      if (!id.ok()) return short_name;
+      const simnet::Node& node = scenario.topology.node(id.value());
+      return node.fqdn.empty() ? node.name : node.fqdn;
+    };
     for (const auto& truth : scenario.ground_truth) {
       if (truth.member_names.size() < 2) continue;
       ++score.total;
       const env::EnvNetwork* segment =
-          result.value().root.find_containing(truth.member_names.front() + ".lan");
+          result.value().root.find_containing(fqdn_of(truth.member_names.front()));
       if (segment == nullptr) continue;
       const bool want_shared = truth.kind == simnet::GroundTruthNet::Kind::shared;
       // A classification is correct when the verdict matches AND the
@@ -64,7 +72,7 @@ Score score_options(const env::MapperOptions& options) {
       const bool kind_ok = (want_shared && segment->kind == env::NetKind::shared) ||
                            (!want_shared && segment->kind == env::NetKind::switched);
       std::vector<std::string> expected_members;
-      for (const auto& name : truth.member_names) expected_members.push_back(name + ".lan");
+      for (const auto& name : truth.member_names) expected_members.push_back(fqdn_of(name));
       int present = 0;
       for (const auto& name : expected_members) {
         const auto& machines = segment->machines;
@@ -81,11 +89,14 @@ Score score_options(const env::MapperOptions& options) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::bench_cli(argc, argv, "random-lan:{SEED}@100");
+  const std::string& spec = cli.scenario_spec;
   bench::banner("ABLATE-THRESH",
                 "§4.2.2 empirically-determined thresholds (3 / 1.25 / 0.7 / 0.9)",
                 "accuracy is 100% on a plateau containing the paper's values and"
                 " degrades at the extremes of each sweep");
+  std::printf("scenario family: %s (the placeholder receives each seed)\n\n", spec.c_str());
 
   {
     Table table({"bw_split_ratio", "accuracy %"});
@@ -93,7 +104,7 @@ int main() {
       env::MapperOptions options;
       options.bw_split_ratio = v;
       table.add_row({strings::format_double(v, 2) + (v == 3.0 ? " (paper)" : ""),
-                     strings::format_double(score_options(options).percent(), 1)});
+                     strings::format_double(score_options(spec, options).percent(), 1)});
     }
     std::printf("--- host-bandwidth split threshold ---\n%s\n", table.to_string().c_str());
   }
@@ -103,7 +114,7 @@ int main() {
       env::MapperOptions options;
       options.pairwise_independence_ratio = v;
       table.add_row({strings::format_double(v, 2) + (v == 1.25 ? " (paper)" : ""),
-                     strings::format_double(score_options(options).percent(), 1)});
+                     strings::format_double(score_options(spec, options).percent(), 1)});
     }
     std::printf("--- pairwise independence threshold ---\n%s\n", table.to_string().c_str());
   }
@@ -114,7 +125,7 @@ int main() {
       options.jam_shared_max = v;
       options.jam_switched_min = std::max(v, options.jam_switched_min);
       table.add_row({strings::format_double(v, 2) + (v == 0.7 ? " (paper)" : ""),
-                     strings::format_double(score_options(options).percent(), 1)});
+                     strings::format_double(score_options(spec, options).percent(), 1)});
     }
     std::printf("--- jammed 'shared' threshold ---\n%s\n", table.to_string().c_str());
   }
@@ -125,7 +136,7 @@ int main() {
       options.jam_switched_min = v;
       options.jam_shared_max = std::min(v, options.jam_shared_max);
       table.add_row({strings::format_double(v, 2) + (v == 0.9 ? " (paper)" : ""),
-                     strings::format_double(score_options(options).percent(), 1)});
+                     strings::format_double(score_options(spec, options).percent(), 1)});
     }
     std::printf("--- jammed 'switched' threshold ---\n%s\n", table.to_string().c_str());
   }

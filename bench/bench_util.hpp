@@ -19,13 +19,58 @@ inline void banner(const std::string& experiment_id, const std::string& paper_ar
   std::printf("==============================================================\n\n");
 }
 
-/// Common bench CLI: `--scenario=<spec>` overrides the bench's default
-/// platform, `--list` prints the scenario catalog and exits. Exits with a
-/// usage message on unknown flags or unresolvable specs, so every bench
-/// main can stay a straight-line experiment.
-inline simnet::Scenario scenario_from_cli(int argc, char** argv,
-                                          const std::string& default_spec) {
-  std::string spec = default_spec;
+/// True when the spec is a template carrying a `{...}` placeholder
+/// (e.g. "star-switch:{N}@100", "random-lan:{SEED}@100").
+inline bool is_spec_template(const std::string& spec) {
+  const auto open = spec.find('{');
+  return open != std::string::npos && spec.find('}', open) != std::string::npos;
+}
+
+/// Instantiate a spec template: every `{...}` placeholder becomes
+/// `value`. Non-template specs come back unchanged.
+inline std::string instantiate_spec(const std::string& spec_template, long long value) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < spec_template.size()) {
+    const auto open = spec_template.find('{', pos);
+    const auto close = open == std::string::npos ? std::string::npos
+                                                 : spec_template.find('}', open);
+    if (open == std::string::npos || close == std::string::npos) {
+      out += spec_template.substr(pos);
+      break;
+    }
+    out += spec_template.substr(pos, open - pos);
+    out += std::to_string(value);
+    pos = close + 1;
+  }
+  return out;
+}
+
+/// Flags shared by the bench binaries. `--scenario` accepts either a
+/// concrete spec or (sweep-style benches) a `{...}` template the bench
+/// substitutes its swept variable into; `--threads` / `--map-cache` are
+/// only offered by the benches that use them.
+struct BenchCli {
+  std::string scenario_spec;  ///< spec or template, per the bench's default
+  int threads = 8;            ///< --threads=K (zone-mapping workers)
+  std::string map_cache_dir;  ///< --map-cache=DIR ("" = cache disabled)
+};
+
+/// The single bench flag parser. `parallel_flags` controls whether
+/// --threads / --map-cache are accepted (and mentioned in usage);
+/// everything unknown exits 2 with a usage line, --list prints the
+/// scenario catalog and exits 0.
+inline BenchCli bench_cli(int argc, char** argv, const std::string& default_spec,
+                          bool parallel_flags = true) {
+  const auto usage_and_exit = [&] {
+    std::fprintf(stderr, "usage: %s [--scenario=<spec%s>]%s [--list]   (default scenario: %s)\n",
+                 argv[0], parallel_flags ? "-or-template" : "",
+                 parallel_flags ? " [--threads=K] [--map-cache=DIR]" : "",
+                 default_spec.c_str());
+    std::exit(2);
+  };
+  BenchCli cli;
+  cli.scenario_spec = default_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -33,16 +78,23 @@ inline simnet::Scenario scenario_from_cli(int argc, char** argv,
                   api::ScenarioRegistry::builtin().render_catalog().c_str());
       std::exit(0);
     } else if (arg.rfind("--scenario=", 0) == 0) {
-      spec = arg.substr(std::strlen("--scenario="));
+      cli.scenario_spec = arg.substr(std::strlen("--scenario="));
     } else if (arg == "--scenario" && i + 1 < argc) {
-      spec = argv[++i];
+      cli.scenario_spec = argv[++i];
+    } else if (parallel_flags && arg.rfind("--threads=", 0) == 0) {
+      cli.threads = std::atoi(arg.c_str() + std::strlen("--threads="));
+      if (cli.threads < 1) usage_and_exit();
+    } else if (parallel_flags && arg.rfind("--map-cache=", 0) == 0) {
+      cli.map_cache_dir = arg.substr(std::strlen("--map-cache="));
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--scenario=<spec>] [--list]   (default: %s)\n",
-                   argv[0], default_spec.c_str());
-      std::exit(2);
+      usage_and_exit();
     }
   }
+  return cli;
+}
+
+/// Resolve a concrete (non-template) spec or exit with a message.
+inline simnet::Scenario make_scenario_or_exit(const std::string& spec) {
   auto made = api::ScenarioRegistry::builtin().make(spec);
   if (!made.ok()) {
     std::fprintf(stderr, "bad scenario '%s': %s\n", spec.c_str(),
@@ -50,6 +102,16 @@ inline simnet::Scenario scenario_from_cli(int argc, char** argv,
     std::exit(2);
   }
   return std::move(made.value());
+}
+
+/// Common bench CLI: `--scenario=<spec>` overrides the bench's default
+/// platform, `--list` prints the scenario catalog and exits. Exits with a
+/// usage message on unknown flags or unresolvable specs, so every bench
+/// main can stay a straight-line experiment.
+inline simnet::Scenario scenario_from_cli(int argc, char** argv,
+                                          const std::string& default_spec) {
+  return make_scenario_or_exit(
+      bench_cli(argc, argv, default_spec, /*parallel_flags=*/false).scenario_spec);
 }
 
 }  // namespace envnws::bench

@@ -16,8 +16,10 @@ namespace {
 struct PrintObserver final : api::Observer {
   void on_event(const api::Event& event) override {
     if (event.kind == api::Event::Kind::note) return;
-    std::printf("[%8.1f s] %-8s %-8s %s\n", event.sim_time_s, to_string(event.stage),
-                to_string(event.kind), event.detail.c_str());
+    const std::string what =
+        event.zone.empty() ? event.detail : "'" + event.zone + "': " + event.detail;
+    std::printf("[%8.1f s] %-8s %-13s %s\n", event.sim_time_s, to_string(event.stage),
+                to_string(event.kind), what.c_str());
   }
 };
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repository's markdown docs.
+
+Checks every markdown link / image of README.md and docs/*.md whose
+target is a relative path (external http(s)/mailto links are skipped):
+the target file or directory must exist, and an optional #fragment on a
+markdown target must match one of its headings (GitHub anchor rules,
+simplified).
+
+Usage: scripts/check_docs_links.py [file-or-dir ...]
+       (defaults to README.md and docs/, relative to the repo root)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_anchor(heading: str) -> str:
+    anchor = heading.strip().lower()
+    anchor = re.sub(r"[`*_~\[\]()]", "", anchor)
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    return anchor.replace(" ", "-")
+
+
+def anchors_of(markdown_path: Path) -> set:
+    text = markdown_path.read_text(encoding="utf-8")
+    return {github_anchor(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(markdown_path: Path) -> list:
+    errors = []
+    text = markdown_path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        path_part, _, fragment = target.partition("#")
+        if not path_part:  # pure in-page fragment
+            if fragment and github_anchor(fragment) not in anchors_of(markdown_path):
+                errors.append(f"{markdown_path}: dead in-page anchor '#{fragment}'")
+            continue
+        resolved = (markdown_path.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{markdown_path}: dead relative link '{target}'")
+            continue
+        if fragment and resolved.suffix.lower() in (".md", ".markdown"):
+            if github_anchor(fragment) not in anchors_of(resolved):
+                errors.append(f"{markdown_path}: dead anchor '{target}'")
+    return errors
+
+
+def main(argv: list) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    roots = [Path(arg) for arg in argv[1:]] or [repo_root / "README.md", repo_root / "docs"]
+    files = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        elif root.exists():
+            files.append(root)
+        else:
+            print(f"warning: {root} does not exist", file=sys.stderr)
+    errors = []
+    for markdown_path in files:
+        errors.extend(check_file(markdown_path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAILED, ' + str(len(errors)) + ' dead link(s)' if errors else 'all links OK'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,6 +13,8 @@
 // (core/autodeploy.hpp).
 #pragma once
 
+#include "api/gridml_scenario.hpp"
+#include "api/map_cache.hpp"
 #include "api/observer.hpp"
 #include "api/scenario_registry.hpp"
 #include "api/session.hpp"

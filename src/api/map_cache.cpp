@@ -1,0 +1,371 @@
+#include "api/map_cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "env/env_tree.hpp"
+#include "gridml/xml.hpp"
+
+namespace envnws::api {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kFileExtension = ".envmap.xml";
+constexpr const char* kFormatVersion = "1";
+
+/// Full-precision double formatting: the cache must restore bandwidths
+/// bit-identically so a re-plan from the cache matches a fresh plan
+/// (GridML's human-facing 2-decimal properties are too lossy for that).
+std::string full(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+Result<double> parse_double(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in map cache entry");
+  }
+}
+
+Result<std::uint64_t> parse_u64(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::exception&) {
+    return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in map cache entry");
+  }
+}
+
+Result<std::int64_t> parse_i64(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::int64_t>(value);
+  } catch (const std::exception&) {
+    return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in map cache entry");
+  }
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+gridml::XmlElement envnet_to_xml(const env::EnvNetwork& net) {
+  gridml::XmlElement element("ENVNET");
+  element.set_attribute("kind", env::to_string(net.kind));
+  if (!net.label.empty()) element.set_attribute("label", net.label);
+  if (!net.label_ip.empty()) element.set_attribute("ip", net.label_ip);
+  if (net.base_bw_bps != 0.0) element.set_attribute("base-bw-bps", full(net.base_bw_bps));
+  if (net.base_local_bw_bps != 0.0) {
+    element.set_attribute("local-bw-bps", full(net.base_local_bw_bps));
+  }
+  if (net.base_reverse_bw_bps != 0.0) {
+    element.set_attribute("reverse-bw-bps", full(net.base_reverse_bw_bps));
+  }
+  if (net.route_asymmetric) element.set_attribute("asymmetric", "true");
+  if (!net.gateway.empty()) element.set_attribute("gateway", net.gateway);
+  for (const auto& machine : net.machines) {
+    gridml::XmlElement member("MACHINE");
+    member.set_attribute("name", machine);
+    element.add_child(std::move(member));
+  }
+  for (const auto& child : net.children) element.add_child(envnet_to_xml(child));
+  return element;
+}
+
+Result<env::NetKind> kind_from_string(const std::string& text) {
+  if (text == "structural") return env::NetKind::structural;
+  if (text == "shared") return env::NetKind::shared;
+  if (text == "switched") return env::NetKind::switched;
+  if (text == "inconclusive") return env::NetKind::inconclusive;
+  return make_error(ErrorCode::protocol, "unknown ENVNET kind '" + text + "'");
+}
+
+Result<env::EnvNetwork> envnet_from_xml(const gridml::XmlElement& element) {
+  env::EnvNetwork net;
+  auto kind = kind_from_string(element.attribute("kind", "structural"));
+  if (!kind.ok()) return kind.error();
+  net.kind = kind.value();
+  net.label = element.attribute("label");
+  net.label_ip = element.attribute("ip");
+  for (const auto* name : {"base-bw-bps", "local-bw-bps", "reverse-bw-bps"}) {
+    if (!element.has_attribute(name)) continue;
+    auto value = parse_double(element.attribute(name), name);
+    if (!value.ok()) return value.error();
+    if (std::string(name) == "base-bw-bps") net.base_bw_bps = value.value();
+    if (std::string(name) == "local-bw-bps") net.base_local_bw_bps = value.value();
+    if (std::string(name) == "reverse-bw-bps") net.base_reverse_bw_bps = value.value();
+  }
+  net.route_asymmetric = element.attribute("asymmetric") == "true";
+  net.gateway = element.attribute("gateway");
+  for (const auto& child : element.children()) {
+    if (child.name() == "MACHINE") {
+      net.machines.push_back(child.attribute("name"));
+    } else if (child.name() == "ENVNET") {
+      auto nested = envnet_from_xml(child);
+      if (!nested.ok()) return nested.error();
+      net.children.push_back(std::move(nested.value()));
+    }
+  }
+  return net;
+}
+
+void add_stats(gridml::XmlElement& element, const env::MapStats& stats) {
+  element.set_attribute("experiments", std::to_string(stats.experiments));
+  element.set_attribute("bytes-sent", std::to_string(stats.bytes_sent));
+  element.set_attribute("duration-s", full(stats.duration_s));
+}
+
+Status read_stats(const gridml::XmlElement& element, env::MapStats& stats) {
+  auto experiments = parse_u64(element.attribute("experiments", "0"), "experiments");
+  if (!experiments.ok()) return experiments.error();
+  stats.experiments = experiments.value();
+  auto bytes = parse_i64(element.attribute("bytes-sent", "0"), "bytes-sent");
+  if (!bytes.ok()) return bytes.error();
+  stats.bytes_sent = bytes.value();
+  auto duration = parse_double(element.attribute("duration-s", "0"), "duration-s");
+  if (!duration.ok()) return duration.error();
+  stats.duration_s = duration.value();
+  return {};
+}
+
+void add_warnings(gridml::XmlElement& element, const std::vector<std::string>& warnings) {
+  for (const auto& warning : warnings) {
+    gridml::XmlElement child("WARNING");
+    child.set_attribute("text", warning);
+    element.add_child(std::move(child));
+  }
+}
+
+std::vector<std::string> read_warnings(const gridml::XmlElement& element) {
+  std::vector<std::string> warnings;
+  for (const auto* child : element.children_named("WARNING")) {
+    warnings.push_back(child->attribute("text"));
+  }
+  return warnings;
+}
+
+}  // namespace
+
+MapCache::MapCache(std::string directory) : directory_(std::move(directory)) {}
+
+std::string MapCache::key_for(const std::string& scenario_label,
+                              const env::MapperOptions& options) {
+  std::string label;
+  for (const char c : scenario_label) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.';
+    label.push_back(keep ? c : '_');
+  }
+  if (label.empty()) label = "unnamed";
+  // Every option that changes what the probes would measure; NOT
+  // map_threads (the result is thread-count independent).
+  std::ostringstream fields;
+  fields << full(options.bw_split_ratio) << '|' << full(options.pairwise_independence_ratio)
+         << '|' << full(options.jam_shared_max) << '|' << full(options.jam_switched_min) << '|'
+         << options.jam_repetitions << '|' << options.probe_bytes << '|'
+         << full(options.stabilization_gap_s) << '|' << options.site_domain_labels << '|'
+         << options.purpose << '|' << (options.bidirectional_probes ? 1 : 0) << '|'
+         << full(options.asymmetry_ratio);
+  char hash[17];
+  std::snprintf(hash, sizeof(hash), "%016" PRIx64, fnv1a(fields.str()));
+  return label + "-" + hash;
+}
+
+std::string MapCache::platform_fingerprint(const simnet::Topology& topology) {
+  std::ostringstream fields;
+  for (const simnet::Node& node : topology.nodes()) {
+    fields << node.name << '|' << node.fqdn << '|' << node.ip.to_string() << '|'
+           << static_cast<int>(node.kind) << '|' << full(node.hub_capacity_bps) << '|';
+    for (const auto& zone : node.zones) fields << zone << ',';
+    for (const auto& alias : node.aliases) {
+      fields << alias.fqdn << '/' << alias.ip.to_string() << '/' << alias.zone << ',';
+    }
+    fields << ';';
+  }
+  for (const simnet::Link& link : topology.links()) {
+    fields << link.a.index() << '-' << link.b.index() << '|' << full(link.bw_ab_bps) << '|'
+           << full(link.bw_ba_bps) << '|' << full(link.latency_s) << '|'
+           << (link.half_duplex ? 1 : 0) << '|' << full(link.weight_ab) << '|'
+           << full(link.weight_ba) << ';';
+  }
+  char hash[17];
+  std::snprintf(hash, sizeof(hash), "%016" PRIx64, fnv1a(fields.str()));
+  return hash;
+}
+
+std::string MapCache::path_for(const std::string& key) const {
+  return (fs::path(directory_) / (key + kFileExtension)).string();
+}
+
+Status MapCache::store(const std::string& key, const env::MapResult& map) const {
+  gridml::XmlElement root("ENVMAP");
+  root.set_attribute("version", kFormatVersion);
+  root.set_attribute("master", map.master_fqdn);
+  add_stats(root, map.stats);
+  add_warnings(root, map.warnings);
+  for (const auto& zone : map.zones) {
+    gridml::XmlElement element("ZONE");
+    element.set_attribute("name", zone.spec.zone_name);
+    element.set_attribute("master", zone.spec.master);
+    element.set_attribute("master-fqdn", zone.master_fqdn);
+    element.set_attribute("traceroute-target", zone.spec.traceroute_target);
+    add_stats(element, zone.stats);
+    for (const auto& hostname : zone.spec.hostnames) {
+      gridml::XmlElement host("HOST");
+      host.set_attribute("name", hostname);
+      element.add_child(std::move(host));
+    }
+    add_warnings(element, zone.warnings);
+    root.add_child(std::move(element));
+  }
+  gridml::XmlElement view("ROOT");
+  view.add_child(envnet_to_xml(map.root));
+  root.add_child(std::move(view));
+  root.add_child(map.grid.to_xml());
+
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    return make_error(ErrorCode::internal,
+                      "cannot create map cache directory '" + directory_ + "': " + ec.message());
+  }
+  // Write-then-rename so a concurrent load never sees a torn entry. The
+  // temp name is unique per process AND per store() call, so concurrent
+  // writers of the same key cannot interleave into one temp file — last
+  // rename wins with a complete document either way.
+  static std::atomic<std::uint64_t> store_counter{0};
+  const fs::path final_path = path_for(key);
+  const fs::path temp_path =
+      final_path.string() + ".tmp." + std::to_string(static_cast<long long>(::getpid())) + "." +
+      std::to_string(store_counter.fetch_add(1));
+  {
+    std::ofstream out(temp_path, std::ios::trunc);
+    if (!out) {
+      return make_error(ErrorCode::internal,
+                        "cannot write map cache entry '" + temp_path.string() + "'");
+    }
+    out << gridml::to_document_string(root);
+    out.close();
+    if (!out) {
+      // A torn write (disk full, quota) must never replace a valid entry.
+      fs::remove(temp_path, ec);
+      return make_error(ErrorCode::internal,
+                        "short write on map cache entry '" + temp_path.string() + "'");
+    }
+  }
+  fs::rename(temp_path, final_path, ec);
+  if (ec) {
+    return make_error(ErrorCode::internal,
+                      "cannot finalize map cache entry '" + final_path.string() +
+                          "': " + ec.message());
+  }
+  return {};
+}
+
+Result<env::MapResult> MapCache::load(const std::string& key) const {
+  const fs::path path = path_for(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    return make_error(ErrorCode::not_found, "no map cache entry at '" + path.string() + "'");
+  }
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return make_error(ErrorCode::internal, "cannot read map cache entry '" + path.string() + "'");
+  }
+
+  auto parsed = gridml::parse_xml(text.str());
+  if (!parsed.ok()) return parsed.error();
+  const gridml::XmlElement& root = parsed.value();
+  if (root.name() != "ENVMAP" || root.attribute("version") != kFormatVersion) {
+    return make_error(ErrorCode::protocol,
+                      "'" + path.string() + "' is not a version-" + kFormatVersion +
+                          " ENVMAP document");
+  }
+
+  env::MapResult map;
+  map.master_fqdn = root.attribute("master");
+  if (auto status = read_stats(root, map.stats); !status.ok()) return status.error();
+  map.warnings = read_warnings(root);
+  for (const auto* element : root.children_named("ZONE")) {
+    env::ZoneMapResult zone;
+    zone.spec.zone_name = element->attribute("name");
+    zone.spec.master = element->attribute("master");
+    zone.spec.traceroute_target = element->attribute("traceroute-target");
+    zone.master_fqdn = element->attribute("master-fqdn");
+    if (auto status = read_stats(*element, zone.stats); !status.ok()) return status.error();
+    for (const auto* host : element->children_named("HOST")) {
+      zone.spec.hostnames.push_back(host->attribute("name"));
+    }
+    zone.warnings = read_warnings(*element);
+    map.zones.push_back(std::move(zone));
+  }
+  const gridml::XmlElement* view = root.first_child("ROOT");
+  if (view == nullptr || view->children().empty()) {
+    return make_error(ErrorCode::protocol, "'" + path.string() + "' carries no effective view");
+  }
+  auto tree = envnet_from_xml(view->children().front());
+  if (!tree.ok()) return tree.error();
+  map.root = std::move(tree.value());
+  const gridml::XmlElement* grid = root.first_child("GRID");
+  if (grid == nullptr) {
+    return make_error(ErrorCode::protocol, "'" + path.string() + "' carries no GRID document");
+  }
+  auto doc = gridml::GridDoc::from_xml(*grid);
+  if (!doc.ok()) return doc.error();
+  map.grid = std::move(doc.value());
+  return map;
+}
+
+Status MapCache::invalidate(const std::string& key) const {
+  std::error_code ec;
+  fs::remove(path_for(key), ec);
+  if (ec) {
+    return make_error(ErrorCode::internal,
+                      "cannot remove map cache entry '" + path_for(key) + "': " + ec.message());
+  }
+  return {};
+}
+
+Result<std::size_t> MapCache::clear() const {
+  std::error_code ec;
+  if (!fs::exists(directory_, ec) || ec) return std::size_t{0};
+  std::size_t removed = 0;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > std::string(kFileExtension).size() &&
+        name.rfind(kFileExtension) == name.size() - std::string(kFileExtension).size()) {
+      fs::remove(entry.path(), ec);
+      if (!ec) ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace envnws::api

@@ -1,12 +1,42 @@
 // Structured progress events of the staged deployment pipeline.
 //
 // Every `api::Session` stage announces itself through this interface:
-// started / finished / failed markers plus free-form notes (per-zone
-// mapping progress, planner decisions, validator verdicts). Observers are
-// how CLIs show progress bars, tests assert ordering, and services export
-// pipeline telemetry without the pipeline knowing about any of them.
+// started / finished / failed markers, per-zone mapping progress, plus
+// free-form notes (planner decisions, validator verdicts, map-cache
+// hits). Observers are how CLIs show progress bars, tests assert
+// ordering, and services export pipeline telemetry without the pipeline
+// knowing about any of them.
+//
+// ## Event schema and ordering guarantees (see also docs/EVENTS.md)
+//
+// Delivery is THREAD-SAFE and SERIALIZED: when the map stage probes
+// firewall zones concurrently (`MapperOptions::map_threads > 1`),
+// `on_event` is invoked from worker threads, but never from two threads
+// at once — the Session serializes deliveries under one mutex and stamps
+// each event with a strictly increasing `sequence` number in delivery
+// order. An Observer therefore needs no locking of its own unless it is
+// shared between several Sessions.
+//
+// Ordering guarantees, per Session:
+//   1. `sequence` increases by exactly 1 per delivered event.
+//   2. Stage markers follow the pipeline order map -> plan -> apply ->
+//      validate; a stage's `stage_started` precedes every other event of
+//      that stage run, and its `stage_finished` / `stage_failed` follows
+//      them.
+//   3. Zone events (`zone_started` / `zone_finished` / `zone_failed`)
+//      occur only between the map stage's `stage_started` and
+//      `stage_finished`/`stage_failed` markers. Each carries the zone's
+//      name and its index in the ZoneSpec list.
+//   4. Per zone, `zone_started` precedes that zone's `zone_finished` /
+//      `zone_failed`. Events of DIFFERENT zones may interleave freely
+//      when zones are mapped concurrently — consumers must group by
+//      `zone` / `zone_index`, not assume contiguity. With
+//      `map_threads == 1` zone event pairs are contiguous and in zone
+//      order.
+//   5. `sim_time_s` never decreases between consecutive events.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,11 +56,26 @@ enum class Stage { map, plan, apply, validate };
 }
 
 struct Event {
-  enum class Kind { stage_started, stage_finished, stage_failed, note };
+  enum class Kind {
+    stage_started,
+    stage_finished,
+    stage_failed,
+    /// One firewall zone's ENV run began / completed / failed (map stage
+    /// only; concurrent zones interleave, see ordering guarantee 4).
+    zone_started,
+    zone_finished,
+    zone_failed,
+    note,
+  };
   Kind kind = Kind::note;
   Stage stage = Stage::map;
-  std::string detail;     ///< summary / note text; error text for stage_failed
+  std::string detail;     ///< summary / note text; error text for *_failed
   double sim_time_s = 0;  ///< simulated clock when the event fired
+  /// Delivery order stamp, starting at 0 per Session; strictly
+  /// increasing even when zone events originate on worker threads.
+  std::uint64_t sequence = 0;
+  std::string zone;     ///< zone name (zone_* events only, else empty)
+  int zone_index = -1;  ///< position in the ZoneSpec list (zone_* events only)
 };
 
 [[nodiscard]] constexpr const char* to_string(Event::Kind kind) {
@@ -38,6 +83,9 @@ struct Event {
     case Event::Kind::stage_started: return "started";
     case Event::Kind::stage_finished: return "finished";
     case Event::Kind::stage_failed: return "failed";
+    case Event::Kind::zone_started: return "zone-started";
+    case Event::Kind::zone_finished: return "zone-finished";
+    case Event::Kind::zone_failed: return "zone-failed";
     case Event::Kind::note: return "note";
   }
   return "unknown";
@@ -46,6 +94,8 @@ struct Event {
 class Observer {
  public:
   virtual ~Observer() = default;
+  /// Called under the Session's event mutex: implementations may be
+  /// invoked from map-stage worker threads but never concurrently.
   virtual void on_event(const Event& event) = 0;
 };
 

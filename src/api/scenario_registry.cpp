@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "api/gridml_scenario.hpp"
 #include "common/strings.hpp"
 #include "common/units.hpp"
 
@@ -71,6 +72,17 @@ double rate_bps_or(const ScenarioSpec& spec, std::size_t i, double fallback_mbps
 Result<ScenarioSpec> ScenarioSpec::parse(const std::string& text) {
   ScenarioSpec spec;
   std::string head = strings::trim(text);
+  // Path-like specs: everything after "file:" is the payload, verbatim.
+  constexpr const char* kFilePrefix = "file:";
+  if (strings::to_lower(head).rfind(kFilePrefix, 0) == 0) {
+    spec.name = "file";
+    spec.payload = strings::trim(head.substr(std::string(kFilePrefix).size()));
+    if (spec.payload.empty()) {
+      return make_error(ErrorCode::invalid_argument,
+                        "scenario spec 'file:' names no GridML file");
+    }
+    return spec;
+  }
   if (const auto at = head.find('@'); at != std::string::npos) {
     for (const auto& piece : strings::split(head.substr(at + 1), '/')) {
       auto rate = parse_rate(piece);
@@ -102,6 +114,7 @@ Result<ScenarioSpec> ScenarioSpec::parse(const std::string& text) {
 }
 
 std::string ScenarioSpec::to_string() const {
+  if (!payload.empty()) return name + ":" + payload;
   std::ostringstream out;
   out << name;
   for (std::size_t i = 0; i < dims.size(); ++i) out << (i == 0 ? ':' : 'x') << dims[i];
@@ -136,7 +149,13 @@ Result<simnet::Scenario> ScenarioRegistry::make(const ScenarioSpec& spec) const 
                       "unknown scenario '" + spec.name + "' (known: " +
                           strings::join(known, ", ") + ")");
   }
-  return it->second.factory(spec);
+  auto made = it->second.factory(spec);
+  if (!made.ok()) return made;
+  // Registry-built scenarios are self-describing: the name IS the
+  // canonical spec, which keeps e.g. "dumbbell:4x4" and "dumbbell:3x3"
+  // apart when the name becomes a map-cache key.
+  made.value().name = spec.to_string();
+  return made;
 }
 
 std::vector<const ScenarioRegistry::Entry*> ScenarioRegistry::entries() const {
@@ -220,16 +239,85 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
                                               rate_bps_or(spec, 0, 100.0),
                                               rate_bps_or(spec, 1, 10.0));
            }});
-    r.add({"random-lan", "random-lan[:SEED]",
-           "randomized multi-segment LAN with recorded ground truth",
+    r.add({"random-lan", "random-lan[:SEED][@bw1/bw2...]",
+           "randomized multi-segment LAN with recorded ground truth; the"
+           " rates replace the candidate segment speeds",
            [](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
-             if (auto st = check_arity(spec, 1, 0); !st.ok()) return st.error();
+             if (auto st = check_arity(spec, 1, 8); !st.ok()) return st.error();
              const int seed = spec.dims.empty() ? 1 : spec.dims[0];
              if (seed < 0) {
                return make_error(ErrorCode::invalid_argument,
                                  "scenario 'random-lan': seed must be >= 0");
              }
-             return simnet::random_lan(static_cast<std::uint64_t>(seed));
+             simnet::RandomLanParams params;
+             if (!spec.rates_mbps.empty()) {
+               params.segment_bw_bps.clear();
+               for (const double rate : spec.rates_mbps) {
+                 params.segment_bw_bps.push_back(units::mbps(rate));
+               }
+             }
+             return simnet::random_lan(static_cast<std::uint64_t>(seed), params);
+           }});
+    r.add({"multi-firewall", "multi-firewall[:ZxH][@lan/public]",
+           "Z firewalled private domains of H hosts behind dual-homed"
+           " gateways (Z+1 independent mapping zones)",
+           [](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
+             if (auto st = check_arity(spec, 2, 2); !st.ok()) return st.error();
+             auto zones = positive_dim(spec, 0, 2);
+             auto hosts = positive_dim(spec, 1, 3);
+             if (!zones.ok()) return zones.error();
+             if (!hosts.ok()) return hosts.error();
+             if (zones.value() > 64 || hosts.value() > 200) {
+               return make_error(ErrorCode::invalid_argument,
+                                 "scenario 'multi-firewall': at most 64 zones of 200 hosts");
+             }
+             return simnet::multi_firewall(zones.value(), hosts.value(),
+                                           rate_bps_or(spec, 0, 100.0),
+                                           rate_bps_or(spec, 1, 100.0));
+           }});
+    r.add({"fat-tree", "fat-tree[:K][@bw]",
+           "K-ary fat-tree (K even) of K^3/4 hosts behind routed"
+           " aggregation and core tiers",
+           [](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
+             if (auto st = check_arity(spec, 1, 1); !st.ok()) return st.error();
+             auto k = positive_dim(spec, 0, 4);
+             if (!k.ok()) return k.error();
+             if (k.value() % 2 != 0 || k.value() > 10) {
+               return make_error(ErrorCode::invalid_argument,
+                                 "scenario 'fat-tree': K must be even and <= 10");
+             }
+             return simnet::fat_tree(k.value(), rate_bps_or(spec, 0, 100.0));
+           }});
+    r.add({"torus", "torus[:XxYxZ][@bw]",
+           "3-D torus of routers with one host each (unset trailing"
+           " dimensions default to 1; bare 'torus' is 2x2x2)",
+           [](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
+             if (auto st = check_arity(spec, 3, 1); !st.ok()) return st.error();
+             const bool bare = spec.dims.empty();
+             auto x = positive_dim(spec, 0, 2);
+             auto y = positive_dim(spec, 1, bare ? 2 : 1);
+             auto z = positive_dim(spec, 2, bare ? 2 : 1);
+             if (!x.ok()) return x.error();
+             if (!y.ok()) return y.error();
+             if (!z.ok()) return z.error();
+             if (x.value() > 16 || y.value() > 16 || z.value() > 16 ||
+                 x.value() * y.value() * z.value() > 64) {
+               return make_error(ErrorCode::invalid_argument,
+                                 "scenario 'torus': each dimension <= 16 and at most 64"
+                                 " nodes in total");
+             }
+             return simnet::torus3d(x.value(), y.value(), z.value(),
+                                    rate_bps_or(spec, 0, 100.0));
+           }});
+    r.add({"file", "file:<path.gridml>",
+           "platform synthesized from a published GridML effective view",
+           [](const ScenarioSpec& spec) -> Result<simnet::Scenario> {
+             if (auto st = check_arity(spec, 0, 0); !st.ok()) return st.error();
+             if (spec.payload.empty()) {
+               return make_error(ErrorCode::invalid_argument,
+                                 "scenario 'file': needs a path (file:<path.gridml>)");
+             }
+             return scenario_from_gridml_file(spec.payload);
            }});
     return r;
   }();

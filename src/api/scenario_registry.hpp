@@ -27,6 +27,11 @@ struct ScenarioSpec {
   std::string name;
   std::vector<int> dims;          ///< ":3x3" -> {3, 3}
   std::vector<double> rates_mbps; ///< "@100/10" -> {100, 10}
+  /// Free-form argument for path-like specs: `file:<path.gridml>` parses
+  /// to name "file" + payload "<path.gridml>" with NO dim/rate parsing
+  /// (paths may contain ':', 'x', '@' and '/'). Empty for every other
+  /// family.
+  std::string payload;
 
   static Result<ScenarioSpec> parse(const std::string& text);
   /// Canonical spec string; `parse(s.to_string())` round-trips.
@@ -52,6 +57,9 @@ class ScenarioRegistry {
   /// Build a scenario from a spec string ("ens-lyon", "star:8@100", ...).
   /// Unknown names fail with `not_found` listing what is available;
   /// malformed or out-of-range parameters fail with `invalid_argument`.
+  /// The returned scenario's `name` is stamped with the canonical spec
+  /// string (`ScenarioSpec::to_string`), so "dumbbell:4x4@100/10" and
+  /// "dumbbell" are distinguishable downstream (e.g. as map-cache keys).
   [[nodiscard]] Result<simnet::Scenario> make(const std::string& spec_text) const;
   [[nodiscard]] Result<simnet::Scenario> make(const ScenarioSpec& spec) const;
 

@@ -19,6 +19,38 @@ ProbeEngineFactory sim_engine_factory() {
   };
 }
 
+/// A probe engine bundled with the private platform replica it observes.
+/// Concurrent zone mapping builds one of these per zone *inside* the
+/// factory call — i.e. on the worker, when the zone actually starts — so
+/// peak memory is bounded by the zones in flight (<= map_threads), not
+/// by the zone count.
+class ReplicaEngine final : public env::ProbeEngine {
+ public:
+  ReplicaEngine(std::unique_ptr<simnet::Network> replica,
+                std::unique_ptr<env::ProbeEngine> inner)
+      : replica_(std::move(replica)), inner_(std::move(inner)) {}
+
+  Result<env::HostIdentity> lookup(const std::string& hostname) override {
+    return inner_->lookup(hostname);
+  }
+  Result<std::vector<env::TraceHop>> traceroute(const std::string& from,
+                                                const std::string& target) override {
+    return inner_->traceroute(from, target);
+  }
+  Result<double> bandwidth(const std::string& from, const std::string& to) override {
+    return inner_->bandwidth(from, to);
+  }
+  std::vector<Result<double>> concurrent_bandwidth(
+      const std::vector<env::BandwidthRequest>& requests) override {
+    return inner_->concurrent_bandwidth(requests);
+  }
+  [[nodiscard]] env::ProbeStats stats() const override { return inner_->stats(); }
+
+ private:
+  std::unique_ptr<simnet::Network> replica_;  ///< declared first: outlives inner_
+  std::unique_ptr<env::ProbeEngine> inner_;
+};
+
 }  // namespace
 
 Session::Session(simnet::Network& net, simnet::Scenario scenario, SessionOptions options)
@@ -40,14 +72,89 @@ Session& Session::set_probe_engine_factory(ProbeEngineFactory factory) {
   return *this;
 }
 
-void Session::emit(Event::Kind kind, Stage stage, std::string detail) {
+Session& Session::set_map_cache(std::string directory, std::string label) {
+  map_cache_.emplace(std::move(directory));
+  map_cache_label_ = std::move(label);
+  return *this;
+}
+
+std::string Session::map_cache_key() const {
+  // An explicit label is trusted verbatim (the caller owns collisions).
+  // The default label couples the scenario name with a fingerprint of
+  // the platform itself: bare simnet builders reuse one name for every
+  // size, and a platform changed under an unchanged name must miss.
+  std::string label = map_cache_label_;
+  if (label.empty() && scenario_.has_value()) {
+    label = scenario_->name + "+" + MapCache::platform_fingerprint(scenario_->topology);
+  }
+  return MapCache::key_for(label, options_.mapper);
+}
+
+Status Session::invalidate_map_cache() {
+  if (!map_cache_.has_value()) return {};
+  return map_cache_->invalidate(map_cache_key());
+}
+
+void Session::emit(Event::Kind kind, Stage stage, std::string detail, std::string zone,
+                   int zone_index) {
   if (observer_ == nullptr) return;
-  observer_->on_event(Event{kind, stage, std::move(detail), net_.now()});
+  std::lock_guard<std::mutex> lock(event_mutex_);
+  Event event;
+  event.kind = kind;
+  event.stage = stage;
+  event.detail = std::move(detail);
+  event.sim_time_s = net_.now();
+  event.sequence = event_sequence_++;
+  event.zone = std::move(zone);
+  event.zone_index = zone_index;
+  observer_->on_event(event);
 }
 
 Status Session::fail(Stage stage, const Error& error) {
   emit(Event::Kind::stage_failed, stage, error.to_string());
   return error;
+}
+
+Result<env::MapResult> Session::probe_map() {
+  const auto zones = env::zones_from_scenario(*scenario_);
+  if (!zones.ok()) return zones.error();
+  const auto aliases = env::gateway_aliases_from_scenario(*scenario_);
+  const int threads = std::max(options_.mapper.map_threads, 1);
+  emit(Event::Kind::note, Stage::map,
+       "mapping " + std::to_string(zones.value().size()) + " firewall zone(s) of scenario '" +
+           scenario_->name + "'" +
+           (threads > 1 ? " on " + std::to_string(threads) + " threads" : ""));
+  const auto progress = [this](const env::ZoneProgress& zone) {
+    Event::Kind kind = Event::Kind::zone_started;
+    if (zone.phase == env::ZoneProgress::Phase::finished) kind = Event::Kind::zone_finished;
+    if (zone.phase == env::ZoneProgress::Phase::failed) kind = Event::Kind::zone_failed;
+    emit(kind, Stage::map, zone.detail, zone.zone_name, static_cast<int>(zone.zone_index));
+  };
+  if (threads > 1) {
+    // Concurrent zones need independent engines. Each zone's engine
+    // observes a private replica of the scenario platform — built with
+    // the session network's own options, so the replicas measure what
+    // the shared network would — and the session's network is left
+    // untouched (no probe traffic, no clock advance), exactly as if the
+    // mapping had happened offline. Note the bit-identical-to-sequential
+    // guarantee assumes deterministic engines: with measurement jitter
+    // enabled, each replica draws its own noise stream.
+    env::Mapper mapper(
+        env::ZoneEngineFactory(
+            [this](const env::ZoneSpec&, std::size_t) -> std::unique_ptr<env::ProbeEngine> {
+              auto replica =
+                  std::make_unique<simnet::Network>(scenario_->topology, net_.options());
+              auto engine = engine_factory_(*replica, options_.mapper);
+              return std::make_unique<ReplicaEngine>(std::move(replica), std::move(engine));
+            }),
+        options_.mapper);
+    mapper.set_progress(progress);
+    return mapper.map(zones.value(), aliases);
+  }
+  auto engine = engine_factory_(net_, options_.mapper);
+  env::Mapper mapper(*engine, options_.mapper);
+  mapper.set_progress(progress);
+  return mapper.map(zones.value(), aliases);
 }
 
 Status Session::map() {
@@ -62,20 +169,52 @@ Status Session::map() {
   }
   invalidate(Stage::map);
   emit(Event::Kind::stage_started, Stage::map);
-  auto engine = engine_factory_(net_, options_.mapper);
-  env::Mapper mapper(*engine, options_.mapper);
-  const auto zones = env::zones_from_scenario(*scenario_);
-  if (!zones.ok()) return fail(Stage::map, zones.error());
-  const auto aliases = env::gateway_aliases_from_scenario(*scenario_);
-  emit(Event::Kind::note, Stage::map,
-       "mapping " + std::to_string(zones.value().size()) + " firewall zone(s) of scenario '" +
-           scenario_->name + "'");
-  auto result = mapper.map(zones.value(), aliases);
+
+  // One key per map() call: computing it serializes the whole platform
+  // into the fingerprint, so don't do that twice.
+  const std::string key = map_cache_.has_value() ? map_cache_key() : std::string();
+  if (map_cache_.has_value()) {
+    auto cached = map_cache_->load(key);
+    if (cached.ok()) {
+      map_ = std::move(cached.value());
+      published_view_ = false;
+      // This run performed zero probe experiments; the entry keeps the
+      // original cost on disk for the curious.
+      const std::uint64_t original_experiments = map_->stats.experiments;
+      map_->stats = env::MapStats{};
+      emit(Event::Kind::note, Stage::map,
+           "map stage reloaded from cache entry '" + map_cache_->path_for(key) +
+               "' (originally " + std::to_string(original_experiments) + " experiments)");
+      // Warnings are part of the result: a reload surfaces them exactly
+      // like the probe run that produced them did.
+      for (const auto& warning : map_->warnings) {
+        emit(Event::Kind::note, Stage::map, "warning: " + warning);
+      }
+      emit(Event::Kind::stage_finished, Stage::map,
+           std::to_string(map_->zones.size()) + " zone(s), 0 experiments (cache hit)");
+      return {};
+    }
+    if (cached.error().code != ErrorCode::not_found) {
+      emit(Event::Kind::note, Stage::map,
+           "map cache entry ignored: " + cached.error().to_string());
+    }
+  }
+
+  auto result = probe_map();
   if (!result.ok()) return fail(Stage::map, result.error());
   map_ = std::move(result.value());
   published_view_ = false;
   for (const auto& warning : map_->warnings) {
     emit(Event::Kind::note, Stage::map, "warning: " + warning);
+  }
+  if (map_cache_.has_value()) {
+    if (auto stored = map_cache_->store(key, *map_); stored.ok()) {
+      emit(Event::Kind::note, Stage::map,
+           "mapped platform persisted to '" + map_cache_->path_for(key) + "'");
+    } else {
+      emit(Event::Kind::note, Stage::map,
+           "map cache store failed: " + stored.error().to_string());
+    }
   }
   emit(Event::Kind::stage_finished, Stage::map,
        std::to_string(map_->zones.size()) + " zone(s), " +

@@ -16,18 +16,25 @@
 // before it and drops everything downstream. `load_map()` /
 // `load_map_from_gridml()` seed the map stage without probing — the
 // §4.3 "publish the mapping" workflow — so a platform mapped once can
-// be re-planned forever. Probing itself goes through a pluggable
-// `ProbeEngineFactory` (simulator by default; scripted traces and real
-// sockets implement the same `env::ProbeEngine` interface).
+// be re-planned forever; `set_map_cache()` makes that durable across
+// processes (a second map() of the same spec performs zero probes).
+// Probing itself goes through a pluggable `ProbeEngineFactory`
+// (simulator by default; scripted traces and real sockets implement the
+// same `env::ProbeEngine` interface) and fans out over firewall zones
+// when `options().mapper.map_threads > 1` — with deterministic engines
+// (e.g. the default simulator without measurement jitter) the merged
+// view is bit-identical to the sequential one, it just arrives sooner.
 //
 // Progress flows through `api::Observer` (see observer.hpp).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
+#include "api/map_cache.hpp"
 #include "api/observer.hpp"
 #include "common/result.hpp"
 #include "deploy/manager.hpp"
@@ -65,10 +72,31 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Observer is not owned; nullptr disables events.
+  /// Observer is not owned; nullptr disables events. Delivery is
+  /// serialized and sequence-stamped (see observer.hpp): safe even when
+  /// the map stage probes zones on `options().mapper.map_threads` workers.
   Session& set_observer(Observer* observer);
-  /// Replace the probe backend (default: env::SimProbeEngine).
+  /// Replace the probe backend (default: env::SimProbeEngine). With
+  /// `map_threads > 1` the factory is invoked once per firewall zone,
+  /// each call receiving a private replica of the scenario platform, so
+  /// the engines can probe concurrently.
   Session& set_probe_engine_factory(ProbeEngineFactory factory);
+
+  /// Enable the persistent map cache: map() first tries to reload the
+  /// mapped platform from `directory` (zero probe experiments on a hit)
+  /// and persists a fresh mapping after probing. Entries are keyed by
+  /// `label` plus a hash of the probe-relevant mapper options (see
+  /// MapCache::key_for). The default label is the scenario's name — the
+  /// registry stamps the canonical spec string — coupled with a
+  /// fingerprint of the platform itself, so a platform changed under an
+  /// unchanged name misses; pass an explicit label to opt out.
+  Session& set_map_cache(std::string directory, std::string label = {});
+  /// Drop this session's cache entry (the explicit invalidation of the
+  /// "re-probe a changed platform" workflow). No-op without a cache.
+  Status invalidate_map_cache();
+  [[nodiscard]] const MapCache* map_cache() const {
+    return map_cache_.has_value() ? &*map_cache_ : nullptr;
+  }
 
   // --- stages -------------------------------------------------------------
   Status map();
@@ -113,14 +141,25 @@ class Session {
   [[nodiscard]] std::string render() const;
 
  private:
-  void emit(Event::Kind kind, Stage stage, std::string detail = {});
+  void emit(Event::Kind kind, Stage stage, std::string detail = {}, std::string zone = {},
+            int zone_index = -1);
   Status fail(Stage stage, const Error& error);
+  [[nodiscard]] std::string map_cache_key() const;
+  /// Probe every zone (sequentially on net_, or concurrently on private
+  /// platform replicas when map_threads > 1) and merge.
+  Result<env::MapResult> probe_map();
 
   simnet::Network& net_;
   std::optional<simnet::Scenario> scenario_;
   SessionOptions options_;
   Observer* observer_ = nullptr;
+  /// Serializes observer deliveries (map-stage workers emit zone events)
+  /// and guards the sequence counter.
+  std::mutex event_mutex_;
+  std::uint64_t event_sequence_ = 0;
   ProbeEngineFactory engine_factory_;
+  std::optional<MapCache> map_cache_;
+  std::string map_cache_label_;
 
   std::optional<env::MapResult> map_;
   /// The map was loaded from published GridML (no zone information).

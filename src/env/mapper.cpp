@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <future>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <set>
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "simnet/address.hpp"
 
 namespace envnws::env {
@@ -68,14 +71,26 @@ double median_of(std::vector<double> values) {
   return stats::median(values);
 }
 
-}  // namespace
-
-MapStats& MapStats::operator+=(const MapStats& other) {
-  experiments += other.experiments;
-  bytes_sent += other.bytes_sent;
-  duration_s += other.duration_s;
-  return *this;
+Error null_engine_error(const ZoneSpec& spec) {
+  return make_error(ErrorCode::internal,
+                    "zone engine factory returned no engine for zone '" + spec.zone_name + "'");
 }
+
+/// Wall-clock of running jobs of the given durations, in order, over
+/// `workers` concurrent slots (list scheduling: each job starts on the
+/// slot that frees up first). With one worker this is exactly the sum, so
+/// sequential and concurrent mapping share one duration formula.
+double schedule_makespan(const std::vector<double>& durations, std::size_t workers) {
+  if (workers == 0) workers = 1;
+  std::vector<double> free_at(std::min(workers, std::max<std::size_t>(durations.size(), 1)), 0.0);
+  for (const double duration : durations) {
+    auto slot = std::min_element(free_at.begin(), free_at.end());
+    *slot += duration;
+  }
+  return *std::max_element(free_at.begin(), free_at.end());
+}
+
+}  // namespace
 
 std::string MapResult::canonical(const std::string& name) const {
   if (const gridml::Machine* machine = grid.find_machine(name)) return machine->name;
@@ -83,13 +98,29 @@ std::string MapResult::canonical(const std::string& name) const {
 }
 
 Mapper::Mapper(ProbeEngine& engine, MapperOptions options)
-    : engine_(engine), options_(options) {}
+    : engine_(&engine), options_(options) {}
 
-std::vector<EnvNetwork> Mapper::refine(const std::vector<MachineInfo>& all,
+Mapper::Mapper(ZoneEngineFactory zone_engines, MapperOptions options)
+    : zone_engines_(std::move(zone_engines)), options_(options) {
+  assert(zone_engines_ != nullptr);
+}
+
+Mapper& Mapper::set_progress(std::function<void(const ZoneProgress&)> progress) {
+  progress_ = std::move(progress);
+  return *this;
+}
+
+void Mapper::report(const ZoneProgress& progress) {
+  if (!progress_) return;
+  std::lock_guard<std::mutex> lock(progress_mutex_);
+  progress_(progress);
+}
+
+std::vector<EnvNetwork> Mapper::refine(ProbeEngine& engine, const std::vector<MachineInfo>& all,
                                        const std::vector<std::size_t>& machines,
                                        const MachineInfo& master, const std::string& label,
                                        const std::string& label_ip,
-                                       std::vector<std::string>& warnings) {
+                                       std::vector<std::string>& warnings) const {
   // Split the node's machines into the master (not measurable from
   // itself) and the measurable members.
   std::vector<std::size_t> members;
@@ -106,7 +137,7 @@ std::vector<EnvNetwork> Mapper::refine(const std::vector<MachineInfo>& all,
   std::map<std::size_t, double> bw;
   std::map<std::size_t, double> reverse_bw;
   for (const std::size_t idx : members) {
-    const auto measured = engine_.bandwidth(master.given_name, all[idx].given_name);
+    const auto measured = engine.bandwidth(master.given_name, all[idx].given_name);
     if (measured.ok()) {
       bw[idx] = measured.value();
     } else {
@@ -117,7 +148,7 @@ std::vector<EnvNetwork> Mapper::refine(const std::vector<MachineInfo>& all,
     // Extension (§4.3 future work): probe the reverse direction too, so
     // asymmetric routes become visible in the effective view.
     if (options_.bidirectional_probes) {
-      const auto back = engine_.bandwidth(all[idx].given_name, master.given_name);
+      const auto back = engine.bandwidth(all[idx].given_name, master.given_name);
       reverse_bw[idx] = back.ok() ? back.value() : 0.0;
     }
   }
@@ -150,7 +181,7 @@ std::vector<EnvNetwork> Mapper::refine(const std::vector<MachineInfo>& all,
     UnionFind components(group.size());
     for (std::size_t i = 0; i < group.size(); ++i) {
       for (std::size_t j = i + 1; j < group.size(); ++j) {
-        const auto paired = engine_.concurrent_bandwidth(
+        const auto paired = engine.concurrent_bandwidth(
             {BandwidthRequest{master.given_name, all[group[i]].given_name},
              BandwidthRequest{master.given_name, all[group[j]].given_name}});
         if (!paired[0].ok() || !paired[1].ok()) {
@@ -224,7 +255,7 @@ std::vector<EnvNetwork> Mapper::refine(const std::vector<MachineInfo>& all,
     for (std::size_t i = 0; i < cluster.size(); ++i) {
       for (std::size_t j = i + 1; j < cluster.size(); ++j) {
         const auto measured =
-            engine_.bandwidth(all[cluster[i]].given_name, all[cluster[j]].given_name);
+            engine.bandwidth(all[cluster[i]].given_name, all[cluster[j]].given_name);
         if (measured.ok()) internal.push_back(measured.value());
       }
     }
@@ -259,7 +290,7 @@ std::vector<EnvNetwork> Mapper::refine(const std::vector<MachineInfo>& all,
       } else {
         break;  // single machine: no jam experiment possible
       }
-      const auto outcome = engine_.concurrent_bandwidth(
+      const auto outcome = engine.concurrent_bandwidth(
           {BandwidthRequest{master.given_name, all[a].given_name},
            BandwidthRequest{jam_from, jam_to}});
       if (!outcome[0].ok()) {
@@ -286,9 +317,9 @@ std::vector<EnvNetwork> Mapper::refine(const std::vector<MachineInfo>& all,
   return networks;
 }
 
-EnvNetwork Mapper::convert(const StructuralNode& node, const std::vector<MachineInfo>& all,
-                           const MachineInfo& master, std::vector<std::string>& warnings,
-                           bool is_root) {
+EnvNetwork Mapper::convert(ProbeEngine& engine, const StructuralNode& node,
+                           const std::vector<MachineInfo>& all, const MachineInfo& master,
+                           std::vector<std::string>& warnings, bool is_root) const {
   // Indices of the machines attached directly to this structural node.
   std::vector<std::size_t> attached;
   for (const auto& fqdn : node.machines) {
@@ -302,12 +333,12 @@ EnvNetwork Mapper::convert(const StructuralNode& node, const std::vector<Machine
 
   std::vector<EnvNetwork> clusters;
   if (!attached.empty()) {
-    clusters = refine(all, attached, master, node.display(), node.ip, warnings);
+    clusters = refine(engine, all, attached, master, node.display(), node.ip, warnings);
   }
 
   std::vector<EnvNetwork> child_networks;
   for (const auto& child : node.children) {
-    EnvNetwork converted = convert(child, all, master, warnings, false);
+    EnvNetwork converted = convert(engine, child, all, master, warnings, false);
     // The attachment point may itself be a mapped machine (a gateway):
     // record it so the merge and the planner can nest correctly.
     if (converted.gateway.empty()) {
@@ -341,18 +372,25 @@ EnvNetwork Mapper::convert(const StructuralNode& node, const std::vector<Machine
   return out;
 }
 
-Result<ZoneMapResult> Mapper::map_zone(const ZoneSpec& spec) {
+Result<ZoneMapResult> Mapper::map_zone(const ZoneSpec& spec, std::size_t zone_index) {
+  if (engine_ != nullptr) return map_zone_with(*engine_, spec);
+  auto engine = zone_engines_(spec, zone_index);
+  if (engine == nullptr) return null_engine_error(spec);
+  return map_zone_with(*engine, spec);
+}
+
+Result<ZoneMapResult> Mapper::map_zone_with(ProbeEngine& engine, const ZoneSpec& spec) const {
   if (spec.hostnames.empty()) {
     return make_error(ErrorCode::invalid_argument, "zone has no hosts");
   }
-  const ProbeStats before = engine_.stats();
+  const ProbeStats before = engine.stats();
   ZoneMapResult result;
   result.spec = spec;
 
   // ---- phase 1a/1b: lookup + properties --------------------------------
   std::vector<MachineInfo> machines;
   for (const auto& hostname : spec.hostnames) {
-    const auto identity = engine_.lookup(hostname);
+    const auto identity = engine.lookup(hostname);
     if (!identity.ok()) {
       result.warnings.push_back("lookup failed for '" + hostname +
                                 "': " + identity.error().to_string());
@@ -401,7 +439,7 @@ Result<ZoneMapResult> Mapper::map_zone(const ZoneSpec& spec) {
   for (const auto& machine : machines) {
     HostTrace trace;
     trace.fqdn = machine.fqdn;
-    const auto hops = engine_.traceroute(machine.given_name, spec.traceroute_target);
+    const auto hops = engine.traceroute(machine.given_name, spec.traceroute_target);
     if (hops.ok()) {
       trace.hops = hops.value();
     } else {
@@ -413,11 +451,11 @@ Result<ZoneMapResult> Mapper::map_zone(const ZoneSpec& spec) {
   result.structural = build_structural_tree(traces);
 
   // ---- phase 2: master-dependent refinements ---------------------------
-  result.root = convert(result.structural, machines, master, result.warnings, true);
+  result.root = convert(engine, result.structural, machines, master, result.warnings, true);
 
   result.grid.networks.push_back(result.root.to_gridml());
 
-  const ProbeStats after = engine_.stats();
+  const ProbeStats after = engine.stats();
   result.stats.experiments = after.experiments - before.experiments;
   result.stats.bytes_sent = after.bytes_sent - before.bytes_sent;
   result.stats.duration_s = after.busy_time_s - before.busy_time_s;
@@ -499,17 +537,72 @@ void merge_network(EnvNetwork& merged_root, const EnvNetwork& incoming,
 
 }  // namespace
 
+std::vector<Result<ZoneMapResult>> Mapper::map_zones(const std::vector<ZoneSpec>& specs) {
+  const auto run_zone = [this](ProbeEngine& engine, const ZoneSpec& spec,
+                               std::size_t index) -> Result<ZoneMapResult> {
+    report(ZoneProgress{ZoneProgress::Phase::started, index, spec.zone_name,
+                        std::to_string(spec.hostnames.size()) + " host(s), master " + spec.master});
+    auto zone = map_zone_with(engine, spec);
+    if (zone.ok()) {
+      report(ZoneProgress{ZoneProgress::Phase::finished, index, spec.zone_name,
+                          std::to_string(zone.value().stats.experiments) + " experiments, " +
+                              strings::format_double(zone.value().stats.duration_s / 60.0, 1) +
+                              " min"});
+    } else {
+      report(ZoneProgress{ZoneProgress::Phase::failed, index, spec.zone_name,
+                          zone.error().to_string()});
+    }
+    return zone;
+  };
+  // Resolve this zone's engine (shared or per-zone) and map it; a
+  // factory returning nullptr fails the zone like any other error —
+  // including the Phase::failed progress report.
+  const auto run_indexed = [this, &specs, &run_zone](std::size_t i) -> Result<ZoneMapResult> {
+    if (engine_ != nullptr) return run_zone(*engine_, specs[i], i);
+    auto engine = zone_engines_(specs[i], i);
+    if (engine == nullptr) {
+      const Error error = null_engine_error(specs[i]);
+      report(ZoneProgress{ZoneProgress::Phase::failed, i, specs[i].zone_name, error.to_string()});
+      return error;
+    }
+    return run_zone(*engine, specs[i], i);
+  };
+
+  std::vector<std::optional<Result<ZoneMapResult>>> slots(specs.size());
+  const std::size_t workers =
+      zone_engines_ == nullptr
+          ? 1
+          : std::min<std::size_t>(std::max(options_.map_threads, 1), specs.size());
+  if (workers > 1) {
+    ThreadPool pool(workers);
+    pool.parallel_for(specs.size(), [&](std::size_t i) { slots[i] = run_indexed(i); });
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) slots[i] = run_indexed(i);
+  }
+
+  std::vector<Result<ZoneMapResult>> results;
+  results.reserve(slots.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
 Result<MapResult> Mapper::map(const std::vector<ZoneSpec>& specs,
                               const std::vector<gridml::AliasGroup>& gateway_aliases) {
   if (specs.empty()) {
     return make_error(ErrorCode::invalid_argument, "no zones to map");
   }
+  auto zone_results = map_zones(specs);
+
+  // The merge — and error reporting — happens in spec order regardless of
+  // zone completion order, so the result is identical for any map_threads.
   MapResult result;
   std::vector<gridml::GridDoc> docs;
-  for (const auto& spec : specs) {
-    auto zone = map_zone(spec);
+  std::vector<double> zone_durations;
+  for (auto& zone : zone_results) {
     if (!zone.ok()) return zone.error();
-    result.stats += zone.value().stats;
+    result.stats.experiments += zone.value().stats.experiments;
+    result.stats.bytes_sent += zone.value().stats.bytes_sent;
+    zone_durations.push_back(zone.value().stats.duration_s);
     for (const auto& warning : zone.value().warnings) result.warnings.push_back(warning);
     docs.push_back(zone.value().grid);
     // The NETWORK tree is re-assembled below from the EnvNetworks; keep
@@ -517,6 +610,9 @@ Result<MapResult> Mapper::map(const std::vector<ZoneSpec>& specs,
     docs.back().networks.clear();
     result.zones.push_back(std::move(zone.value()));
   }
+  const std::size_t workers =
+      zone_engines_ == nullptr ? 1 : static_cast<std::size_t>(std::max(options_.map_threads, 1));
+  result.stats.duration_s = schedule_makespan(zone_durations, workers);
 
   auto merged = gridml::merge(docs, gateway_aliases);
   if (!merged.ok()) return merged.error();

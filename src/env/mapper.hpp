@@ -10,8 +10,17 @@
 //   2c. internal bw   — member<->member bandwidth (ENV_base_local_BW)
 //   2d. jammed bw     — 5-repetition jam ratio; shared / switched verdict
 // Zone results are then merged through the gateway alias groups (§4.3).
+//
+// Zones are independent until that merge, so with a ZoneEngineFactory the
+// per-zone runs execute concurrently (MapperOptions::map_threads workers)
+// and only the merge — performed in spec order on the calling thread —
+// is sequential. MapStats::duration_s then reports the makespan of the
+// concurrent schedule instead of the sum of the zone durations.
 #pragma once
 
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,9 +47,11 @@ struct ZoneSpec {
 struct MapStats {
   std::uint64_t experiments = 0;
   std::int64_t bytes_sent = 0;
+  /// Probe time. For a merged MapResult this is the wall-clock of the
+  /// whole map stage: the sum of the zone durations when zones ran
+  /// sequentially, the schedule makespan when they ran concurrently —
+  /// which is why there is deliberately no operator+= here.
   double duration_s = 0.0;
-
-  MapStats& operator+=(const MapStats& other);
 };
 
 struct ZoneMapResult {
@@ -65,12 +76,46 @@ struct MapResult {
   [[nodiscard]] std::string canonical(const std::string& name) const;
 };
 
+/// Builds the ProbeEngine one zone's ENV run observes the platform with.
+/// Called once per zone; when `MapperOptions::map_threads > 1` the calls
+/// (and the engines they return) run on thread-pool workers, so each call
+/// must return an engine that is independent of every other zone's.
+using ZoneEngineFactory =
+    std::function<std::unique_ptr<ProbeEngine>(const ZoneSpec& spec, std::size_t zone_index)>;
+
+/// Progress of one zone's ENV run, reported as it happens (the api layer
+/// turns these into Observer events).
+struct ZoneProgress {
+  enum class Phase { started, finished, failed };
+  Phase phase = Phase::started;
+  std::size_t zone_index = 0;  ///< position in the ZoneSpec list
+  std::string zone_name;
+  std::string detail;  ///< stats summary / error text
+};
+
 class Mapper {
  public:
+  /// A mapper around one shared engine: zones are probed strictly
+  /// sequentially (the engine is not assumed to be thread-safe).
   Mapper(ProbeEngine& engine, MapperOptions options = {});
+  /// A mapper that builds one engine per zone; zones are probed
+  /// concurrently across `options.map_threads` workers. Because every
+  /// zone observes the platform through its own engine regardless of the
+  /// thread count, the merged MapResult is identical for any
+  /// `map_threads` value (deterministic engines assumed, e.g. a
+  /// jitter-free SimProbeEngine).
+  Mapper(ZoneEngineFactory zone_engines, MapperOptions options = {});
 
-  /// Map one zone (one ENV execution).
-  Result<ZoneMapResult> map_zone(const ZoneSpec& spec);
+  /// Zone progress callback. Invoked from thread-pool workers when
+  /// mapping runs concurrently, but never from two threads at once
+  /// (deliveries are serialized by an internal mutex).
+  Mapper& set_progress(std::function<void(const ZoneProgress&)> progress);
+
+  /// Map one zone (one ENV execution). In per-zone-engine mode,
+  /// `zone_index` is forwarded to the factory — pass the spec's real
+  /// position when the factory distinguishes zones (e.g. per-zone
+  /// scripted traces); it is ignored in shared-engine mode.
+  Result<ZoneMapResult> map_zone(const ZoneSpec& spec, std::size_t zone_index = 0);
 
   /// Map every zone and merge. The first zone is the primary one (its
   /// master becomes the deployment viewpoint); `gateway_aliases` lists
@@ -89,18 +134,31 @@ class Mapper {
 
   /// Refine the machines attached to one structural node into classified
   /// EnvNetworks (phases 2a-2d). `machines` are indices into `all`.
-  std::vector<EnvNetwork> refine(const std::vector<MachineInfo>& all,
+  /// Pure per-zone work: touches only `engine` and its own arguments, so
+  /// zones can run on concurrent workers with separate engines.
+  std::vector<EnvNetwork> refine(ProbeEngine& engine, const std::vector<MachineInfo>& all,
                                  const std::vector<std::size_t>& machines,
                                  const MachineInfo& master, const std::string& label,
                                  const std::string& label_ip,
-                                 std::vector<std::string>& warnings);
+                                 std::vector<std::string>& warnings) const;
 
-  EnvNetwork convert(const StructuralNode& node, const std::vector<MachineInfo>& all,
-                     const MachineInfo& master, std::vector<std::string>& warnings,
-                     bool is_root);
+  EnvNetwork convert(ProbeEngine& engine, const StructuralNode& node,
+                     const std::vector<MachineInfo>& all, const MachineInfo& master,
+                     std::vector<std::string>& warnings, bool is_root) const;
 
-  ProbeEngine& engine_;
+  /// One full ENV run against an explicit engine (the per-zone body).
+  Result<ZoneMapResult> map_zone_with(ProbeEngine& engine, const ZoneSpec& spec) const;
+
+  /// Map every zone, sequentially or on a pool, preserving spec order.
+  std::vector<Result<ZoneMapResult>> map_zones(const std::vector<ZoneSpec>& specs);
+
+  void report(const ZoneProgress& progress);
+
+  ProbeEngine* engine_ = nullptr;        ///< shared-engine mode
+  ZoneEngineFactory zone_engines_;       ///< per-zone-engine mode
   MapperOptions options_;
+  std::function<void(const ZoneProgress&)> progress_;
+  std::mutex progress_mutex_;
 };
 
 }  // namespace envnws::env

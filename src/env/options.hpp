@@ -50,6 +50,17 @@ struct MapperOptions {
   /// Flag a network as route-asymmetric when forward and reverse base
   /// bandwidths differ by at least this factor.
   double asymmetry_ratio = 1.5;
+
+  // --- extension: concurrent zone mapping (paper §4.2: each zone is an
+  // independent ENV run; §4.3 merges the per-zone views only at the end,
+  // so the runs can execute at the same time — one ENV instance per
+  // firewall side instead of one after the other) ---
+  /// Number of zones probed concurrently. Requires a per-zone engine
+  /// (Mapper's zone-engine-factory constructor); ignored — mapping stays
+  /// sequential — when the Mapper wraps a single shared ProbeEngine.
+  /// Does not affect the mapping result, only how long it takes: the
+  /// merged view is bit-identical for any thread count.
+  int map_threads = 1;
 };
 
 }  // namespace envnws::env

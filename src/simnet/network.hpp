@@ -85,6 +85,9 @@ class Network {
   [[nodiscard]] RouteTable& routes() { return routes_; }
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
+  /// Construction options, so a replica can be built measurement-faithful
+  /// (api::Session clones the platform per zone for concurrent mapping).
+  [[nodiscard]] const NetworkOptions& options() const { return options_; }
 
   // --- event scheduling ---
   EventHandle schedule_at(SimTime t, EventFn fn);

@@ -1,6 +1,7 @@
 #include "simnet/scenario.hpp"
 
 #include <cassert>
+#include <functional>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -326,6 +327,186 @@ Scenario wan_constellation(int sites, int hosts_per_site, double lan_bw_bps, dou
     scenario.ground_truth.push_back(std::move(truth));
   }
   scenario.master = "site0n0";
+  return scenario;
+}
+
+Scenario multi_firewall(int zone_count, int hosts_per_zone, double lan_bw_bps,
+                        double public_bw_bps) {
+  Scenario scenario;
+  scenario.name = "multi-firewall";
+  scenario.description = std::to_string(zone_count) + " firewalled domains of " +
+                         std::to_string(hosts_per_zone) +
+                         " hosts behind dual-homed gateways on one public backbone";
+  Topology& topo = scenario.topology;
+
+  const std::string kPublicZone = "corp.example";
+  const NodeId edge = topo.add_router("edge", "edge.corp.example", Ipv4(10, 0, 0, 254));
+  topo.set_edge_router(edge);
+  const NodeId backbone = topo.add_switch("backbone-sw");
+  topo.connect(backbone, edge, public_bw_bps, usec(100));
+
+  const NodeId master = topo.add_host("master", "master.corp.example", Ipv4(10, 0, 0, 1));
+  topo.set_zones(master, {kPublicZone});
+  decorate_host(topo, master, "Pentium III", 1000.2, 98000);
+  topo.connect(master, backbone, public_bw_bps, usec(50));
+  scenario.master = "master";
+  scenario.zone_traceroute_target[kPublicZone] = "edge";
+
+  GroundTruthNet public_truth;
+  public_truth.kind = GroundTruthNet::Kind::switched;
+  public_truth.local_bw_bps = public_bw_bps;
+  public_truth.member_names.push_back("master");
+
+  for (int z = 0; z < zone_count; ++z) {
+    const std::string zone = "zone" + std::to_string(z) + ".private";
+    const std::string gw_name = "gw" + std::to_string(z);
+    const auto zone_octet = static_cast<std::uint8_t>(1 + z);
+
+    const NodeId gateway = topo.add_host(gw_name, gw_name + ".corp.example",
+                                         Ipv4(10, 0, 0, static_cast<std::uint8_t>(10 + z)));
+    topo.set_zones(gateway, {kPublicZone});
+    topo.add_alias(gateway, HostAlias{gw_name + "." + zone, Ipv4(192, 168, zone_octet, 1), zone});
+    decorate_host(topo, gateway, "Pentium III", 866.8, 84000);
+    topo.connect(gateway, backbone, public_bw_bps, usec(50));
+    public_truth.member_names.push_back(gw_name);
+    scenario.zone_traceroute_target[zone] = gw_name;
+
+    const bool shared = (z % 2 == 0);
+    const NodeId lan = shared ? topo.add_hub("z" + std::to_string(z) + "-hub", lan_bw_bps)
+                              : topo.add_switch("z" + std::to_string(z) + "-sw");
+    topo.connect(gateway, lan, lan_bw_bps, usec(50));
+
+    GroundTruthNet truth;
+    truth.kind = shared ? GroundTruthNet::Kind::shared : GroundTruthNet::Kind::switched;
+    truth.local_bw_bps = lan_bw_bps;
+    for (int i = 0; i < hosts_per_zone; ++i) {
+      const std::string name = "z" + std::to_string(z) + "h" + std::to_string(i);
+      const NodeId host = topo.add_host(name, name + "." + zone,
+                                        Ipv4(192, 168, zone_octet,
+                                             static_cast<std::uint8_t>(10 + i)));
+      topo.set_zones(host, {zone});
+      decorate_host(topo, host, "Pentium II", 448.9, 43000);
+      topo.connect(host, lan, lan_bw_bps, usec(50));
+      truth.member_names.push_back(name);
+    }
+    scenario.ground_truth.push_back(std::move(truth));
+  }
+  scenario.ground_truth.insert(scenario.ground_truth.begin(), std::move(public_truth));
+  return scenario;
+}
+
+Scenario fat_tree(int k, double bw_bps) {
+  assert(k >= 2 && k % 2 == 0);
+  Scenario scenario;
+  scenario.name = "fat-tree";
+  scenario.description = std::to_string(k) + "-ary fat-tree of " +
+                         std::to_string(k * k * k / 4) + " hosts";
+  Topology& topo = scenario.topology;
+  const int half = k / 2;
+
+  std::vector<NodeId> cores;
+  for (int c = 0; c < half * half; ++c) {
+    const std::string name = "core" + std::to_string(c);
+    cores.push_back(topo.add_router(name, name + ".fat.net",
+                                    Ipv4(10, 255, static_cast<std::uint8_t>(c / half),
+                                         static_cast<std::uint8_t>(1 + c % half))));
+  }
+  topo.set_edge_router(cores.front());
+
+  for (int p = 0; p < k; ++p) {
+    const std::string pod = "p" + std::to_string(p);
+    std::vector<NodeId> aggs;
+    for (int a = 0; a < half; ++a) {
+      const std::string name = pod + "a" + std::to_string(a);
+      aggs.push_back(topo.add_router(name, name + ".fat.net",
+                                     Ipv4(10, static_cast<std::uint8_t>(p), 250,
+                                          static_cast<std::uint8_t>(1 + a))));
+      // Aggregation router `a` reaches cores [a*half, (a+1)*half).
+      for (int c = 0; c < half; ++c) {
+        topo.connect(aggs.back(), cores[static_cast<std::size_t>(a * half + c)], bw_bps,
+                     usec(100));
+      }
+    }
+    for (int e = 0; e < half; ++e) {
+      const NodeId edge_sw = topo.add_switch(pod + "e" + std::to_string(e));
+      for (const NodeId agg : aggs) topo.connect(edge_sw, agg, bw_bps, usec(50));
+      GroundTruthNet truth;
+      truth.kind = GroundTruthNet::Kind::switched;
+      truth.local_bw_bps = bw_bps;
+      for (int h = 0; h < half; ++h) {
+        const std::string name = pod + "e" + std::to_string(e) + "h" + std::to_string(h);
+        const NodeId host = topo.add_host(name, name + ".fat.net",
+                                          Ipv4(10, static_cast<std::uint8_t>(p),
+                                               static_cast<std::uint8_t>(e),
+                                               static_cast<std::uint8_t>(10 + h)));
+        topo.connect(host, edge_sw, bw_bps, usec(50));
+        truth.member_names.push_back(name);
+      }
+      scenario.ground_truth.push_back(std::move(truth));
+    }
+  }
+  scenario.master = "p0e0h0";
+  return scenario;
+}
+
+Scenario torus3d(int x, int y, int z, double bw_bps) {
+  assert(x >= 1 && y >= 1 && z >= 1);
+  Scenario scenario;
+  scenario.name = "torus3d";
+  scenario.description = std::to_string(x) + "x" + std::to_string(y) + "x" +
+                         std::to_string(z) + " torus, one host per node";
+  Topology& topo = scenario.topology;
+
+  const auto node_tag = [](int i, int j, int l) {
+    return std::to_string(i) + "-" + std::to_string(j) + "-" + std::to_string(l);
+  };
+  std::vector<NodeId> routers(static_cast<std::size_t>(x) * static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(z));
+  const auto at = [&](int i, int j, int l) -> NodeId& {
+    return routers[static_cast<std::size_t>((i * y + j) * z + l)];
+  };
+  for (int i = 0; i < x; ++i) {
+    for (int j = 0; j < y; ++j) {
+      for (int l = 0; l < z; ++l) {
+        const std::string rname = "tr" + node_tag(i, j, l);
+        at(i, j, l) = topo.add_router(rname, rname + ".torus.net",
+                                      Ipv4(10, static_cast<std::uint8_t>(100 + i),
+                                           static_cast<std::uint8_t>(j),
+                                           static_cast<std::uint8_t>(1 + l)));
+        const std::string hname = "t" + node_tag(i, j, l);
+        const NodeId host = topo.add_host(hname, hname + ".torus.net",
+                                          Ipv4(10, static_cast<std::uint8_t>(i),
+                                               static_cast<std::uint8_t>(j),
+                                               static_cast<std::uint8_t>(10 + l)));
+        topo.connect(host, at(i, j, l), bw_bps, usec(50));
+      }
+    }
+  }
+  // Ring links per dimension; a dimension of size 2 gets a single link
+  // (the "wrap" would duplicate it) and of size 1 none at all.
+  const auto ring = [&](int size, const std::function<NodeId(int)>& pick) {
+    if (size < 2) return;
+    for (int a = 0; a < (size == 2 ? 1 : size); ++a) {
+      topo.connect(pick(a), pick((a + 1) % size), bw_bps, usec(100));
+    }
+  };
+  for (int j = 0; j < y; ++j) {
+    for (int l = 0; l < z; ++l) {
+      ring(x, [&](int a) { return at(a, j, l); });
+    }
+  }
+  for (int i = 0; i < x; ++i) {
+    for (int l = 0; l < z; ++l) {
+      ring(y, [&](int a) { return at(i, a, l); });
+    }
+  }
+  for (int i = 0; i < x; ++i) {
+    for (int j = 0; j < y; ++j) {
+      ring(z, [&](int a) { return at(i, j, a); });
+    }
+  }
+  topo.set_edge_router(at(0, 0, 0));
+  scenario.master = "t0-0-0";
   return scenario;
 }
 

@@ -79,6 +79,27 @@ Scenario vlan_lab(int hosts_per_vlan, int vlan_count, double port_bw_bps);
 Scenario wan_constellation(int sites, int hosts_per_site, double lan_bw_bps,
                            double wan_bw_bps, double wan_latency_s = 10e-3);
 
+/// `zone_count` firewalled private domains behind one public backbone —
+/// the ens_lyon firewall shape, scaled. Each private zone `zoneK.private`
+/// hides `hosts_per_zone` hosts behind a dual-homed gateway (public
+/// identity `gwK.corp.example`); the zones alternate between shared hubs
+/// (even K) and switches (odd K). Since each zone is an independent ENV
+/// run merged only at the end, this is the natural workload for
+/// concurrent zone mapping: zone_count + 1 zones in total.
+Scenario multi_firewall(int zone_count, int hosts_per_zone, double lan_bw_bps,
+                        double public_bw_bps);
+
+/// Canonical k-ary fat-tree (k even): k pods of (k/2) edge switches with
+/// (k/2) hosts each, aggregation and core tiers as routers so the pod
+/// structure is traceroute-visible. k^3/4 hosts, all links at `bw_bps`.
+Scenario fat_tree(int k, double bw_bps);
+
+/// 3-D torus of routers, one host per router, wrap-around links in every
+/// dimension of size > 2. A platform of lone machines: every host is its
+/// own structural leaf, nothing to classify — the opposite extreme from
+/// the LAN-heavy families.
+Scenario torus3d(int x, int y, int z, double bw_bps);
+
 struct RandomLanParams {
   int segment_count = 4;           ///< LAN segments hanging off the backbone
   int min_hosts_per_segment = 2;

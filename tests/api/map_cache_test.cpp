@@ -1,0 +1,191 @@
+// The persistent map cache: exact store/load round-trips, the zero-probe
+// reload path through Session::map(), key sensitivity to probe options,
+// and explicit invalidation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "api/envnws.hpp"
+#include "common/units.hpp"
+#include "env/env_tree.hpp"
+
+namespace envnws::api {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_cache_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("envnws-map-cache-" + tag);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+simnet::Scenario test_scenario() {
+  return ScenarioRegistry::builtin().make("multi-firewall:3x3@100/100").value();
+}
+
+/// The key Session::map() uses when no explicit label was given.
+std::string default_key(const simnet::Scenario& scenario) {
+  return MapCache::key_for(
+      scenario.name + "+" + MapCache::platform_fingerprint(scenario.topology),
+      env::MapperOptions{});
+}
+
+std::uint64_t probe_flows(const simnet::Network& net) {
+  const auto it = net.stats().by_purpose.find("env-probe");
+  return it == net.stats().by_purpose.end() ? 0 : it->second.flow_count;
+}
+
+TEST(MapCache, RoundTripPreservesViewGridAndZones) {
+  const std::string dir = fresh_cache_dir("roundtrip");
+  simnet::Network net(simnet::Scenario(test_scenario()).topology);
+  Session session(net, test_scenario());
+  ASSERT_TRUE(session.map().ok());
+  const env::MapResult& original = session.map_result();
+
+  MapCache cache(dir);
+  const std::string key = MapCache::key_for("multi-firewall:3x3@100/100", env::MapperOptions{});
+  ASSERT_TRUE(cache.store(key, original).ok());
+  auto reloaded = cache.load(key);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().to_string();
+
+  EXPECT_EQ(reloaded.value().master_fqdn, original.master_fqdn);
+  EXPECT_EQ(reloaded.value().warnings, original.warnings);
+  EXPECT_EQ(reloaded.value().stats.experiments, original.stats.experiments);
+  EXPECT_EQ(reloaded.value().stats.bytes_sent, original.stats.bytes_sent);
+  EXPECT_DOUBLE_EQ(reloaded.value().stats.duration_s, original.stats.duration_s);
+  EXPECT_EQ(reloaded.value().grid.to_string(), original.grid.to_string());
+  // The effective view round-trips at full precision, machine for machine.
+  EXPECT_EQ(env::render_effective(reloaded.value().root), env::render_effective(original.root));
+  ASSERT_EQ(reloaded.value().zones.size(), original.zones.size());
+  for (std::size_t z = 0; z < original.zones.size(); ++z) {
+    EXPECT_EQ(reloaded.value().zones[z].spec.zone_name, original.zones[z].spec.zone_name);
+    EXPECT_EQ(reloaded.value().zones[z].spec.hostnames, original.zones[z].spec.hostnames);
+    EXPECT_EQ(reloaded.value().zones[z].master_fqdn, original.zones[z].master_fqdn);
+  }
+}
+
+TEST(MapCache, SecondMapOfTheSameSpecPerformsZeroProbes) {
+  const std::string dir = fresh_cache_dir("reload");
+
+  // First run probes and persists.
+  simnet::Network net1(simnet::Scenario(test_scenario()).topology);
+  Session first(net1, test_scenario());
+  first.set_map_cache(dir);
+  ASSERT_TRUE(first.map().ok());
+  ASSERT_GT(first.map_result().stats.experiments, 0u);
+  ASSERT_TRUE(first.plan().ok());
+  const std::string fresh_config = first.config_text();
+
+  // Second run — new process, same spec — reloads: zero experiments,
+  // zero probe traffic, byte-identical plan.
+  simnet::Network net2(simnet::Scenario(test_scenario()).topology);
+  Session second(net2, test_scenario());
+  second.set_map_cache(dir);
+  EventLog log;
+  second.set_observer(&log);
+  ASSERT_TRUE(second.map().ok());
+  EXPECT_EQ(second.map_result().stats.experiments, 0u);
+  EXPECT_EQ(probe_flows(net2), 0u);
+  ASSERT_TRUE(second.plan().ok());
+  EXPECT_EQ(second.config_text(), fresh_config);
+  bool saw_cache_note = false;
+  for (const auto& event : log.events()) {
+    if (event.kind == Event::Kind::note &&
+        event.detail.find("reloaded from cache") != std::string::npos) {
+      saw_cache_note = true;
+    }
+  }
+  EXPECT_TRUE(saw_cache_note);
+}
+
+TEST(MapCache, KeyDependsOnProbeOptionsButNotOnThreads) {
+  env::MapperOptions base;
+  env::MapperOptions threaded = base;
+  threaded.map_threads = 8;
+  EXPECT_EQ(MapCache::key_for("star:4@100", base), MapCache::key_for("star:4@100", threaded));
+
+  env::MapperOptions different = base;
+  different.probe_bytes *= 2;
+  EXPECT_NE(MapCache::key_for("star:4@100", base), MapCache::key_for("star:4@100", different));
+  EXPECT_NE(MapCache::key_for("star:4@100", base), MapCache::key_for("star:8@100", base));
+}
+
+TEST(MapCache, DifferentPlatformsUnderTheSameNameDoNotCollide) {
+  // The bare simnet builders stamp one name for every size:
+  // multi_firewall(2,2) and (3,5) are both "multi-firewall". The
+  // platform fingerprint in the default key must keep them apart.
+  const std::string dir = fresh_cache_dir("fingerprint");
+  simnet::Scenario small = simnet::multi_firewall(2, 2, units::mbps(100), units::mbps(100));
+  simnet::Scenario large = simnet::multi_firewall(3, 5, units::mbps(100), units::mbps(100));
+  ASSERT_EQ(small.name, large.name);
+
+  simnet::Network net1(simnet::Scenario(small).topology);
+  Session first(net1, small);
+  first.set_map_cache(dir);
+  ASSERT_TRUE(first.map().ok());
+
+  simnet::Network net2(simnet::Scenario(large).topology);
+  Session second(net2, large);
+  second.set_map_cache(dir);
+  ASSERT_TRUE(second.map().ok());
+  // A collision would have reloaded the small platform's view; the miss
+  // re-probed and produced exactly what an uncached run of `large` does.
+  EXPECT_GT(second.map_result().stats.experiments, 0u);
+  simnet::Network reference_net(simnet::Scenario(large).topology);
+  Session reference(reference_net, large);
+  ASSERT_TRUE(reference.map().ok());
+  EXPECT_EQ(second.map_result().grid.to_string(), reference.map_result().grid.to_string());
+}
+
+TEST(MapCache, InvalidationForcesReProbing) {
+  const std::string dir = fresh_cache_dir("invalidate");
+  simnet::Network net1(simnet::Scenario(test_scenario()).topology);
+  Session first(net1, test_scenario());
+  first.set_map_cache(dir);
+  ASSERT_TRUE(first.map().ok());
+
+  simnet::Network net2(simnet::Scenario(test_scenario()).topology);
+  Session second(net2, test_scenario());
+  second.set_map_cache(dir);
+  ASSERT_TRUE(second.invalidate_map_cache().ok());
+  ASSERT_TRUE(second.map().ok());
+  EXPECT_GT(second.map_result().stats.experiments, 0u);  // really probed
+  EXPECT_GT(probe_flows(net2), 0u);
+}
+
+TEST(MapCache, CorruptEntryIsIgnoredAndOverwritten) {
+  const std::string dir = fresh_cache_dir("corrupt");
+  MapCache cache(dir);
+  const simnet::Scenario scenario = test_scenario();
+  const std::string key = default_key(scenario);
+  fs::create_directories(dir);
+  { std::ofstream(cache.path_for(key)) << "<DEFINITELY-NOT-AN-ENVMAP />"; }
+
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  Session session(net, scenario);
+  session.set_map_cache(dir);
+  ASSERT_TRUE(session.map().ok());
+  EXPECT_GT(session.map_result().stats.experiments, 0u);
+  // The bad entry was replaced by a valid one.
+  auto reloaded = cache.load(key);
+  EXPECT_TRUE(reloaded.ok()) << reloaded.error().to_string();
+}
+
+TEST(MapCache, ClearRemovesEveryEntry) {
+  const std::string dir = fresh_cache_dir("clear");
+  simnet::Network net(simnet::Scenario(test_scenario()).topology);
+  Session session(net, test_scenario());
+  session.set_map_cache(dir);
+  ASSERT_TRUE(session.map().ok());
+
+  MapCache cache(dir);
+  auto removed = cache.clear();
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 1u);
+  EXPECT_FALSE(cache.load(default_key(test_scenario())).ok());
+}
+
+}  // namespace
+}  // namespace envnws::api

@@ -129,6 +129,75 @@ TEST(ScenarioRegistry, ResolvesTwoClusterAndRandomLan) {
   EXPECT_EQ(host_count(replay.value()), host_count(random.value()));
 }
 
+TEST(ScenarioRegistry, ResolvesMultiFirewall) {
+  auto made = reg().make("multi-firewall:4x5@100/100");
+  ASSERT_TRUE(made.ok()) << made.error().to_string();
+  EXPECT_EQ(made.value().name, "multi-firewall:4x5@100/100");
+  EXPECT_EQ(host_count(made.value()), 1u + 4u + 4u * 5u);  // master + gateways + hosts
+  // One firewall zone per private domain plus the public one.
+  EXPECT_EQ(made.value().topology.zones().size(), 5u);
+  EXPECT_EQ(made.value().master, "master");
+  // Hard caps fail loudly instead of overflowing addresses.
+  EXPECT_FALSE(reg().make("multi-firewall:100x3").ok());
+  EXPECT_FALSE(reg().make("multi-firewall:2x300").ok());
+}
+
+TEST(ScenarioRegistry, ResolvesFatTree) {
+  auto made = reg().make("fat-tree:4@100");
+  ASSERT_TRUE(made.ok()) << made.error().to_string();
+  EXPECT_EQ(host_count(made.value()), 16u);  // k^3/4
+  EXPECT_EQ(made.value().ground_truth.size(), 8u);  // k*(k/2) edge segments
+  auto defaulted = reg().make("fat-tree");
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_EQ(host_count(defaulted.value()), 16u);
+  // K must be even and bounded.
+  EXPECT_FALSE(reg().make("fat-tree:3").ok());
+  EXPECT_FALSE(reg().make("fat-tree:12").ok());
+}
+
+TEST(ScenarioRegistry, ResolvesTorus) {
+  auto made = reg().make("torus:3x2x2@100");
+  ASSERT_TRUE(made.ok()) << made.error().to_string();
+  EXPECT_EQ(host_count(made.value()), 12u);
+  auto bare = reg().make("torus");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(host_count(bare.value()), 8u);  // 2x2x2
+  auto ring = reg().make("torus:6");
+  ASSERT_TRUE(ring.ok());
+  EXPECT_EQ(host_count(ring.value()), 6u);  // trailing dims default to 1
+  EXPECT_FALSE(reg().make("torus:5x5x5").ok());  // > 64 nodes
+}
+
+TEST(ScenarioRegistry, RandomLanAcceptsSegmentSpeedOverrides) {
+  auto single_speed = reg().make("random-lan:11@100");
+  ASSERT_TRUE(single_speed.ok()) << single_speed.error().to_string();
+  for (const auto& truth : single_speed.value().ground_truth) {
+    EXPECT_DOUBLE_EQ(truth.local_bw_bps, mbps(100));
+  }
+  // Same seed, same layout, regardless of the speed palette.
+  auto multi_speed = reg().make("random-lan:11@10/33/100");
+  ASSERT_TRUE(multi_speed.ok());
+  EXPECT_EQ(host_count(multi_speed.value()), host_count(single_speed.value()));
+}
+
+TEST(ScenarioSpec, FileSpecsKeepThePathVerbatim) {
+  auto spec = ScenarioSpec::parse("file:/tmp/my platform@v2/map:x.gridml");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  EXPECT_EQ(spec.value().name, "file");
+  EXPECT_EQ(spec.value().payload, "/tmp/my platform@v2/map:x.gridml");
+  EXPECT_TRUE(spec.value().dims.empty());
+  EXPECT_TRUE(spec.value().rates_mbps.empty());
+  EXPECT_EQ(spec.value().to_string(), "file:/tmp/my platform@v2/map:x.gridml");
+  EXPECT_FALSE(ScenarioSpec::parse("file:").ok());
+  EXPECT_FALSE(ScenarioSpec::parse("file:   ").ok());
+}
+
+TEST(ScenarioRegistry, StampsCanonicalSpecAsScenarioName) {
+  EXPECT_EQ(reg().make("dumbbell").value().name, "dumbbell");
+  EXPECT_EQ(reg().make("dumbbell:3x3@100/10").value().name, "dumbbell:3x3@100/10");
+  EXPECT_EQ(reg().make("random-lan:7").value().name, "random-lan:7");
+}
+
 TEST(ScenarioRegistry, RejectsExcessOrInvalidParameters) {
   // ens-lyon takes no parameters at all.
   EXPECT_FALSE(reg().make("ens-lyon:3").ok());

@@ -3,6 +3,7 @@
 // compatibility wrapper.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -118,7 +119,10 @@ TEST(Session, ObserverSeesStagesInPipelineOrder) {
 
   std::vector<std::pair<Event::Kind, Stage>> markers;
   for (const auto& event : log.events()) {
-    if (event.kind != Event::Kind::note) markers.emplace_back(event.kind, event.stage);
+    if (event.kind == Event::Kind::stage_started || event.kind == Event::Kind::stage_finished ||
+        event.kind == Event::Kind::stage_failed) {
+      markers.emplace_back(event.kind, event.stage);
+    }
   }
   const std::vector<std::pair<Event::Kind, Stage>> expected{
       {Event::Kind::stage_started, Stage::map},
@@ -138,6 +142,89 @@ TEST(Session, ObserverSeesStagesInPipelineOrder) {
     EXPECT_GE(log.events()[i].sim_time_s, log.events()[i - 1].sim_time_s);
   }
   session.system().stop();
+}
+
+TEST(Session, ZoneEventsAreSequencedBetweenMapMarkers) {
+  const auto scenario =
+      ScenarioRegistry::builtin().make("multi-firewall:2x2@100/100").value();
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  Session session(net, scenario);
+  EventLog log;
+  session.set_observer(&log);
+  ASSERT_TRUE(session.map().ok());
+
+  // Sequence stamps count every delivery, gap-free.
+  for (std::size_t i = 0; i < log.events().size(); ++i) {
+    EXPECT_EQ(log.events()[i].sequence, i);
+  }
+  // Zone events sit strictly between the map stage's start/finish
+  // markers, one started+finished pair per zone (3 zones: public + 2).
+  std::size_t started_at = 0;
+  std::size_t finished_at = 0;
+  std::map<int, std::vector<Event::Kind>> per_zone;
+  for (std::size_t i = 0; i < log.events().size(); ++i) {
+    const Event& event = log.events()[i];
+    if (event.kind == Event::Kind::stage_started) started_at = i;
+    if (event.kind == Event::Kind::stage_finished) finished_at = i;
+    if (event.kind == Event::Kind::zone_started || event.kind == Event::Kind::zone_finished) {
+      EXPECT_GT(i, started_at);
+      EXPECT_EQ(finished_at, 0u);  // no stage_finished yet
+      EXPECT_FALSE(event.zone.empty());
+      per_zone[event.zone_index].push_back(event.kind);
+    }
+  }
+  ASSERT_EQ(per_zone.size(), 3u);
+  for (const auto& [zone_index, kinds] : per_zone) {
+    ASSERT_EQ(kinds.size(), 2u) << "zone " << zone_index;
+    EXPECT_EQ(kinds[0], Event::Kind::zone_started);
+    EXPECT_EQ(kinds[1], Event::Kind::zone_finished);
+  }
+}
+
+TEST(Session, ParallelMapMatchesSequentialAndSparesTheSessionNetwork) {
+  const auto scenario =
+      ScenarioRegistry::builtin().make("multi-firewall:3x2@100/100").value();
+
+  simnet::Network seq_net(simnet::Scenario(scenario).topology);
+  Session sequential(seq_net, scenario);
+  ASSERT_TRUE(sequential.map().ok());
+  ASSERT_GT(probe_flows(seq_net), 0u);
+
+  simnet::Network par_net(simnet::Scenario(scenario).topology);
+  Session parallel(par_net, scenario);
+  parallel.options().mapper.map_threads = 4;
+  EventLog log;
+  parallel.set_observer(&log);
+  ASSERT_TRUE(parallel.map().ok());
+
+  // Identical merged result...
+  EXPECT_EQ(parallel.map_result().grid.to_string(), sequential.map_result().grid.to_string());
+  EXPECT_EQ(parallel.map_result().warnings, sequential.map_result().warnings);
+  EXPECT_EQ(parallel.map_result().master_fqdn, sequential.map_result().master_fqdn);
+  // ...but a shorter map stage (makespan over 4 workers vs. the sum)...
+  EXPECT_LT(parallel.map_result().stats.duration_s,
+            sequential.map_result().stats.duration_s * 0.75);
+  // ...and no probe traffic on the session's own network (the zones ran
+  // on private replicas).
+  EXPECT_EQ(probe_flows(par_net), 0u);
+
+  // Zone events still pair up per zone, sequences still gap-free, even
+  // though deliveries came from worker threads.
+  for (std::size_t i = 0; i < log.events().size(); ++i) {
+    EXPECT_EQ(log.events()[i].sequence, i);
+  }
+  std::map<int, std::vector<Event::Kind>> per_zone;
+  for (const Event& event : log.events()) {
+    if (event.kind == Event::Kind::zone_started || event.kind == Event::Kind::zone_finished) {
+      per_zone[event.zone_index].push_back(event.kind);
+    }
+  }
+  ASSERT_EQ(per_zone.size(), 4u);  // public + 3 private zones
+  for (const auto& [zone_index, kinds] : per_zone) {
+    ASSERT_EQ(kinds.size(), 2u) << "zone " << zone_index;
+    EXPECT_EQ(kinds[0], Event::Kind::zone_started);
+    EXPECT_EQ(kinds[1], Event::Kind::zone_finished);
+  }
 }
 
 TEST(Session, CustomProbeEngineFactoryIsUsed) {
