@@ -11,6 +11,10 @@
 //     speedup and verifies the merged results are identical.
 //  3. With --map-cache=DIR: maps once through the persistent cache, then
 //     again — the second run must reload with ZERO probe experiments.
+//  4. With --probe=<engine-spec>: maps through the given probe engine
+//     (record:/replay:/fault: — docs/TESTING.md). A record: spec is
+//     additionally replayed back and verified bit-identical, so the
+//     bench doubles as a trace round-trip smoke test.
 #include <chrono>
 #include <cstdio>
 
@@ -158,6 +162,49 @@ void cache_section(const std::string& spec, const std::string& cache_dir) {
   std::printf("\n");
 }
 
+/// Map through `probe_spec`; after a record: run, replay the trace back
+/// and require the bit-identical MapResult (MapResult::identity_digest,
+/// the same definition the golden-trace suite asserts).
+void probe_engine_section(const std::string& spec, const std::string& probe_spec) {
+  simnet::Scenario scenario = bench::make_scenario_or_exit(spec);
+  std::printf("--- probe engine '%s' on %s ---\n", probe_spec.c_str(), spec.c_str());
+
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  api::Session session(net, scenario);
+  if (auto status = session.set_probe_engine_spec(probe_spec); !status.ok()) {
+    std::fprintf(stderr, "bad --probe spec: %s\n", status.error().to_string().c_str());
+    std::exit(2);
+  }
+  if (auto status = session.map(); !status.ok()) {
+    std::fprintf(stderr, "map failed: %s\n", status.error().to_string().c_str());
+    std::exit(1);
+  }
+  const env::MapStats stats = session.map_result().stats;
+  std::printf("map(): %llu experiments, %zu warning(s)\n",
+              static_cast<unsigned long long>(stats.experiments),
+              session.map_result().warnings.size());
+
+  if (probe_spec.rfind("record:", 0) == 0) {
+    const std::string path = probe_spec.substr(std::strlen("record:"));
+    simnet::Network replay_net(simnet::Scenario(scenario).topology);
+    api::Session replay(replay_net, scenario);
+    if (auto status = replay.set_probe_engine_spec("replay:" + path); !status.ok()) {
+      std::fprintf(stderr, "replay setup failed: %s\n", status.error().to_string().c_str());
+      std::exit(1);
+    }
+    if (auto status = replay.map(); !status.ok()) {
+      std::fprintf(stderr, "replay failed: %s\n", status.error().to_string().c_str());
+      std::exit(1);
+    }
+    const bool identical =
+        session.map_result().identity_digest() == replay.map_result().identity_digest();
+    std::printf("trace replay from '%s' bit-identical to recorded run: %s\n", path.c_str(),
+                identical ? "yes" : "NO — BUG");
+    if (!identical) std::exit(1);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,5 +225,6 @@ int main(int argc, char** argv) {
   parallel_section(parallel_spec, cli.threads);
 
   if (!cli.map_cache_dir.empty()) cache_section(parallel_spec, cli.map_cache_dir);
+  if (!cli.probe_spec.empty()) probe_engine_section(parallel_spec, cli.probe_spec);
   return 0;
 }

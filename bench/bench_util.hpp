@@ -54,6 +54,11 @@ struct BenchCli {
   std::string scenario_spec;  ///< spec or template, per the bench's default
   int threads = 8;            ///< --threads=K (zone-mapping workers)
   std::string map_cache_dir;  ///< --map-cache=DIR ("" = cache disabled)
+  /// --probe=<spec>: probe-engine spec forwarded to
+  /// api::Session::set_probe_engine_spec ("" = the simulator). E.g.
+  /// record:/tmp/run.envtrace, replay:/tmp/run.envtrace,
+  /// fault:bw%7=fail:timeout — grammar in docs/TESTING.md.
+  std::string probe_spec;
 };
 
 /// The single bench flag parser. `parallel_flags` controls whether
@@ -65,7 +70,7 @@ inline BenchCli bench_cli(int argc, char** argv, const std::string& default_spec
   const auto usage_and_exit = [&] {
     std::fprintf(stderr, "usage: %s [--scenario=<spec%s>]%s [--list]   (default scenario: %s)\n",
                  argv[0], parallel_flags ? "-or-template" : "",
-                 parallel_flags ? " [--threads=K] [--map-cache=DIR]" : "",
+                 parallel_flags ? " [--threads=K] [--map-cache=DIR] [--probe=<engine-spec>]" : "",
                  default_spec.c_str());
     std::exit(2);
   };
@@ -86,6 +91,8 @@ inline BenchCli bench_cli(int argc, char** argv, const std::string& default_spec
       if (cli.threads < 1) usage_and_exit();
     } else if (parallel_flags && arg.rfind("--map-cache=", 0) == 0) {
       cli.map_cache_dir = arg.substr(std::strlen("--map-cache="));
+    } else if (parallel_flags && arg.rfind("--probe=", 0) == 0) {
+      cli.probe_spec = arg.substr(std::strlen("--probe="));
     } else {
       usage_and_exit();
     }

@@ -1,0 +1,71 @@
+// Record a golden probe trace for a scenario — and prove it replays.
+//
+// The trace-format regression suite (tests/env/trace_engine_test.cpp)
+// replays the committed traces under tests/data/traces/ and asserts the
+// result is bit-identical to a live simulator run. When the mapper's
+// probe schedule legitimately changes, re-record with this tool (see
+// docs/TESTING.md, "Re-recording golden traces"):
+//
+//   $ ./examples/record_trace dumbbell:3x3@100/10 tests/data/traces/dumbbell-3x3.envtrace
+//
+// The tool maps the scenario once with a recording engine, then maps it
+// again from the fresh trace and verifies the two MapResults match — a
+// trace that does not survive its own round-trip is never written home.
+#include <cstdio>
+#include <string>
+
+#include "api/envnws.hpp"
+#include "env/env_tree.hpp"
+
+using namespace envnws;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "record_trace: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <scenario-spec> <output-trace-path>\n", argv[0]);
+    return 2;
+  }
+  const std::string spec = argv[1];
+  const std::string path = argv[2];
+
+  auto scenario = api::ScenarioRegistry::builtin().make(spec);
+  if (!scenario.ok()) return fail("bad scenario '" + spec + "': " + scenario.error().to_string());
+
+  simnet::Network record_net(simnet::Scenario(scenario.value()).topology);
+  api::Session recorder(record_net, scenario.value());
+  if (auto status = recorder.set_probe_engine_spec("record:" + path); !status.ok()) {
+    return fail(status.error().to_string());
+  }
+  if (auto status = recorder.map(); !status.ok()) {
+    return fail("mapping failed: " + status.error().to_string());
+  }
+  const env::MapResult& live = recorder.map_result();
+  std::printf("recorded %s: %llu experiments, %zu zone(s) -> %s\n", spec.c_str(),
+              static_cast<unsigned long long>(live.stats.experiments), live.zones.size(),
+              path.c_str());
+
+  // Round-trip check: replay the trace we just wrote on a fresh session
+  // and require the bit-identical MapResult the golden suite asserts.
+  simnet::Network replay_net(simnet::Scenario(scenario.value()).topology);
+  api::Session replayer(replay_net, scenario.value());
+  if (auto status = replayer.set_probe_engine_spec("replay:" + path); !status.ok()) {
+    return fail(status.error().to_string());
+  }
+  if (auto status = replayer.map(); !status.ok()) {
+    return fail("replay failed: " + status.error().to_string());
+  }
+  const env::MapResult& replayed = replayer.map_result();
+  if (live.identity_digest() != replayed.identity_digest()) {
+    return fail("replayed MapResult differs from the recorded run");
+  }
+  std::printf("replay verified: MapResult bit-identical, zero live probes\n");
+  return 0;
+}

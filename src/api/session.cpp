@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <filesystem>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -72,6 +73,146 @@ Session& Session::set_probe_engine_factory(ProbeEngineFactory factory) {
   return *this;
 }
 
+Status Session::set_probe_engine_spec(const std::string& spec_text) {
+  const std::string spec = strings::trim(spec_text);
+  ProbeMode mode = ProbeMode::factory;
+  std::string path;
+  env::FaultSpec fault;
+  std::optional<env::ProbeTrace> trace;
+  if (spec.empty() || spec == "sim") {
+    // the factory alone
+  } else if (strings::starts_with(spec, "record:")) {
+    mode = ProbeMode::record;
+    path = strings::trim(spec.substr(std::string("record:").size()));
+    if (path.empty()) {
+      return make_error(ErrorCode::invalid_argument, "probe spec 'record:' names no trace file");
+    }
+  } else if (strings::starts_with(spec, "replay:") || strings::starts_with(spec, "replay-lenient:")) {
+    const bool lenient = strings::starts_with(spec, "replay-lenient:");
+    mode = lenient ? ProbeMode::replay_lenient : ProbeMode::replay_strict;
+    path = strings::trim(spec.substr(spec.find(':') + 1));
+    if (path.empty()) {
+      return make_error(ErrorCode::invalid_argument,
+                        "probe spec '" + spec.substr(0, spec.find(':') + 1) +
+                            "' names no trace file");
+    }
+    auto loaded = env::ProbeTrace::load(path);
+    if (loaded.ok()) {
+      trace = std::move(loaded.value());
+    } else if (loaded.error().code == ErrorCode::not_found &&
+               std::filesystem::exists(env::zone_trace_path(path, 0))) {
+      // A per-zone (threaded) recording: the zone files load lazily, one
+      // per zone engine, when map() runs with map_threads > 1.
+    } else {
+      return loaded.error();
+    }
+  } else if (strings::starts_with(spec, "fault:")) {
+    mode = ProbeMode::fault;
+    auto parsed = env::FaultSpec::parse(spec.substr(std::string("fault:").size()));
+    if (!parsed.ok()) return parsed.error();
+    if (parsed.value().empty()) {
+      return make_error(ErrorCode::invalid_argument, "probe spec 'fault:' carries no rules");
+    }
+    fault = std::move(parsed.value());
+  } else {
+    return make_error(ErrorCode::invalid_argument,
+                      "unknown probe engine spec '" + spec +
+                          "' (expected sim, record:<path>, replay:<path>, "
+                          "replay-lenient:<path> or fault:<rules>)");
+  }
+  probe_mode_ = mode;
+  probe_spec_text_ = spec.empty() ? "sim" : spec;
+  trace_path_ = std::move(path);
+  replay_trace_ = std::move(trace);
+  fault_spec_ = std::move(fault);
+  return {};
+}
+
+void Session::record_trace_issue(const Error& error) {
+  std::lock_guard<std::mutex> lock(trace_issue_mutex_);
+  if (!trace_issue_.has_value()) trace_issue_ = error;
+}
+
+Result<std::unique_ptr<env::ProbeEngine>> Session::make_sequential_engine() {
+  switch (probe_mode_) {
+    case ProbeMode::factory:
+      return std::unique_ptr<env::ProbeEngine>(engine_factory_(net_, options_.mapper));
+    case ProbeMode::record: {
+      auto recorder = env::RecordingProbeEngine::open(engine_factory_(net_, options_.mapper),
+                                                      trace_path_);
+      if (!recorder.ok()) return recorder.error();
+      recorder.value()->set_error_handler([this](const Error& error) { record_trace_issue(error); });
+      return std::unique_ptr<env::ProbeEngine>(std::move(recorder.value()));
+    }
+    case ProbeMode::replay_strict:
+    case ProbeMode::replay_lenient: {
+      if (!replay_trace_.has_value()) {
+        return make_error(ErrorCode::invalid_argument,
+                          "probe trace '" + trace_path_ +
+                              "' is a per-zone (threaded) recording; replay it with "
+                              "options().mapper.map_threads > 1");
+      }
+      const bool lenient = probe_mode_ == ProbeMode::replay_lenient;
+      auto replayer = std::make_unique<env::TraceProbeEngine>(
+          *replay_trace_,
+          lenient ? env::TraceProbeEngine::Mode::lenient : env::TraceProbeEngine::Mode::strict,
+          lenient ? engine_factory_(net_, options_.mapper) : nullptr);
+      replayer->set_violation_handler([this](const Error& error) { record_trace_issue(error); });
+      return std::unique_ptr<env::ProbeEngine>(std::move(replayer));
+    }
+    case ProbeMode::fault:
+      return std::unique_ptr<env::ProbeEngine>(std::make_unique<env::FaultInjectingProbeEngine>(
+          engine_factory_(net_, options_.mapper), fault_spec_));
+  }
+  return make_error(ErrorCode::internal, "unhandled probe engine mode");
+}
+
+std::unique_ptr<env::ProbeEngine> Session::make_zone_engine(std::size_t zone_index) {
+  const std::string path =
+      trace_path_.empty() ? std::string() : env::zone_trace_path(trace_path_, zone_index);
+  if (probe_mode_ == ProbeMode::replay_strict || probe_mode_ == ProbeMode::replay_lenient) {
+    auto trace = env::ProbeTrace::load(path);
+    if (!trace.ok()) {
+      record_trace_issue(trace.error());
+      return nullptr;
+    }
+    const bool lenient = probe_mode_ == ProbeMode::replay_lenient;
+    std::unique_ptr<simnet::Network> replica;
+    std::unique_ptr<env::ProbeEngine> delegate;
+    if (lenient) {
+      replica = std::make_unique<simnet::Network>(scenario_->topology, net_.options());
+      delegate = engine_factory_(*replica, options_.mapper);
+    }
+    auto replayer = std::make_unique<env::TraceProbeEngine>(
+        std::move(trace.value()),
+        lenient ? env::TraceProbeEngine::Mode::lenient : env::TraceProbeEngine::Mode::strict,
+        std::move(delegate));
+    replayer->set_violation_handler([this](const Error& error) { record_trace_issue(error); });
+    if (replica == nullptr) return replayer;
+    // Keep the lenient delegate's replica alive for the engine's lifetime.
+    return std::make_unique<ReplicaEngine>(std::move(replica), std::move(replayer));
+  }
+  auto replica = std::make_unique<simnet::Network>(scenario_->topology, net_.options());
+  auto engine = engine_factory_(*replica, options_.mapper);
+  std::unique_ptr<env::ProbeEngine> wrapped =
+      std::make_unique<ReplicaEngine>(std::move(replica), std::move(engine));
+  switch (probe_mode_) {
+    case ProbeMode::record: {
+      auto recorder = env::RecordingProbeEngine::open(std::move(wrapped), path);
+      if (!recorder.ok()) {
+        record_trace_issue(recorder.error());
+        return nullptr;
+      }
+      recorder.value()->set_error_handler([this](const Error& error) { record_trace_issue(error); });
+      return std::move(recorder.value());
+    }
+    case ProbeMode::fault:
+      return std::make_unique<env::FaultInjectingProbeEngine>(std::move(wrapped), fault_spec_);
+    default:
+      return wrapped;
+  }
+}
+
 Session& Session::set_map_cache(std::string directory, std::string label) {
   map_cache_.emplace(std::move(directory));
   map_cache_label_ = std::move(label);
@@ -130,6 +271,30 @@ Result<env::MapResult> Session::probe_map() {
     if (zone.phase == env::ZoneProgress::Phase::failed) kind = Event::Kind::zone_failed;
     emit(kind, Stage::map, zone.detail, zone.zone_name, static_cast<int>(zone.zone_index));
   };
+  {
+    std::lock_guard<std::mutex> lock(trace_issue_mutex_);
+    trace_issue_.reset();
+  }
+  if (probe_mode_ == ProbeMode::record) {
+    // Path reuse is the normal case (the golden re-record workflow), so
+    // scrub everything a previous recording may have left here — the
+    // single-file root AND every `.zone<k>` sibling, whichever thread
+    // mode produced them. A stale leftover would later replay as truth.
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::remove(trace_path_, ec);
+    const fs::path base(trace_path_);
+    const std::string prefix = base.filename().string() + ".zone";
+    const fs::path dir = base.has_parent_path() ? base.parent_path() : fs::path(".");
+    if (fs::exists(dir, ec) && !ec) {
+      for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (entry.path().filename().string().rfind(prefix, 0) == 0) {
+          fs::remove(entry.path(), ec);
+        }
+      }
+    }
+  }
+  std::optional<Result<env::MapResult>> mapped;
   if (threads > 1) {
     // Concurrent zones need independent engines. Each zone's engine
     // observes a private replica of the scenario platform — built with
@@ -138,23 +303,39 @@ Result<env::MapResult> Session::probe_map() {
     // untouched (no probe traffic, no clock advance), exactly as if the
     // mapping had happened offline. Note the bit-identical-to-sequential
     // guarantee assumes deterministic engines: with measurement jitter
-    // enabled, each replica draws its own noise stream.
-    env::Mapper mapper(
-        env::ZoneEngineFactory(
-            [this](const env::ZoneSpec&, std::size_t) -> std::unique_ptr<env::ProbeEngine> {
-              auto replica =
-                  std::make_unique<simnet::Network>(scenario_->topology, net_.options());
-              auto engine = engine_factory_(*replica, options_.mapper);
-              return std::make_unique<ReplicaEngine>(std::move(replica), std::move(engine));
-            }),
-        options_.mapper);
+    // enabled, each replica draws its own noise stream. Trace specs
+    // record/replay one file per zone (env::zone_trace_path).
+    env::Mapper mapper(env::ZoneEngineFactory([this](const env::ZoneSpec&,
+                                                     std::size_t zone_index) {
+                         return make_zone_engine(zone_index);
+                       }),
+                       options_.mapper);
     mapper.set_progress(progress);
-    return mapper.map(zones.value(), aliases);
+    mapped = mapper.map(zones.value(), aliases);
+  } else {
+    auto engine = make_sequential_engine();
+    if (!engine.ok()) {
+      mapped = Result<env::MapResult>(engine.error());
+    } else {
+      env::Mapper mapper(*engine.value(), options_.mapper);
+      mapper.set_progress(progress);
+      mapped = mapper.map(zones.value(), aliases);
+    }
   }
-  auto engine = engine_factory_(net_, options_.mapper);
-  env::Mapper mapper(*engine, options_.mapper);
-  mapper.set_progress(progress);
-  return mapper.map(zones.value(), aliases);
+  // The mapper downgrades probe errors to per-host warnings, so a replay
+  // violation (out-of-trace request, exhausted trace) or a recording
+  // write failure would otherwise hide inside a "successful" result.
+  // Surface the first one as the map stage's real failure.
+  {
+    std::lock_guard<std::mutex> lock(trace_issue_mutex_);
+    if (trace_issue_.has_value()) return *trace_issue_;
+  }
+  if (mapped->ok() && probe_mode_ == ProbeMode::record) {
+    emit(Event::Kind::note, Stage::map,
+         threads > 1 ? "probe traces recorded to '" + trace_path_ + ".zone<k>'"
+                     : "probe trace recorded to '" + trace_path_ + "'");
+  }
+  return *mapped;
 }
 
 Status Session::map() {
@@ -170,10 +351,20 @@ Status Session::map() {
   invalidate(Stage::map);
   emit(Event::Kind::stage_started, Stage::map);
 
+  // The persistent cache serves the default engine only: trace and
+  // fault specs exist to exercise the probe path itself, so a cache hit
+  // would defeat record:/replay: (success with no trace touched), and a
+  // fault:/replay-lenient: result must never be stored as the
+  // platform's truth.
+  const bool use_cache = map_cache_.has_value() && probe_mode_ == ProbeMode::factory;
+  if (map_cache_.has_value() && !use_cache) {
+    emit(Event::Kind::note, Stage::map,
+         "map cache bypassed (probe engine spec '" + probe_spec_text_ + "')");
+  }
   // One key per map() call: computing it serializes the whole platform
   // into the fingerprint, so don't do that twice.
-  const std::string key = map_cache_.has_value() ? map_cache_key() : std::string();
-  if (map_cache_.has_value()) {
+  const std::string key = use_cache ? map_cache_key() : std::string();
+  if (use_cache) {
     auto cached = map_cache_->load(key);
     if (cached.ok()) {
       map_ = std::move(cached.value());
@@ -207,7 +398,7 @@ Status Session::map() {
   for (const auto& warning : map_->warnings) {
     emit(Event::Kind::note, Stage::map, "warning: " + warning);
   }
-  if (map_cache_.has_value()) {
+  if (use_cache) {
     if (auto stored = map_cache_->store(key, *map_); stored.ok()) {
       emit(Event::Kind::note, Stage::map,
            "mapped platform persisted to '" + map_cache_->path_for(key) + "'");

@@ -42,9 +42,11 @@
 #include "deploy/planner.hpp"
 #include "deploy/query.hpp"
 #include "deploy/validate.hpp"
+#include "env/fault_probe_engine.hpp"
 #include "env/mapper.hpp"
 #include "env/options.hpp"
 #include "env/probe_engine.hpp"
+#include "env/trace_probe_engine.hpp"
 #include "simnet/scenario.hpp"
 
 namespace envnws::api {
@@ -81,6 +83,28 @@ class Session {
   /// each call receiving a private replica of the scenario platform, so
   /// the engines can probe concurrently.
   Session& set_probe_engine_factory(ProbeEngineFactory factory);
+  /// Configure the probe backend from a spec string (docs/TESTING.md):
+  ///   "sim"                   — the engine factory alone (the default)
+  ///   "record:<path>"         — factory engine, every experiment appended
+  ///                             to the ENVTRACE file at <path>
+  ///   "replay:<path>"         — strict replay of <path>: ZERO live probes;
+  ///                             any out-of-trace request fails map() with
+  ///                             the offending experiment index
+  ///   "replay-lenient:<path>" — replay; out-of-trace requests fall back
+  ///                             to the factory engine
+  ///   "fault:<rules>"         — factory engine behind fault injection,
+  ///                             e.g. "fault:bw#3=fail:timeout,cbw*=scale:0.5"
+  /// With `map_threads > 1` each zone records/replays its own file at
+  /// `<path>.zone<k>` (a sequential trace holds all zones in one file, so
+  /// traces replay with the thread mode they were recorded with).
+  /// Single-file replay traces are parsed eagerly — missing or malformed
+  /// files fail here; a per-zone recording is detected by its `.zone0`
+  /// file and the zone files load (and may fail) at map() time, one per
+  /// zone engine. Any spec but "sim" bypasses the persistent map cache:
+  /// a cache hit would defeat record:/replay:, and fault:/replay-lenient:
+  /// results must never be stored as the platform's truth.
+  Status set_probe_engine_spec(const std::string& spec);
+  [[nodiscard]] const std::string& probe_engine_spec() const { return probe_spec_text_; }
 
   /// Enable the persistent map cache: map() first tries to reload the
   /// mapped platform from `directory` (zero probe experiments on a hit)
@@ -148,6 +172,16 @@ class Session {
   /// Probe every zone (sequentially on net_, or concurrently on private
   /// platform replicas when map_threads > 1) and merge.
   Result<env::MapResult> probe_map();
+  /// The engine of a sequential map run, wrapped per the probe spec.
+  Result<std::unique_ptr<env::ProbeEngine>> make_sequential_engine();
+  /// One zone's engine for a concurrent map run (nullptr on failure, the
+  /// reason recorded through record_trace_issue).
+  std::unique_ptr<env::ProbeEngine> make_zone_engine(std::size_t zone_index);
+  /// First replay violation / trace build failure of the current map run
+  /// (thread-safe: zone engines report from pool workers).
+  void record_trace_issue(const Error& error);
+
+  enum class ProbeMode { factory, record, replay_strict, replay_lenient, fault };
 
   simnet::Network& net_;
   std::optional<simnet::Scenario> scenario_;
@@ -158,6 +192,15 @@ class Session {
   std::mutex event_mutex_;
   std::uint64_t event_sequence_ = 0;
   ProbeEngineFactory engine_factory_;
+  ProbeMode probe_mode_ = ProbeMode::factory;
+  std::string probe_spec_text_ = "sim";
+  std::string trace_path_;
+  /// Eagerly parsed single-file replay trace; unset for per-zone
+  /// (threaded) recordings, which load lazily per zone.
+  std::optional<env::ProbeTrace> replay_trace_;
+  env::FaultSpec fault_spec_;
+  std::mutex trace_issue_mutex_;
+  std::optional<Error> trace_issue_;
   std::optional<MapCache> map_cache_;
   std::string map_cache_label_;
 

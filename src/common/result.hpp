@@ -41,6 +41,19 @@ enum class ErrorCode {
   return "unknown";
 }
 
+/// Inverse of `to_string(ErrorCode)` — the parsing side of serialized
+/// errors (probe traces, fault-injection specs). `nullopt` for anything
+/// that is not exactly a known category name.
+[[nodiscard]] inline std::optional<ErrorCode> error_code_from_string(const std::string& text) {
+  for (const ErrorCode code :
+       {ErrorCode::invalid_argument, ErrorCode::not_found, ErrorCode::unreachable,
+        ErrorCode::blocked_by_firewall, ErrorCode::host_down, ErrorCode::timeout,
+        ErrorCode::protocol, ErrorCode::internal}) {
+    if (text == to_string(code)) return code;
+  }
+  return std::nullopt;
+}
+
 struct Error {
   ErrorCode code = ErrorCode::internal;
   std::string message;

@@ -1,0 +1,233 @@
+#include "env/fault_probe_engine.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace envnws::env {
+
+namespace {
+
+const char* kind_name(FaultRule::Kind kind) {
+  switch (kind) {
+    case FaultRule::Kind::lookup: return "lookup";
+    case FaultRule::Kind::traceroute: return "trace";
+    case FaultRule::Kind::bandwidth: return "bw";
+    case FaultRule::Kind::concurrent: return "cbw";
+    case FaultRule::Kind::any: return "any";
+  }
+  return "unknown";
+}
+
+Result<FaultRule::Kind> kind_from_string(const std::string& text) {
+  for (const FaultRule::Kind kind :
+       {FaultRule::Kind::lookup, FaultRule::Kind::traceroute, FaultRule::Kind::bandwidth,
+        FaultRule::Kind::concurrent, FaultRule::Kind::any}) {
+    if (text == kind_name(kind)) return kind;
+  }
+  return make_error(ErrorCode::invalid_argument,
+                    "unknown fault kind '" + text + "' (expected lookup/trace/bw/cbw/any)");
+}
+
+Result<std::uint64_t> parse_count(const std::string& text, const std::string& rule) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::exception&) {
+    return make_error(ErrorCode::invalid_argument,
+                      "bad selector count in fault rule '" + rule + "'");
+  }
+}
+
+}  // namespace
+
+std::string FaultRule::to_string() const {
+  std::ostringstream out;
+  out << kind_name(kind);
+  switch (select) {
+    case Select::index: out << '#' << n; break;
+    case Select::every: out << '%' << n; break;
+    case Select::all: out << '*'; break;
+  }
+  out << '=';
+  if (action == Action::fail) {
+    out << "fail:" << envnws::to_string(fail_code);
+  } else {
+    out << "scale:" << factor;
+  }
+  return out.str();
+}
+
+bool FaultRule::selects(std::uint64_t count) const {
+  switch (select) {
+    case Select::index: return count == n;
+    case Select::every: return n > 0 && (count + 1) % n == 0;
+    case Select::all: return true;
+  }
+  return false;
+}
+
+Result<FaultSpec> FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  const std::string trimmed = strings::trim(text);
+  if (trimmed.empty()) return spec;
+  for (const auto& piece : strings::split(trimmed, ',')) {
+    const std::string rule_text = strings::trim(piece);
+    const auto eq = rule_text.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= rule_text.size()) {
+      return make_error(ErrorCode::invalid_argument,
+                        "fault rule '" + rule_text + "' is not <kind><selector>=<action>");
+    }
+    const std::string head = rule_text.substr(0, eq);
+    const std::string action_text = rule_text.substr(eq + 1);
+
+    FaultRule rule;
+    const auto selector_at = head.find_first_of("#%*");
+    if (selector_at == std::string::npos) {
+      return make_error(ErrorCode::invalid_argument,
+                        "fault rule '" + rule_text + "' has no selector (#N, %N or *)");
+    }
+    auto kind = kind_from_string(head.substr(0, selector_at));
+    if (!kind.ok()) return kind.error();
+    rule.kind = kind.value();
+    if (head[selector_at] == '*') {
+      if (selector_at + 1 != head.size()) {
+        return make_error(ErrorCode::invalid_argument,
+                          "trailing characters after '*' in fault rule '" + rule_text + "'");
+      }
+      rule.select = FaultRule::Select::all;
+    } else {
+      rule.select = head[selector_at] == '#' ? FaultRule::Select::index : FaultRule::Select::every;
+      auto count = parse_count(head.substr(selector_at + 1), rule_text);
+      if (!count.ok()) return count.error();
+      rule.n = count.value();
+      if (rule.select == FaultRule::Select::every && rule.n == 0) {
+        return make_error(ErrorCode::invalid_argument,
+                          "fault rule '" + rule_text + "': period must be >= 1");
+      }
+    }
+
+    if (action_text == "fail" || action_text.rfind("fail:", 0) == 0) {
+      rule.action = FaultRule::Action::fail;
+      if (action_text.size() > 5) {
+        const auto code = error_code_from_string(action_text.substr(5));
+        if (!code.has_value()) {
+          return make_error(ErrorCode::invalid_argument,
+                            "unknown error code in fault rule '" + rule_text + "'");
+        }
+        rule.fail_code = *code;
+      }
+    } else if (action_text.rfind("scale:", 0) == 0) {
+      rule.action = FaultRule::Action::scale;
+      if (rule.kind != FaultRule::Kind::bandwidth && rule.kind != FaultRule::Kind::concurrent) {
+        return make_error(ErrorCode::invalid_argument,
+                          "fault rule '" + rule_text + "': scale applies to bw/cbw only");
+      }
+      try {
+        std::size_t used = 0;
+        rule.factor = std::stod(action_text.substr(6), &used);
+        if (used != action_text.size() - 6 || rule.factor < 0.0) {
+          throw std::invalid_argument(action_text);
+        }
+      } catch (const std::exception&) {
+        return make_error(ErrorCode::invalid_argument,
+                          "bad scale factor in fault rule '" + rule_text + "'");
+      }
+    } else {
+      return make_error(ErrorCode::invalid_argument,
+                        "unknown action '" + action_text + "' in fault rule '" + rule_text +
+                            "' (expected fail[:<code>] or scale:<factor>)");
+    }
+    spec.rules.push_back(rule);
+  }
+  return spec;
+}
+
+std::string FaultSpec::to_string() const {
+  std::vector<std::string> pieces;
+  pieces.reserve(rules.size());
+  for (const auto& rule : rules) pieces.push_back(rule.to_string());
+  return strings::join(pieces, ",");
+}
+
+FaultInjectingProbeEngine::FaultInjectingProbeEngine(std::unique_ptr<ProbeEngine> inner,
+                                                     FaultSpec spec)
+    : inner_(std::move(inner)), spec_(std::move(spec)) {}
+
+const FaultRule* FaultInjectingProbeEngine::match(FaultRule::Kind kind) {
+  const std::uint64_t global = count_global_++;
+  const std::uint64_t per_kind = count_kind_[static_cast<int>(kind)]++;
+  for (const auto& rule : spec_.rules) {
+    if (rule.kind == FaultRule::Kind::any) {
+      if (rule.selects(global)) return &rule;
+    } else if (rule.kind == kind && rule.selects(per_kind)) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+Error FaultInjectingProbeEngine::injected_error(const FaultRule& rule,
+                                                const std::string& summary) const {
+  return make_error(rule.fail_code, "injected fault (" + rule.to_string() + "): " + summary);
+}
+
+Result<HostIdentity> FaultInjectingProbeEngine::lookup(const std::string& hostname) {
+  if (const FaultRule* rule = match(FaultRule::Kind::lookup);
+      rule != nullptr && rule->action == FaultRule::Action::fail) {
+    ++injected_;
+    return injected_error(*rule, "lookup " + hostname);
+  }
+  return inner_->lookup(hostname);
+}
+
+Result<std::vector<TraceHop>> FaultInjectingProbeEngine::traceroute(const std::string& from,
+                                                                    const std::string& target) {
+  if (const FaultRule* rule = match(FaultRule::Kind::traceroute);
+      rule != nullptr && rule->action == FaultRule::Action::fail) {
+    ++injected_;
+    return injected_error(*rule, "traceroute " + from + " -> " + target);
+  }
+  return inner_->traceroute(from, target);
+}
+
+Result<double> FaultInjectingProbeEngine::bandwidth(const std::string& from,
+                                                    const std::string& to) {
+  const FaultRule* rule = match(FaultRule::Kind::bandwidth);
+  if (rule != nullptr && rule->action == FaultRule::Action::fail) {
+    ++injected_;
+    return injected_error(*rule, "bandwidth " + from + " -> " + to);
+  }
+  auto result = inner_->bandwidth(from, to);
+  if (rule != nullptr && result.ok()) {
+    ++injected_;
+    return result.value() * rule->factor;
+  }
+  return result;
+}
+
+std::vector<Result<double>> FaultInjectingProbeEngine::concurrent_bandwidth(
+    const std::vector<BandwidthRequest>& requests) {
+  const FaultRule* rule = match(FaultRule::Kind::concurrent);
+  if (rule != nullptr && rule->action == FaultRule::Action::fail) {
+    ++injected_;
+    std::ostringstream summary;
+    summary << "concurrent[" << requests.size() << ']';
+    return std::vector<Result<double>>(requests.size(),
+                                       Result<double>(injected_error(*rule, summary.str())));
+  }
+  auto results = inner_->concurrent_bandwidth(requests);
+  if (rule != nullptr) {
+    ++injected_;
+    for (auto& result : results) {
+      if (result.ok()) result = Result<double>(result.value() * rule->factor);
+    }
+  }
+  return results;
+}
+
+ProbeStats FaultInjectingProbeEngine::stats() const { return inner_->stats(); }
+
+}  // namespace envnws::env

@@ -2,16 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <future>
 #include <map>
 #include <numeric>
 #include <optional>
 #include <set>
+#include <sstream>
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
+#include "env/env_tree.hpp"
 #include "simnet/address.hpp"
 
 namespace envnws::env {
@@ -95,6 +98,29 @@ double schedule_makespan(const std::vector<double>& durations, std::size_t worke
 std::string MapResult::canonical(const std::string& name) const {
   if (const gridml::Machine* machine = grid.find_machine(name)) return machine->name;
   return name;
+}
+
+std::string MapResult::identity_digest() const {
+  const auto full = [](double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return std::string(buffer);
+  };
+  const auto digest_stats = [&full](std::ostringstream& out, const MapStats& stats) {
+    out << "stats: " << stats.experiments << ' ' << stats.bytes_sent << ' '
+        << full(stats.duration_s) << '\n';
+  };
+  std::ostringstream out;
+  out << "master: " << master_fqdn << '\n';
+  for (const auto& warning : warnings) out << "warning: " << warning << '\n';
+  digest_stats(out, stats);
+  out << grid.to_string() << render_effective(root);
+  for (const auto& zone : zones) {
+    out << "zone: " << zone.spec.zone_name << " master " << zone.master_fqdn << '\n';
+    digest_stats(out, zone.stats);
+    out << render_effective(zone.root);
+  }
+  return out.str();
 }
 
 Mapper::Mapper(ProbeEngine& engine, MapperOptions options)

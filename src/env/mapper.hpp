@@ -74,6 +74,15 @@ struct MapResult {
 
   /// Canonical machine name for any zone-local name or alias.
   [[nodiscard]] std::string canonical(const std::string& name) const;
+
+  /// Everything observable about this result, rendered at full
+  /// precision: master, warnings, grid XML, effective view, stats (17
+  /// significant digits) and the per-zone trees. Two results are
+  /// "bit-identical" — the guarantee the golden-trace suite, the replay
+  /// verifier and the parallel-vs-sequential checks all assert — exactly
+  /// when their digests compare equal, so there is ONE definition of
+  /// that equality to keep in sync with new fields.
+  [[nodiscard]] std::string identity_digest() const;
 };
 
 /// Builds the ProbeEngine one zone's ENV run observes the platform with.

@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "api/envnws.hpp"
 #include "common/units.hpp"
@@ -171,6 +172,85 @@ TEST(MapCache, CorruptEntryIsIgnoredAndOverwritten) {
   // The bad entry was replaced by a valid one.
   auto reloaded = cache.load(key);
   EXPECT_TRUE(reloaded.ok()) << reloaded.error().to_string();
+}
+
+TEST(MapCache, DamagedEntriesAreMissesNeverErrorsOrGarbageMaps) {
+  // Whatever is on disk — a torn write, a file from a future format
+  // version, binary noise, a structurally gutted document — map() must
+  // treat the entry as a miss: re-probe, produce the same result a fresh
+  // run would, and leave a repaired entry behind.
+  const std::string dir = fresh_cache_dir("damaged");
+  const simnet::Scenario scenario = test_scenario();
+  MapCache cache(dir);
+  const std::string key = default_key(scenario);
+
+  // A valid entry to damage, plus the reference mapping.
+  simnet::Network seed_net(simnet::Scenario(scenario).topology);
+  Session seed(seed_net, scenario);
+  seed.set_map_cache(dir);
+  ASSERT_TRUE(seed.map().ok());
+  const std::string reference_grid = seed.map_result().grid.to_string();
+  std::string valid_entry;
+  {
+    std::ifstream in(cache.path_for(key));
+    std::ostringstream text;
+    text << in.rdbuf();
+    valid_entry = text.str();
+  }
+  ASSERT_FALSE(valid_entry.empty());
+
+  const std::string wrong_version = [&] {
+    std::string text = valid_entry;
+    const auto at = text.find("version=\"1\"");
+    EXPECT_NE(at, std::string::npos);
+    return text.replace(at, std::string("version=\"1\"").size(), "version=\"999\"");
+  }();
+  const std::string gutted = [&] {
+    // Structurally valid ENVMAP with the effective view chopped out.
+    std::string text = valid_entry;
+    const auto open = text.find("<ROOT");
+    const auto close = text.find("</ROOT>");
+    EXPECT_NE(open, std::string::npos);
+    EXPECT_NE(close, std::string::npos);
+    return text.erase(open, close + std::string("</ROOT>").size() - open);
+  }();
+  const struct {
+    const char* tag;
+    std::string contents;
+  } damages[] = {
+      {"truncated", valid_entry.substr(0, valid_entry.size() / 2)},
+      {"wrong-version", wrong_version},
+      {"binary-garbage", std::string("\x7f\x45\x4c\x46\x02\x01\x01\0\0\0garbage", 18)},
+      {"empty", ""},
+      {"gutted", gutted},
+  };
+
+  for (const auto& damage : damages) {
+    SCOPED_TRACE(damage.tag);
+    { std::ofstream(cache.path_for(key), std::ios::trunc) << damage.contents; }
+    // The damaged entry is a load miss with a protocol diagnosis — never
+    // a crash, never a half-parsed map.
+    auto direct = cache.load(key);
+    ASSERT_FALSE(direct.ok());
+    EXPECT_EQ(direct.error().code, ErrorCode::protocol);
+
+    simnet::Network net(simnet::Scenario(scenario).topology);
+    Session session(net, scenario);
+    session.set_map_cache(dir);
+    EventLog log;
+    session.set_observer(&log);
+    ASSERT_TRUE(session.map().ok());
+    EXPECT_GT(session.map_result().stats.experiments, 0u);  // really re-probed
+    EXPECT_EQ(session.map_result().grid.to_string(), reference_grid);
+    bool ignored_note = false;
+    for (const auto& event : log.events()) {
+      ignored_note =
+          ignored_note || event.detail.find("map cache entry ignored") != std::string::npos;
+    }
+    EXPECT_TRUE(ignored_note);
+    // The re-probe repaired the entry in place.
+    EXPECT_TRUE(cache.load(key).ok());
+  }
 }
 
 TEST(MapCache, ClearRemovesEveryEntry) {

@@ -1,0 +1,96 @@
+// Observer delivery under concurrent zone mapping, stressed: with
+// map_threads=8 on multi-firewall:4x4 (5 zones), events originate on
+// pool workers, yet the Session must deliver them serialized — gap-free
+// sequence numbers, zone markers properly nested inside the map stage,
+// exactly one started/terminal pair per zone (observer.hpp guarantees
+// 1-4). Several iterations shake out interleavings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "api/envnws.hpp"
+
+namespace envnws::api {
+namespace {
+
+TEST(ObserverStress, ConcurrentZoneEventsAreGapFreeAndProperlyNested) {
+  auto scenario = ScenarioRegistry::builtin().make("multi-firewall:4x4");
+  ASSERT_TRUE(scenario.ok());
+
+  for (int iteration = 0; iteration < 5; ++iteration) {
+    SCOPED_TRACE("iteration " + std::to_string(iteration));
+    simnet::Network net(simnet::Scenario(scenario.value()).topology);
+    Session session(net, scenario.value());
+    session.options().mapper.map_threads = 8;
+    EventLog log;
+    session.set_observer(&log);
+    ASSERT_TRUE(session.map().ok());
+
+    const auto& events = log.events();
+    ASSERT_FALSE(events.empty());
+
+    // Guarantee 1: sequence increases by exactly 1 per delivered event.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      ASSERT_EQ(events[i].sequence, i) << "sequence gap at event " << i;
+    }
+    // Guarantee 5: the simulated clock never runs backwards.
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      ASSERT_GE(events[i].sim_time_s, events[i - 1].sim_time_s) << "clock regressed at " << i;
+    }
+
+    // Guarantees 2+3: exactly one map started/finished pair, and every
+    // zone event strictly between them.
+    std::size_t started_at = events.size();
+    std::size_t finished_at = events.size();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i].kind == Event::Kind::stage_started && events[i].stage == Stage::map) {
+        ASSERT_EQ(started_at, events.size()) << "duplicate map stage_started";
+        started_at = i;
+      }
+      if (events[i].kind == Event::Kind::stage_finished && events[i].stage == Stage::map) {
+        ASSERT_EQ(finished_at, events.size()) << "duplicate map stage_finished";
+        finished_at = i;
+      }
+    }
+    ASSERT_LT(started_at, finished_at);
+
+    // Guarantee 4: per zone, one started before one finished, nothing
+    // else; 5 zones total (4 private + the public one).
+    std::map<int, std::size_t> zone_started;
+    std::map<int, std::size_t> zone_finished;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const Event& event = events[i];
+      const bool is_zone_event = event.kind == Event::Kind::zone_started ||
+                                 event.kind == Event::Kind::zone_finished ||
+                                 event.kind == Event::Kind::zone_failed;
+      if (!is_zone_event) {
+        ASSERT_EQ(event.zone_index, -1);
+        continue;
+      }
+      ASSERT_GT(i, started_at) << "zone event before map stage_started";
+      ASSERT_LT(i, finished_at) << "zone event after map stage_finished";
+      ASSERT_GE(event.zone_index, 0);
+      ASSERT_FALSE(event.zone.empty());
+      if (event.kind == Event::Kind::zone_started) {
+        ASSERT_EQ(zone_started.count(event.zone_index), 0u)
+            << "zone " << event.zone_index << " started twice";
+        zone_started[event.zone_index] = i;
+      } else {
+        ASSERT_EQ(event.kind, Event::Kind::zone_finished) << "zone " << event.zone_index
+                                                          << " failed: " << event.detail;
+        ASSERT_EQ(zone_finished.count(event.zone_index), 0u)
+            << "zone " << event.zone_index << " finished twice";
+        ASSERT_EQ(zone_started.count(event.zone_index), 1u)
+            << "zone " << event.zone_index << " finished before starting";
+        ASSERT_LT(zone_started[event.zone_index], i);
+        zone_finished[event.zone_index] = i;
+      }
+    }
+    EXPECT_EQ(zone_started.size(), 5u);
+    EXPECT_EQ(zone_finished.size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace envnws::api

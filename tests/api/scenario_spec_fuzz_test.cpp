@@ -1,0 +1,127 @@
+// Property tests of the scenario-spec grammar, driven by the repo's
+// seeded common/rng (reproducible bit-for-bit): randomly constructed
+// specs round-trip through their canonical string, random well-formed
+// strings parse into what they say, and arbitrary garbage — thrown at
+// both ScenarioSpec::parse and ScenarioRegistry::make — must come back
+// as Result errors, never crash, and never half-apply.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/scenario_registry.hpp"
+#include "common/rng.hpp"
+
+namespace envnws::api {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xE7f5eedULL;  // fixed: failures reproduce
+
+std::string random_name(Rng& rng) {
+  static const char* kAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789-";
+  const std::size_t len = 1 + rng.next_below(12);
+  std::string name;
+  for (std::size_t i = 0; i < len; ++i) name.push_back(kAlphabet[rng.next_below(37)]);
+  return name;
+}
+
+/// A structurally valid spec (dims, integral rates — canonical text is
+/// exact for both), possibly naming no real scenario family.
+ScenarioSpec random_valid_spec(Rng& rng) {
+  ScenarioSpec spec;
+  spec.name = random_name(rng);
+  const std::size_t dims = rng.next_below(4);
+  for (std::size_t i = 0; i < dims; ++i) {
+    spec.dims.push_back(static_cast<int>(rng.next_below(2000)) - 500);  // negatives included
+  }
+  const std::size_t rates = rng.next_below(3);
+  for (std::size_t i = 0; i < rates; ++i) {
+    spec.rates_mbps.push_back(static_cast<double>(1 + rng.next_below(10000)));
+  }
+  return spec;
+}
+
+TEST(ScenarioSpecFuzz, CanonicalSpecsRoundTripExactly) {
+  Rng rng(kSeed);
+  for (int i = 0; i < 2000; ++i) {
+    const ScenarioSpec spec = random_valid_spec(rng);
+    const std::string text = spec.to_string();
+    SCOPED_TRACE("spec '" + text + "'");
+    auto parsed = ScenarioSpec::parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+    EXPECT_EQ(parsed.value().name, spec.name);
+    EXPECT_EQ(parsed.value().dims, spec.dims);
+    EXPECT_EQ(parsed.value().rates_mbps, spec.rates_mbps);
+    EXPECT_EQ(parsed.value().payload, spec.payload);
+    // to_string is canonical: a second round-trip is a fixpoint.
+    EXPECT_EQ(parsed.value().to_string(), text);
+  }
+}
+
+TEST(ScenarioSpecFuzz, GarbageNeverCrashesAndAlwaysReturnsResultErrors) {
+  static const char kChars[] = "abcxyzXYZ0123456789:x@/.{}#%- \t";
+  Rng rng(kSeed ^ 0xbadc0de);
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+  int parse_failures = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t len = rng.next_below(24);
+    std::string text;
+    for (std::size_t c = 0; c < len; ++c) {
+      text.push_back(kChars[rng.next_below(sizeof(kChars) - 1)]);
+    }
+    SCOPED_TRACE("input '" + text + "'");
+    auto spec = ScenarioSpec::parse(text);
+    if (!spec.ok()) {
+      ++parse_failures;
+      EXPECT_EQ(spec.error().code, ErrorCode::invalid_argument);
+    } else {
+      // Whatever parsed must survive its own canonical form.
+      auto again = ScenarioSpec::parse(spec.value().to_string());
+      ASSERT_TRUE(again.ok()) << spec.value().to_string();
+      EXPECT_EQ(again.value().to_string(), spec.value().to_string());
+    }
+    // The registry never crashes either: unknown names, absurd
+    // dimensions, wrong arity — all Result errors.
+    auto made = registry.make(text);
+    if (made.ok()) {
+      EXPECT_FALSE(made.value().topology.nodes().empty());
+    } else {
+      EXPECT_TRUE(made.error().code == ErrorCode::invalid_argument ||
+                  made.error().code == ErrorCode::not_found)
+          << made.error().to_string();
+    }
+  }
+  // The corpus really exercised the failure paths.
+  EXPECT_GT(parse_failures, 100);
+}
+
+TEST(ScenarioSpecFuzz, RandomDimsAndRatesOnRealFamiliesNeverCrash) {
+  Rng rng(kSeed ^ 0x5eedf00d);
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+  std::vector<std::string> families;
+  for (const auto* entry : registry.entries()) {
+    if (entry->name != "file") families.push_back(entry->name);
+  }
+  int built = 0;
+  for (int i = 0; i < 400; ++i) {
+    ScenarioSpec spec = random_valid_spec(rng);
+    spec.name = families[rng.next_below(families.size())];
+    // Clamp dimensions to bench-sized platforms: the point is boundary
+    // behavior (zero, negative, over-arity), not thousand-host builds.
+    for (int& dim : spec.dims) dim = dim % 24;
+    SCOPED_TRACE("spec '" + spec.to_string() + "'");
+    auto made = registry.make(spec);
+    if (!made.ok()) {
+      EXPECT_EQ(made.error().code, ErrorCode::invalid_argument) << made.error().to_string();
+      continue;
+    }
+    ++built;
+    // Canonical-name stamping holds for every successful build.
+    EXPECT_EQ(made.value().name, spec.to_string());
+    EXPECT_FALSE(made.value().topology.nodes().empty());
+  }
+  EXPECT_GT(built, 20);  // the generator hits plenty of buildable specs
+}
+
+}  // namespace
+}  // namespace envnws::api

@@ -20,8 +20,8 @@ class EnsLyonMap : public ::testing::Test {
     scenario_ = new simnet::Scenario(simnet::ens_lyon());
     net_ = new simnet::Network(simnet::Scenario(*scenario_).topology);
     MapperOptions options;
-    SimProbeEngine* engine = new SimProbeEngine(*net_, options);
-    Mapper mapper(*engine, options);
+    SimProbeEngine engine(*net_, options);
+    Mapper mapper(engine, options);
     auto result =
         mapper.map(zones_from_scenario(*scenario_).value(),
                    gateway_aliases_from_scenario(*scenario_));
