@@ -17,6 +17,8 @@
 //     bench doubles as a trace round-trip smoke test.
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "api/envnws.hpp"
 #include "bench_util.hpp"
@@ -162,6 +164,75 @@ void cache_section(const std::string& spec, const std::string& cache_dir) {
   std::printf("\n");
 }
 
+/// Batched within-zone probe schedule: map `spec` once per worker count
+/// (probe_jobs = 1, 2, ..., max_jobs) and plot the modeled makespan
+/// against the unconstrained list-scheduling bound. Every run must
+/// produce the bit-identical MapResult (identity_digest) — batching
+/// changes WHEN experiments could run, never what they measure.
+void jobs_section(const std::string& spec, int max_jobs) {
+  std::printf("--- batched within-zone probe schedule (--jobs): %s ---\n", spec.c_str());
+  std::vector<int> sweep{1};
+  for (int jobs = 2; jobs < max_jobs; jobs *= 2) sweep.push_back(jobs);
+  if (max_jobs > 1) sweep.push_back(max_jobs);
+
+  std::string baseline_digest;
+  double sequential_minutes = 0.0;
+  double final_batched_minutes = 0.0;  ///< at the largest swept jobs value
+  double final_saved_s = 0.0;
+  Table table({"jobs", "batches", "batched exps", "sim minutes", "batched minutes", "speedup",
+               "list-model bound"});
+  for (const int jobs : sweep) {
+    simnet::Scenario scenario = bench::make_scenario_or_exit(spec);
+    simnet::Network net(simnet::Scenario(scenario).topology);
+    api::Session session(net, scenario);
+    session.options().mapper.probe_jobs = jobs;
+    if (auto status = session.map(); !status.ok()) {
+      std::fprintf(stderr, "map failed at --jobs=%d: %s\n", jobs,
+                   status.error().to_string().c_str());
+      std::exit(1);
+    }
+    const env::MapResult& result = session.map_result();
+    if (jobs == 1) {
+      baseline_digest = result.identity_digest();
+      sequential_minutes = result.stats.duration_s / 60.0;
+    } else if (result.identity_digest() != baseline_digest) {
+      std::fprintf(stderr, "BUG: --jobs=%d MapResult differs from the sequential one\n", jobs);
+      std::exit(1);
+    }
+    const double batched_minutes = result.batched_duration_s() / 60.0;
+    final_batched_minutes = batched_minutes;
+    final_saved_s = result.batch.saved_s();
+    // The unconstrained bound: batched experiments spread perfectly over
+    // the workers, everything else sequential. The measured makespan
+    // sits above it because experiments sharing an endpoint serialize.
+    const double bound_minutes =
+        (result.stats.duration_s - result.batch.sequential_s +
+         result.batch.sequential_s / jobs) /
+        60.0;
+    table.add_row({std::to_string(jobs), std::to_string(result.batch.batches),
+                   std::to_string(result.batch.batched_experiments),
+                   strings::format_double(result.stats.duration_s / 60.0, 2),
+                   strings::format_double(batched_minutes, 2),
+                   strings::format_double(
+                       batched_minutes > 0.0 ? sequential_minutes / batched_minutes : 0.0, 2),
+                   strings::format_double(bound_minutes, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  // Zero savings is the CORRECT outcome on a platform without switched
+  // segments (a hub serializes everything — see BatchStats): report it,
+  // don't fail. A scenario that did earn savings must really be faster.
+  if (final_saved_s <= 0.0) {
+    std::printf("no switched-segment savings on this platform: batched == sequential, as "
+                "modeled; MapResult bit-identical at every worker count: yes\n\n");
+    return;
+  }
+  const bool faster = final_batched_minutes < sequential_minutes;
+  std::printf("batched schedule (--jobs=%d) faster than sequential: %s; "
+              "MapResult bit-identical at every worker count: yes\n\n",
+              sweep.back(), faster ? "yes" : "NO — BUG");
+  if (max_jobs > 1 && !faster) std::exit(1);
+}
+
 /// Map through `probe_spec`; after a record: run, replay the trace back
 /// and require the bit-identical MapResult (MapResult::identity_digest,
 /// the same definition the golden-trace suite asserts).
@@ -223,6 +294,15 @@ int main(int argc, char** argv) {
   const std::string parallel_spec =
       bench::is_spec_template(cli.scenario_spec) ? kParallelScenario : cli.scenario_spec;
   parallel_section(parallel_spec, cli.threads);
+
+  // The within-zone batch schedule: a single-zone star (where zone
+  // fan-out buys nothing — the exact gap this schedule closes) and the
+  // multi-zone firewall platform.
+  jobs_section(bench::is_spec_template(cli.scenario_spec)
+                   ? bench::instantiate_spec(cli.scenario_spec, 24)
+                   : cli.scenario_spec,
+               cli.jobs);
+  if (bench::is_spec_template(cli.scenario_spec)) jobs_section(kParallelScenario, cli.jobs);
 
   if (!cli.map_cache_dir.empty()) cache_section(parallel_spec, cli.map_cache_dir);
   if (!cli.probe_spec.empty()) probe_engine_section(parallel_spec, cli.probe_spec);

@@ -53,6 +53,7 @@ inline std::string instantiate_spec(const std::string& spec_template, long long 
 struct BenchCli {
   std::string scenario_spec;  ///< spec or template, per the bench's default
   int threads = 8;            ///< --threads=K (zone-mapping workers)
+  int jobs = 8;               ///< --jobs=K (within-zone probe batch workers)
   std::string map_cache_dir;  ///< --map-cache=DIR ("" = cache disabled)
   /// --probe=<spec>: probe-engine spec forwarded to
   /// api::Session::set_probe_engine_spec ("" = the simulator). E.g.
@@ -70,7 +71,9 @@ inline BenchCli bench_cli(int argc, char** argv, const std::string& default_spec
   const auto usage_and_exit = [&] {
     std::fprintf(stderr, "usage: %s [--scenario=<spec%s>]%s [--list]   (default scenario: %s)\n",
                  argv[0], parallel_flags ? "-or-template" : "",
-                 parallel_flags ? " [--threads=K] [--map-cache=DIR] [--probe=<engine-spec>]" : "",
+                 parallel_flags
+                     ? " [--threads=K] [--jobs=K] [--map-cache=DIR] [--probe=<engine-spec>]"
+                     : "",
                  default_spec.c_str());
     std::exit(2);
   };
@@ -89,6 +92,9 @@ inline BenchCli bench_cli(int argc, char** argv, const std::string& default_spec
     } else if (parallel_flags && arg.rfind("--threads=", 0) == 0) {
       cli.threads = std::atoi(arg.c_str() + std::strlen("--threads="));
       if (cli.threads < 1) usage_and_exit();
+    } else if (parallel_flags && arg.rfind("--jobs=", 0) == 0) {
+      cli.jobs = std::atoi(arg.c_str() + std::strlen("--jobs="));
+      if (cli.jobs < 1) usage_and_exit();
     } else if (parallel_flags && arg.rfind("--map-cache=", 0) == 0) {
       cli.map_cache_dir = arg.substr(std::strlen("--map-cache="));
     } else if (parallel_flags && arg.rfind("--probe=", 0) == 0) {

@@ -166,9 +166,10 @@ Result<simnet::Scenario> scenario_from_effective_view(const gridml::GridDoc& doc
   simnet::Scenario scenario;
   scenario.name = doc.label.empty() ? "gridml-view" : doc.label;
   scenario.description = "platform synthesized from a published effective network view";
-  const env::EnvNetwork root = env::EnvNetwork::from_gridml(doc.networks.back());
+  auto root = env::EnvNetwork::from_gridml(doc.networks.back());
+  if (!root.ok()) return root.error();
   ViewBuilder builder(doc, scenario);
-  if (auto status = builder.build(root); !status.ok()) return status.error();
+  if (auto status = builder.build(root.value()); !status.ok()) return status.error();
   if (auto status = scenario.topology.validate(); !status.ok()) {
     return make_error(ErrorCode::invalid_argument,
                       "GridML view yields an unusable platform: " + status.error().message);

@@ -2,7 +2,9 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -10,7 +12,9 @@
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <vector>
 
+#include "common/parse.hpp"
 #include "env/env_tree.hpp"
 #include "gridml/xml.hpp"
 
@@ -33,36 +37,18 @@ std::string full(double value) {
 }
 
 Result<double> parse_double(const std::string& text, const std::string& what) {
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return value;
-  } catch (const std::exception&) {
-    return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in map cache entry");
-  }
+  if (const auto value = parse::to_double(text); value.has_value()) return *value;
+  return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in map cache entry");
 }
 
 Result<std::uint64_t> parse_u64(const std::string& text, const std::string& what) {
-  try {
-    std::size_t used = 0;
-    const unsigned long long value = std::stoull(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return static_cast<std::uint64_t>(value);
-  } catch (const std::exception&) {
-    return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in map cache entry");
-  }
+  if (const auto value = parse::to_u64(text); value.has_value()) return *value;
+  return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in map cache entry");
 }
 
 Result<std::int64_t> parse_i64(const std::string& text, const std::string& what) {
-  try {
-    std::size_t used = 0;
-    const long long value = std::stoll(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return static_cast<std::int64_t>(value);
-  } catch (const std::exception&) {
-    return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in map cache entry");
-  }
+  if (const auto value = parse::to_i64(text); value.has_value()) return *value;
+  return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in map cache entry");
 }
 
 std::uint64_t fnv1a(const std::string& text) {
@@ -172,6 +158,11 @@ std::vector<std::string> read_warnings(const gridml::XmlElement& element) {
 }  // namespace
 
 MapCache::MapCache(std::string directory) : directory_(std::move(directory)) {}
+
+MapCache& MapCache::set_limits(Limits limits) {
+  limits_ = limits;
+  return *this;
+}
 
 std::string MapCache::key_for(const std::string& scenario_label,
                               const env::MapperOptions& options) {
@@ -284,11 +275,102 @@ Status MapCache::store(const std::string& key, const env::MapResult& map) const 
                       "cannot finalize map cache entry '" + final_path.string() +
                           "': " + ec.message());
   }
+  if (limits_.bounded()) {
+    // Hygiene must never fail the store that triggered it: the entry is
+    // durable on disk already, and the just-written file is the newest
+    // by mtime, so the sweep keeps it unless max_age_s is pathological.
+    (void)sweep();
+  }
   return {};
+}
+
+Result<std::size_t> MapCache::sweep() const {
+  std::error_code ec;
+  if (!fs::exists(directory_, ec) || ec) return std::size_t{0};
+  const std::string ext = kFileExtension;
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::size_t removed = 0;
+  // Every removal also drops the file's memoized parse verdict, so the
+  // marker map tracks the directory instead of growing with the history
+  // of everything ever evicted.
+  const auto remove_file = [&](const fs::path& path) {
+    std::error_code remove_ec;
+    if (fs::remove(path, remove_ec) && !remove_ec) ++removed;
+    validity_.erase(path.filename().string());
+  };
+  for (const auto& item : fs::directory_iterator(directory_, ec)) {
+    const std::string name = item.path().filename().string();
+    // Finalized entries only: in-flight `.tmp.<pid>.<n>` files belong
+    // to a concurrent store() and are not ours to judge.
+    if (name.size() <= ext.size() || name.rfind(ext) != name.size() - ext.size()) continue;
+    std::error_code stat_ec;
+    const auto mtime = fs::last_write_time(item.path(), stat_ec);
+    if (stat_ec) continue;
+    const auto size = fs::file_size(item.path(), stat_ec);
+    if (stat_ec) continue;
+    // An entry that no longer parses can never serve a hit — it is not
+    // a miss to tolerate but disk waste (and a lingering trap for
+    // humans inspecting the directory): delete it, don't skip it. The
+    // verdict is memoized per file identity so a warm directory costs
+    // one stat, not one XML parse, per entry per sweep.
+    const std::int64_t mtime_ticks = mtime.time_since_epoch().count();
+    auto marker = validity_.find(name);
+    if (marker == validity_.end() || marker->second.size != size ||
+        marker->second.mtime_ticks != mtime_ticks) {
+      marker = validity_
+                   .insert_or_assign(name, ValidityMarker{size, mtime_ticks,
+                                                          load_file(item.path().string()).ok()})
+                   .first;
+    }
+    if (!marker->second.valid) {
+      remove_file(item.path());  // also erases the marker
+      continue;
+    }
+    entries.push_back(Entry{item.path(), mtime});
+  }
+  if (ec) {
+    return make_error(ErrorCode::internal,
+                      "cannot sweep map cache directory '" + directory_ + "': " + ec.message());
+  }
+  if (limits_.max_age_s > 0.0) {
+    const auto now = fs::file_time_type::clock::now();
+    const auto cutoff = now - std::chrono::duration_cast<fs::file_time_type::duration>(
+                                  std::chrono::duration<double>(limits_.max_age_s));
+    std::erase_if(entries, [&](const Entry& entry) {
+      if (entry.mtime >= cutoff) return false;
+      remove_file(entry.path);
+      return true;
+    });
+  }
+  if (limits_.max_entries > 0 && entries.size() > limits_.max_entries) {
+    // LRU by mtime: load() touches the entries it serves, so the oldest
+    // mtime really is the least recently used.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+    const std::size_t excess = entries.size() - limits_.max_entries;
+    for (std::size_t i = 0; i < excess; ++i) remove_file(entries[i].path);
+  }
+  return removed;
 }
 
 Result<env::MapResult> MapCache::load(const std::string& key) const {
   const fs::path path = path_for(key);
+  auto loaded = load_file(path.string());
+  if (loaded.ok()) {
+    // LRU bookkeeping for sweep(): a served entry counts as freshly
+    // used. Best-effort — a read-only cache directory still serves.
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  }
+  return loaded;
+}
+
+Result<env::MapResult> MapCache::load_file(const std::string& path_text) const {
+  const fs::path path = path_text;
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) {
     return make_error(ErrorCode::not_found, "no map cache entry at '" + path.string() + "'");

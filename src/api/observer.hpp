@@ -34,6 +34,12 @@
 //      `map_threads == 1` zone event pairs are contiguous and in zone
 //      order.
 //   5. `sim_time_s` never decreases between consecutive events.
+//   6. Probe-batch events (`probe_batch_started` / `probe_batch_finished`,
+//      emitted only when `MapperOptions::probe_jobs > 1`) occur between
+//      their zone's `zone_started` and `zone_finished`/`zone_failed`,
+//      carry that zone's `zone` / `zone_index`, and pair up in order per
+//      zone: each batch finishes before the next one of the same zone
+//      starts. Batches of different zones interleave like zone events do.
 #pragma once
 
 #include <cstdint>
@@ -65,6 +71,16 @@ struct Event {
     zone_started,
     zone_finished,
     zone_failed,
+    /// One within-zone probe batch was issued / completed (map stage
+    /// only, and only when `MapperOptions::probe_jobs > 1` and the
+    /// batch holds at least two experiments — a sequential run's event
+    /// stream carries no batch events at all). Both carry the zone
+    /// fields of the zone the batch belongs to; `detail` names the
+    /// refine stage (host-bw / pairwise / internal), segment, size and
+    /// worker count, and the finished event adds the modeled
+    /// sequential-vs-scheduled cost (see docs/EVENTS.md).
+    probe_batch_started,
+    probe_batch_finished,
     note,
   };
   Kind kind = Kind::note;
@@ -86,6 +102,8 @@ struct Event {
     case Event::Kind::zone_started: return "zone-started";
     case Event::Kind::zone_finished: return "zone-finished";
     case Event::Kind::zone_failed: return "zone-failed";
+    case Event::Kind::probe_batch_started: return "probe-batch-started";
+    case Event::Kind::probe_batch_finished: return "probe-batch-finished";
     case Event::Kind::note: return "note";
   }
   return "unknown";

@@ -271,6 +271,18 @@ Result<env::MapResult> Session::probe_map() {
     if (zone.phase == env::ZoneProgress::Phase::failed) kind = Event::Kind::zone_failed;
     emit(kind, Stage::map, zone.detail, zone.zone_name, static_cast<int>(zone.zone_index));
   };
+  const auto batch_progress = [this](const env::BatchProgress& batch) {
+    std::ostringstream detail;
+    detail << batch.stage << " batch on '" << batch.label << "': " << batch.experiments
+           << " experiment(s) over " << batch.workers << " worker(s)";
+    if (batch.phase == env::BatchProgress::Phase::finished) {
+      detail << ", " << strings::format_double(batch.sequential_s, 1) << " s sequential -> "
+             << strings::format_double(batch.makespan_s, 1) << " s scheduled";
+    }
+    emit(batch.phase == env::BatchProgress::Phase::started ? Event::Kind::probe_batch_started
+                                                           : Event::Kind::probe_batch_finished,
+         Stage::map, detail.str(), batch.zone_name, static_cast<int>(batch.zone_index));
+  };
   {
     std::lock_guard<std::mutex> lock(trace_issue_mutex_);
     trace_issue_.reset();
@@ -311,6 +323,7 @@ Result<env::MapResult> Session::probe_map() {
                        }),
                        options_.mapper);
     mapper.set_progress(progress);
+    mapper.set_batch_progress(batch_progress);
     mapped = mapper.map(zones.value(), aliases);
   } else {
     auto engine = make_sequential_engine();
@@ -319,6 +332,7 @@ Result<env::MapResult> Session::probe_map() {
     } else {
       env::Mapper mapper(*engine.value(), options_.mapper);
       mapper.set_progress(progress);
+      mapper.set_batch_progress(batch_progress);
       mapped = mapper.map(zones.value(), aliases);
     }
   }
@@ -397,6 +411,13 @@ Status Session::map() {
   published_view_ = false;
   for (const auto& warning : map_->warnings) {
     emit(Event::Kind::note, Stage::map, "warning: " + warning);
+  }
+  if (options_.mapper.probe_jobs > 1 && map_->batch.batches > 0) {
+    emit(Event::Kind::note, Stage::map,
+         "batched probe schedule (probe_jobs=" + std::to_string(options_.mapper.probe_jobs) +
+             "): " + strings::format_double(map_->stats.duration_s / 60.0, 1) +
+             " min sequential -> " + strings::format_double(map_->batched_duration_s() / 60.0, 1) +
+             " min scheduled");
   }
   if (use_cache) {
     if (auto stored = map_cache_->store(key, *map_); stored.ok()) {
@@ -507,7 +528,9 @@ Status Session::load_map_from_gridml(const std::string& gridml_text, const std::
   map.grid = std::move(grid.value());
   // The merged effective view is the last NETWORK element by convention
   // (Mapper::map appends it after the per-zone SITE data).
-  map.root = env::EnvNetwork::from_gridml(map.grid.networks.back());
+  auto root = env::EnvNetwork::from_gridml(map.grid.networks.back());
+  if (!root.ok()) return fail(Stage::map, root.error());
+  map.root = std::move(root.value());
   map.master_fqdn = map.canonical(master);
   map_ = std::move(map);
   published_view_ = true;

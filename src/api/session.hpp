@@ -24,6 +24,11 @@
 // when `options().mapper.map_threads > 1` — with deterministic engines
 // (e.g. the default simulator without measurement jitter) the merged
 // view is bit-identical to the sequential one, it just arrives sooner.
+// `options().mapper.probe_jobs > 1` additionally batches the
+// within-zone experiments of mapping phases 2a-2c (see
+// env/batch_schedule.hpp): the experiment stream and the MapResult stay
+// bit-identical, the modeled probe cost (`MapResult::batch`) and batch
+// observer events report what the concurrent schedule saves.
 //
 // Progress flows through `api::Observer` (see observer.hpp).
 #pragma once
@@ -121,6 +126,9 @@ class Session {
   [[nodiscard]] const MapCache* map_cache() const {
     return map_cache_.has_value() ? &*map_cache_ : nullptr;
   }
+  /// Mutable access, e.g. to configure eviction bounds
+  /// (`map_cache()->set_limits(...)`). nullptr without a cache.
+  [[nodiscard]] MapCache* map_cache() { return map_cache_.has_value() ? &*map_cache_ : nullptr; }
 
   // --- stages -------------------------------------------------------------
   Status map();

@@ -1,0 +1,35 @@
+// The within-zone batch schedule model.
+//
+// PR 2 parallelized mapping ACROSS firewall zones; the experiments
+// INSIDE a zone still execute one after another. On a switched segment,
+// though, member<->member transfers with disjoint endpoint sets do not
+// contend (phase 2d's verdict is exactly that observation), so a real
+// probing backend could run `probe_jobs` of them at once. The engines in
+// this repo stay sequential — the simulator measures each experiment
+// with the network otherwise idle, trace engines must preserve record
+// order — so the mapper *models* the concurrent schedule instead: list
+// scheduling of the measured per-experiment durations over `workers`
+// slots, under the constraint that experiments sharing an endpoint
+// never overlap. That model is what `bench_mapping_cost --jobs` plots
+// and what a socket-backed `ProbeEngine::run_batch` would realize.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "env/probe_engine.hpp"
+
+namespace envnws::env {
+
+/// Makespan of running `experiments[i]` (taking `durations[i]` seconds)
+/// over `workers` concurrent slots. Greedy event-driven list scheduling
+/// in canonical order: whenever a slot is free, the first not-yet-run
+/// experiment none of whose endpoints is currently in use starts.
+/// Experiments sharing an endpoint therefore serialize — a batch that
+/// all pivots on the master (phase 2a/2b) degenerates to the sequential
+/// sum no matter how many workers — and `workers <= 1` is exactly the
+/// sequential sum by construction.
+[[nodiscard]] double batch_makespan(const std::vector<ProbeExperiment>& experiments,
+                                    const std::vector<double>& durations, std::size_t workers);
+
+}  // namespace envnws::env

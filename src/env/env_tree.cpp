@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/parse.hpp"
 #include "common/strings.hpp"
 #include "common/units.hpp"
 
@@ -110,25 +111,41 @@ gridml::NetworkNode EnvNetwork::to_gridml() const {
   return node;
 }
 
-EnvNetwork EnvNetwork::from_gridml(const gridml::NetworkNode& node) {
+Result<EnvNetwork> EnvNetwork::from_gridml(const gridml::NetworkNode& node) {
   EnvNetwork network;
   network.kind = kind_from_gridml(node.type);
   network.label = node.label_name;
   network.label_ip = node.label_ip;
-  if (const auto bw = node.property("ENV_base_BW")) {
-    network.base_bw_bps = units::mbps(std::stod(*bw));
-  }
-  if (const auto bw = node.property("ENV_base_local_BW")) {
-    network.base_local_bw_bps = units::mbps(std::stod(*bw));
-  }
-  if (const auto bw = node.property("ENV_base_reverse_BW")) {
-    network.base_reverse_bw_bps = units::mbps(std::stod(*bw));
-  }
+  // Guarded parse (common/parse.hpp): a published document with
+  // "ENV_base_BW = garbage" used to throw a bare std::stod exception
+  // through load_map_from_gridml and kill the process.
+  const auto bandwidth_property = [&node](const char* name) -> Result<double> {
+    const auto text = node.property(name);
+    if (!text.has_value()) return 0.0;
+    const auto mbps = parse::to_double(*text);
+    if (!mbps.has_value()) {
+      return make_error(ErrorCode::protocol,
+                        std::string("bad ") + name + " '" + *text + "' in GridML network '" +
+                            node.label_name + "'");
+    }
+    return units::mbps(*mbps);
+  };
+  const auto base = bandwidth_property("ENV_base_BW");
+  if (!base.ok()) return base.error();
+  network.base_bw_bps = base.value();
+  const auto local = bandwidth_property("ENV_base_local_BW");
+  if (!local.ok()) return local.error();
+  network.base_local_bw_bps = local.value();
+  const auto reverse = bandwidth_property("ENV_base_reverse_BW");
+  if (!reverse.ok()) return reverse.error();
+  network.base_reverse_bw_bps = reverse.value();
   network.route_asymmetric = node.property("ENV_route_asymmetric").has_value();
   if (const auto gw = node.property("ENV_gateway")) network.gateway = *gw;
   network.machines = node.machine_names;
   for (const auto& child : node.children) {
-    network.children.push_back(from_gridml(child));
+    auto nested = from_gridml(child);
+    if (!nested.ok()) return nested.error();
+    network.children.push_back(std::move(nested.value()));
   }
   return network;
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "gridml/model.hpp"
 
 namespace envnws::env {
@@ -54,7 +55,11 @@ struct EnvNetwork {
   [[nodiscard]] std::vector<std::string> gateways() const;
 
   [[nodiscard]] gridml::NetworkNode to_gridml() const;
-  static EnvNetwork from_gridml(const gridml::NetworkNode& node);
+  /// Rebuild a view from published GridML. Fails with `protocol` when a
+  /// bandwidth property (ENV_base_BW & friends) is not a number — a
+  /// malformed published document must surface as a Result error, never
+  /// as an exception out of the public API.
+  static Result<EnvNetwork> from_gridml(const gridml::NetworkNode& node);
 };
 
 /// Rewrite every machine / gateway name through `canon` (used after a

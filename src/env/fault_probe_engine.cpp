@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/parse.hpp"
 #include "common/strings.hpp"
 
 namespace envnws::env {
@@ -30,15 +31,13 @@ Result<FaultRule::Kind> kind_from_string(const std::string& text) {
 }
 
 Result<std::uint64_t> parse_count(const std::string& text, const std::string& rule) {
-  try {
-    std::size_t used = 0;
-    const unsigned long long value = std::stoull(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return static_cast<std::uint64_t>(value);
-  } catch (const std::exception&) {
-    return make_error(ErrorCode::invalid_argument,
-                      "bad selector count in fault rule '" + rule + "'");
-  }
+  // parse::to_u64 rejects non-numeric, negative (stoull would silently
+  // wrap "-1" to 2^64-1) and out-of-range counts alike — all of them
+  // must surface as a parse error, never select a nonsense experiment
+  // or throw out of FaultSpec::parse.
+  if (const auto value = parse::to_u64(text); value.has_value()) return *value;
+  return make_error(ErrorCode::invalid_argument,
+                    "bad selector count in fault rule '" + rule + "'");
 }
 
 }  // namespace
@@ -125,16 +124,12 @@ Result<FaultSpec> FaultSpec::parse(const std::string& text) {
         return make_error(ErrorCode::invalid_argument,
                           "fault rule '" + rule_text + "': scale applies to bw/cbw only");
       }
-      try {
-        std::size_t used = 0;
-        rule.factor = std::stod(action_text.substr(6), &used);
-        if (used != action_text.size() - 6 || rule.factor < 0.0) {
-          throw std::invalid_argument(action_text);
-        }
-      } catch (const std::exception&) {
+      const auto factor = parse::to_double(action_text.substr(6));
+      if (!factor.has_value() || *factor < 0.0) {
         return make_error(ErrorCode::invalid_argument,
                           "bad scale factor in fault rule '" + rule_text + "'");
       }
+      rule.factor = *factor;
     } else {
       return make_error(ErrorCode::invalid_argument,
                         "unknown action '" + action_text + "' in fault rule '" + rule_text +
@@ -226,6 +221,13 @@ std::vector<Result<double>> FaultInjectingProbeEngine::concurrent_bandwidth(
     }
   }
   return results;
+}
+
+std::vector<ProbeExperimentOutcome> FaultInjectingProbeEngine::run_batch(
+    const std::vector<ProbeExperiment>& experiments, std::size_t /*workers*/) {
+  // Canonical sequential loop (see header): counters are keyed on the
+  // canonical experiment index.
+  return ProbeEngine::run_batch(experiments, 1);
 }
 
 ProbeStats FaultInjectingProbeEngine::stats() const { return inner_->stats(); }

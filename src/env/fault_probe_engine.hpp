@@ -74,6 +74,12 @@ class FaultInjectingProbeEngine final : public ProbeEngine {
   Result<double> bandwidth(const std::string& from, const std::string& to) override;
   std::vector<Result<double>> concurrent_bandwidth(
       const std::vector<BandwidthRequest>& requests) override;
+  /// Runs the batch as the canonical sequential loop so the per-kind and
+  /// global experiment counters advance in CANONICAL batch order — fault
+  /// placement ("bw#3") selects the same experiment whether the mapping
+  /// was batched or not, never an arrival-order accident.
+  std::vector<ProbeExperimentOutcome> run_batch(const std::vector<ProbeExperiment>& experiments,
+                                                std::size_t workers) override;
   [[nodiscard]] ProbeStats stats() const override;
 
   /// Experiments failed or perturbed so far.

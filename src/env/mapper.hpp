@@ -16,6 +16,15 @@
 // and only the merge — performed in spec order on the calling thread —
 // is sequential. MapStats::duration_s then reports the makespan of the
 // concurrent schedule instead of the sum of the zone durations.
+//
+// WITHIN a zone, phases 2a-2c issue their experiments through
+// ProbeEngine::run_batch in canonical (sequential-schedule) order;
+// MapperOptions::probe_jobs sets how many endpoint-disjoint experiments
+// the batch schedule may overlap. This never changes what is measured —
+// the experiment stream and the MapResult are bit-identical for any
+// probe_jobs — it changes the modeled probe cost (BatchStats, credited
+// only on segments whose phase-2d verdict is switched; see
+// env/batch_schedule.hpp and docs/ARCHITECTURE.md).
 #pragma once
 
 #include <functional>
@@ -54,6 +63,40 @@ struct MapStats {
   double duration_s = 0.0;
 };
 
+/// Modeled cost of the batched within-zone probe schedule (phases 2a-2c
+/// issued through ProbeEngine::run_batch, list-scheduled over
+/// MapperOptions::probe_jobs slots — see env/batch_schedule.hpp).
+/// Deliberately NOT part of identity_digest(): the digest captures what
+/// was measured, and these numbers describe how the measuring could be
+/// scheduled — they vary with probe_jobs by design while the MapResult
+/// itself stays bit-identical.
+struct BatchStats {
+  /// run_batch calls issued (one per refine phase per segment).
+  std::uint64_t batches = 0;
+  /// Experiments issued through those calls.
+  std::uint64_t batched_experiments = 0;
+  /// Back-to-back cost of the batched experiments (their share of
+  /// MapStats::duration_s).
+  double sequential_s = 0.0;
+  /// List-scheduled cost over probe_jobs slots. Savings are only
+  /// credited on segments whose phase-2d verdict came out `switched`
+  /// (a shared medium would have serialized the transfers anyway), so
+  /// makespan_s == sequential_s wherever the evidence is missing.
+  double makespan_s = 0.0;
+
+  /// sequential_s - makespan_s, i.e. the probe time the batched
+  /// schedule saves relative to the paper's sequential one.
+  [[nodiscard]] double saved_s() const { return sequential_s - makespan_s; }
+
+  BatchStats& operator+=(const BatchStats& other) {
+    batches += other.batches;
+    batched_experiments += other.batched_experiments;
+    sequential_s += other.sequential_s;
+    makespan_s += other.makespan_s;
+    return *this;
+  }
+};
+
 struct ZoneMapResult {
   ZoneSpec spec;
   std::string master_fqdn;
@@ -61,7 +104,12 @@ struct ZoneMapResult {
   StructuralNode structural;
   EnvNetwork root;
   MapStats stats;
+  BatchStats batch;
   std::vector<std::string> warnings;
+
+  /// Zone probe time under the batched schedule (== stats.duration_s
+  /// when probe_jobs is 1 or nothing was batchable).
+  [[nodiscard]] double batched_duration_s() const { return stats.duration_s - batch.saved_s(); }
 };
 
 struct MapResult {
@@ -69,8 +117,17 @@ struct MapResult {
   gridml::GridDoc grid;     ///< merged sites + effective NETWORK tree
   EnvNetwork root;          ///< merged effective view
   MapStats stats;
+  BatchStats batch;  ///< aggregated over zones (see BatchStats: not digested)
   std::vector<ZoneMapResult> zones;
   std::vector<std::string> warnings;
+
+  /// Map-stage probe time under the batched schedule. Exact when zones
+  /// ran sequentially (stats.duration_s is then the zone sum); with
+  /// map_threads > 1 it is an estimate — the zone-level makespan would
+  /// have to be re-scheduled over the shortened zones to be exact, so
+  /// the subtraction is clamped below by the longest single zone's
+  /// batched duration (no schedule beats its longest job) and by zero.
+  [[nodiscard]] double batched_duration_s() const;
 
   /// Canonical machine name for any zone-local name or alias.
   [[nodiscard]] std::string canonical(const std::string& name) const;
@@ -81,7 +138,9 @@ struct MapResult {
   /// "bit-identical" — the guarantee the golden-trace suite, the replay
   /// verifier and the parallel-vs-sequential checks all assert — exactly
   /// when their digests compare equal, so there is ONE definition of
-  /// that equality to keep in sync with new fields.
+  /// that equality to keep in sync with new fields. The sole exception
+  /// is `batch` (and batched_duration_s): schedule metadata that varies
+  /// with probe_jobs by design, see BatchStats.
   [[nodiscard]] std::string identity_digest() const;
 };
 
@@ -102,6 +161,24 @@ struct ZoneProgress {
   std::string detail;  ///< stats summary / error text
 };
 
+/// Progress of one probe batch (the api layer turns these into
+/// probe_batch_started / probe_batch_finished events). Reported only
+/// when probe_jobs > 1 and the batch holds at least two experiments —
+/// i.e. when batching can actually change the schedule — so the event
+/// stream of a sequential (probe_jobs == 1) run is untouched.
+struct BatchProgress {
+  enum class Phase { started, finished };
+  Phase phase = Phase::started;
+  std::size_t zone_index = 0;
+  std::string zone_name;
+  std::string stage;    ///< "host-bw" (2a) / "pairwise" (2b) / "internal" (2c)
+  std::string label;    ///< segment the batch probes
+  std::size_t experiments = 0;
+  std::size_t workers = 0;      ///< probe_jobs
+  double sequential_s = 0.0;    ///< finished only: back-to-back cost
+  double makespan_s = 0.0;      ///< finished only: list-scheduled cost
+};
+
 class Mapper {
  public:
   /// A mapper around one shared engine: zones are probed strictly
@@ -119,6 +196,9 @@ class Mapper {
   /// mapping runs concurrently, but never from two threads at once
   /// (deliveries are serialized by an internal mutex).
   Mapper& set_progress(std::function<void(const ZoneProgress&)> progress);
+  /// Batch progress callback (same delivery guarantees; shares the
+  /// serializing mutex with zone progress).
+  Mapper& set_batch_progress(std::function<void(const BatchProgress&)> progress);
 
   /// Map one zone (one ENV execution). In per-zone-engine mode,
   /// `zone_index` is forwarded to the factory — pass the spec's real
@@ -141,33 +221,55 @@ class Mapper {
     bool is_master = false;
   };
 
+  /// Per-zone context threaded through refine/convert: which zone the
+  /// batches belong to (for progress events) and where their modeled
+  /// cost accumulates.
+  struct BatchContext {
+    std::size_t zone_index = 0;
+    const std::string* zone_name = nullptr;
+    BatchStats* stats = nullptr;
+  };
+
+  /// Issue one phase's experiments as a probe batch in canonical order
+  /// and account/report its modeled schedule. `credit_makespan` false
+  /// defers the makespan credit to the caller (phase 2c waits for the
+  /// phase-2d verdict); the computed makespan is returned either way.
+  std::vector<ProbeExperimentOutcome> run_phase_batch(
+      ProbeEngine& engine, const BatchContext& ctx, const std::string& stage,
+      const std::string& label, const std::vector<ProbeExperiment>& experiments,
+      bool credit_makespan, double* makespan_out) const;
+
   /// Refine the machines attached to one structural node into classified
   /// EnvNetworks (phases 2a-2d). `machines` are indices into `all`.
   /// Pure per-zone work: touches only `engine` and its own arguments, so
   /// zones can run on concurrent workers with separate engines.
-  std::vector<EnvNetwork> refine(ProbeEngine& engine, const std::vector<MachineInfo>& all,
+  std::vector<EnvNetwork> refine(ProbeEngine& engine, const BatchContext& ctx,
+                                 const std::vector<MachineInfo>& all,
                                  const std::vector<std::size_t>& machines,
                                  const MachineInfo& master, const std::string& label,
                                  const std::string& label_ip,
                                  std::vector<std::string>& warnings) const;
 
-  EnvNetwork convert(ProbeEngine& engine, const StructuralNode& node,
+  EnvNetwork convert(ProbeEngine& engine, const BatchContext& ctx, const StructuralNode& node,
                      const std::vector<MachineInfo>& all, const MachineInfo& master,
                      std::vector<std::string>& warnings, bool is_root) const;
 
   /// One full ENV run against an explicit engine (the per-zone body).
-  Result<ZoneMapResult> map_zone_with(ProbeEngine& engine, const ZoneSpec& spec) const;
+  Result<ZoneMapResult> map_zone_with(ProbeEngine& engine, const ZoneSpec& spec,
+                                      std::size_t zone_index) const;
 
   /// Map every zone, sequentially or on a pool, preserving spec order.
   std::vector<Result<ZoneMapResult>> map_zones(const std::vector<ZoneSpec>& specs);
 
-  void report(const ZoneProgress& progress);
+  void report(const ZoneProgress& progress) const;
+  void report(const BatchProgress& progress) const;
 
   ProbeEngine* engine_ = nullptr;        ///< shared-engine mode
   ZoneEngineFactory zone_engines_;       ///< per-zone-engine mode
   MapperOptions options_;
   std::function<void(const ZoneProgress&)> progress_;
-  std::mutex progress_mutex_;
+  std::function<void(const BatchProgress&)> batch_progress_;
+  mutable std::mutex progress_mutex_;
 };
 
 }  // namespace envnws::env

@@ -61,6 +61,18 @@ struct MapperOptions {
   /// Does not affect the mapping result, only how long it takes: the
   /// merged view is bit-identical for any thread count.
   int map_threads = 1;
+
+  // --- extension: batched within-zone probe schedule (the experiments
+  // of phases 2a-2c are issued through ProbeEngine::run_batch; disjoint
+  // member pairs of one segment may overlap — see env/batch_schedule.hpp
+  // and docs/ARCHITECTURE.md) ---
+  /// Concurrent probe slots the batch schedule may use inside one zone.
+  /// 1 = the paper's strictly sequential schedule. Like map_threads this
+  /// never changes WHAT is measured — the experiment stream, the
+  /// MapResult and its identity_digest() are bit-identical for any
+  /// value — only the modeled schedule makespan (MapResult::batch)
+  /// and, for batch-capable engines, the real wall-clock.
+  int probe_jobs = 1;
 };
 
 }  // namespace envnws::env

@@ -1,0 +1,27 @@
+#include "env/probe_engine.hpp"
+
+namespace envnws::env {
+
+std::vector<ProbeExperimentOutcome> ProbeEngine::run_batch(
+    const std::vector<ProbeExperiment>& experiments, std::size_t /*workers*/) {
+  std::vector<ProbeExperimentOutcome> outcomes;
+  outcomes.reserve(experiments.size());
+  for (const auto& experiment : experiments) {
+    const double before = stats().busy_time_s;
+    ProbeExperimentOutcome outcome;
+    if (experiment.transfers.empty()) {
+      outcome.results.push_back(Result<double>(
+          make_error(ErrorCode::invalid_argument, "batch experiment carries no transfers")));
+    } else if (experiment.kind == ProbeExperiment::Kind::bandwidth) {
+      outcome.results.push_back(
+          bandwidth(experiment.transfers.front().from, experiment.transfers.front().to));
+    } else {
+      outcome.results = concurrent_bandwidth(experiment.transfers);
+    }
+    outcome.duration_s = stats().busy_time_s - before;
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace envnws::env

@@ -34,6 +34,31 @@ struct BandwidthRequest {
   std::string to;
 };
 
+/// One experiment of a probe batch: either a single timed transfer
+/// (phase 2a/2c style) or one concurrent-transfer experiment whose
+/// transfers are timed together (phase 2b style).
+struct ProbeExperiment {
+  enum class Kind { bandwidth, concurrent };
+  Kind kind = Kind::bandwidth;
+  /// Exactly one transfer for `bandwidth`, two or more for `concurrent`.
+  std::vector<BandwidthRequest> transfers;
+
+  static ProbeExperiment single(std::string from, std::string to) {
+    return ProbeExperiment{Kind::bandwidth, {BandwidthRequest{std::move(from), std::move(to)}}};
+  }
+  static ProbeExperiment concurrent(std::vector<BandwidthRequest> transfers) {
+    return ProbeExperiment{Kind::concurrent, std::move(transfers)};
+  }
+};
+
+/// Outcome of one batch experiment; `results` parallels `transfers`.
+struct ProbeExperimentOutcome {
+  std::vector<Result<double>> results;
+  /// Engine busy time this experiment consumed (transfer + settle gap);
+  /// the mapper's schedule model list-schedules these durations.
+  double duration_s = 0.0;
+};
+
 struct ProbeStats {
   std::uint64_t experiments = 0;
   std::int64_t bytes_sent = 0;
@@ -55,6 +80,27 @@ class ProbeEngine {
   /// Achieved bandwidths of transfers started at the same instant.
   virtual std::vector<Result<double>> concurrent_bandwidth(
       const std::vector<BandwidthRequest>& requests) = 0;
+
+  /// Run a batch of experiments the caller asserts to be mutually
+  /// independent wherever their endpoint sets are disjoint (the mapper
+  /// only builds batches it has that evidence for, e.g. member pairs of
+  /// one segment). The CONTRACT every implementation must honour:
+  ///
+  ///  - Results come back indexed by the batch's canonical order (the
+  ///    order of `experiments`), never by completion order.
+  ///  - An engine MAY overlap experiments, at most `workers` in flight,
+  ///    but ONLY experiments whose endpoint sets are disjoint; anything
+  ///    sharing an endpoint must execute in canonical order.
+  ///  - An engine without real concurrency (the default implementation,
+  ///    the simulator, the trace engines) runs the batch as a plain
+  ///    sequential loop in canonical order — which is why a batched
+  ///    mapping issues the byte-identical experiment stream, and records
+  ///    the byte-identical probe trace, as a sequential one.
+  ///
+  /// The default implementation is that sequential loop over the
+  /// virtuals above, timing each experiment via `stats()` diffs.
+  virtual std::vector<ProbeExperimentOutcome> run_batch(
+      const std::vector<ProbeExperiment>& experiments, std::size_t workers);
 
   [[nodiscard]] virtual ProbeStats stats() const = 0;
 };

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "common/parse.hpp"
 #include "common/strings.hpp"
 
 namespace envnws::env {
@@ -75,36 +76,18 @@ Result<std::string> unescape(const std::string& token) {
 }
 
 Result<double> parse_double(const std::string& text, const std::string& what) {
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return value;
-  } catch (const std::exception&) {
-    return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in probe trace");
-  }
+  if (const auto value = parse::to_double(text); value.has_value()) return *value;
+  return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in probe trace");
 }
 
 Result<std::uint64_t> parse_u64(const std::string& text, const std::string& what) {
-  try {
-    std::size_t used = 0;
-    const unsigned long long value = std::stoull(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return static_cast<std::uint64_t>(value);
-  } catch (const std::exception&) {
-    return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in probe trace");
-  }
+  if (const auto value = parse::to_u64(text); value.has_value()) return *value;
+  return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in probe trace");
 }
 
 Result<std::int64_t> parse_i64(const std::string& text, const std::string& what) {
-  try {
-    std::size_t used = 0;
-    const long long value = std::stoll(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return static_cast<std::int64_t>(value);
-  } catch (const std::exception&) {
-    return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in probe trace");
-  }
+  if (const auto value = parse::to_i64(text); value.has_value()) return *value;
+  return make_error(ErrorCode::protocol, "bad " + what + " '" + text + "' in probe trace");
 }
 
 /// "err <code> <message>" suffix shared by every record kind.
@@ -609,6 +592,14 @@ std::vector<Result<double>> RecordingProbeEngine::concurrent_bandwidth(
   return results;
 }
 
+std::vector<ProbeExperimentOutcome> RecordingProbeEngine::run_batch(
+    const std::vector<ProbeExperiment>& experiments, std::size_t /*workers*/) {
+  // Canonical sequential loop (see header): each experiment routes
+  // through the recording bandwidth()/concurrent_bandwidth() overrides,
+  // appending one record with exact per-experiment stats boundaries.
+  return ProbeEngine::run_batch(experiments, 1);
+}
+
 ProbeStats RecordingProbeEngine::stats() const { return inner_->stats(); }
 
 // --- TraceProbeEngine -------------------------------------------------------
@@ -768,6 +759,13 @@ std::vector<Result<double>> TraceProbeEngine::concurrent_bandwidth(
     }
   }
   return results;
+}
+
+std::vector<ProbeExperimentOutcome> TraceProbeEngine::run_batch(
+    const std::vector<ProbeExperiment>& experiments, std::size_t /*workers*/) {
+  // Canonical sequential loop (see header): every experiment must match
+  // the next trace record, in order, exactly as it was recorded.
+  return ProbeEngine::run_batch(experiments, 1);
 }
 
 ProbeStats TraceProbeEngine::stats() const {

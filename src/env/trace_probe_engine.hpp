@@ -106,6 +106,13 @@ class RecordingProbeEngine final : public ProbeEngine {
   Result<double> bandwidth(const std::string& from, const std::string& to) override;
   std::vector<Result<double>> concurrent_bandwidth(
       const std::vector<BandwidthRequest>& requests) override;
+  /// Recording is a serialization point: the trace stores one record per
+  /// experiment, with the inner engine's cumulative stats after EACH —
+  /// so the batch runs as the canonical sequential loop and the recorded
+  /// trace is byte-identical whether the mapping was batched or not.
+  /// That is exactly why golden traces replay batched runs unchanged.
+  std::vector<ProbeExperimentOutcome> run_batch(const std::vector<ProbeExperiment>& experiments,
+                                                std::size_t workers) override;
   [[nodiscard]] ProbeStats stats() const override;
 
   /// Everything recorded so far.
@@ -149,6 +156,12 @@ class TraceProbeEngine final : public ProbeEngine {
   Result<double> bandwidth(const std::string& from, const std::string& to) override;
   std::vector<Result<double>> concurrent_bandwidth(
       const std::vector<BandwidthRequest>& requests) override;
+  /// Replays the batch as the canonical sequential loop: traces hold the
+  /// canonical experiment order (see RecordingProbeEngine::run_batch),
+  /// so matching records one by one in batch order replays a batched
+  /// mapping exactly like a sequential one.
+  std::vector<ProbeExperimentOutcome> run_batch(const std::vector<ProbeExperiment>& experiments,
+                                                std::size_t workers) override;
   /// The recorded cumulative stats as of the last replayed experiment
   /// (plus the delegate's own stats in lenient mode).
   [[nodiscard]] ProbeStats stats() const override;

@@ -3,9 +3,11 @@
 // and explicit invalidation.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "api/envnws.hpp"
 #include "common/units.hpp"
@@ -251,6 +253,122 @@ TEST(MapCache, DamagedEntriesAreMissesNeverErrorsOrGarbageMaps) {
     // The re-probe repaired the entry in place.
     EXPECT_TRUE(cache.load(key).ok());
   }
+}
+
+// --- eviction / GC ----------------------------------------------------------
+
+/// Store the same mapped platform under an explicit key.
+void store_under(MapCache& cache, const env::MapResult& map, const std::string& label) {
+  ASSERT_TRUE(cache.store(MapCache::key_for(label, env::MapperOptions{}), map).ok());
+}
+
+void age_entry(const MapCache& cache, const std::string& label, std::chrono::hours age) {
+  std::error_code ec;
+  fs::last_write_time(cache.path_for(MapCache::key_for(label, env::MapperOptions{})),
+                      fs::file_time_type::clock::now() - age, ec);
+  ASSERT_FALSE(ec) << ec.message();
+}
+
+bool has_entry(const MapCache& cache, const std::string& label) {
+  return fs::exists(cache.path_for(MapCache::key_for(label, env::MapperOptions{})));
+}
+
+env::MapResult mapped_platform() {
+  simnet::Network net(simnet::Scenario(test_scenario()).topology);
+  Session session(net, test_scenario());
+  EXPECT_TRUE(session.map().ok());
+  return session.map_result();
+}
+
+TEST(MapCacheGc, SweepEnforcesMaxEntriesLruByMtime) {
+  const std::string dir = fresh_cache_dir("gc-entries");
+  MapCache cache(dir);
+  const env::MapResult map = mapped_platform();
+  store_under(cache, map, "a");
+  store_under(cache, map, "b");
+  store_under(cache, map, "c");
+  // Distinct mtimes (filesystem stamps can tie within one store burst).
+  age_entry(cache, "a", std::chrono::hours(3));
+  age_entry(cache, "b", std::chrono::hours(2));
+  age_entry(cache, "c", std::chrono::hours(1));
+
+  // Loading "a" refreshes its mtime: LRU is recency of USE.
+  ASSERT_TRUE(cache.load(MapCache::key_for("a", env::MapperOptions{})).ok());
+
+  cache.set_limits(MapCache::Limits{2, 0.0});
+  auto removed = cache.sweep();
+  ASSERT_TRUE(removed.ok()) << removed.error().to_string();
+  EXPECT_EQ(removed.value(), 1u);
+  EXPECT_TRUE(has_entry(cache, "a"));   // freshly used
+  EXPECT_FALSE(has_entry(cache, "b"));  // oldest unused
+  EXPECT_TRUE(has_entry(cache, "c"));
+}
+
+TEST(MapCacheGc, SweepDropsEntriesOlderThanMaxAge) {
+  const std::string dir = fresh_cache_dir("gc-age");
+  MapCache cache(dir);
+  const env::MapResult map = mapped_platform();
+  store_under(cache, map, "old");
+  store_under(cache, map, "fresh");
+  age_entry(cache, "old", std::chrono::hours(2));
+
+  cache.set_limits(MapCache::Limits{0, 3600.0});
+  auto removed = cache.sweep();
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 1u);
+  EXPECT_FALSE(has_entry(cache, "old"));
+  EXPECT_TRUE(has_entry(cache, "fresh"));
+}
+
+TEST(MapCacheGc, SweepDeletesCorruptEntriesAndSparesForeignFiles) {
+  const std::string dir = fresh_cache_dir("gc-corrupt");
+  MapCache cache(dir);
+  const env::MapResult map = mapped_platform();
+  store_under(cache, map, "good");
+  const fs::path corrupt = fs::path(dir) / "torn.envmap.xml";
+  { std::ofstream(corrupt) << "<ENVMAP version=\"1\" truncated"; }
+  // A concurrent writer's temp file and an unrelated file are not ours.
+  const fs::path in_flight = fs::path(dir) / "x.envmap.xml.tmp.123.0";
+  const fs::path foreign = fs::path(dir) / "README.txt";
+  { std::ofstream(in_flight) << "partial"; }
+  { std::ofstream(foreign) << "hands off"; }
+
+  // Even an unbounded sweep removes corrupt entries — they can never
+  // serve a hit, so they are deleted, not skipped.
+  auto removed = cache.sweep();
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 1u);
+  EXPECT_FALSE(fs::exists(corrupt));
+  EXPECT_TRUE(has_entry(cache, "good"));
+  EXPECT_TRUE(fs::exists(in_flight));
+  EXPECT_TRUE(fs::exists(foreign));
+}
+
+TEST(MapCacheGc, StoreSweepsAutomaticallyWhenBounded) {
+  const std::string dir = fresh_cache_dir("gc-store");
+  MapCache cache(dir);
+  cache.set_limits(MapCache::Limits{1, 0.0});
+  const env::MapResult map = mapped_platform();
+  store_under(cache, map, "first");
+  age_entry(cache, "first", std::chrono::hours(1));
+  store_under(cache, map, "second");  // triggers the sweep
+  EXPECT_FALSE(has_entry(cache, "first"));
+  EXPECT_TRUE(has_entry(cache, "second"));  // the just-stored entry survives
+
+  // The Session surface: limits are reachable through map_cache().
+  simnet::Network net(simnet::Scenario(test_scenario()).topology);
+  Session session(net, test_scenario());
+  session.set_map_cache(dir);
+  ASSERT_NE(session.map_cache(), nullptr);
+  session.map_cache()->set_limits(MapCache::Limits{1, 0.0});
+  EXPECT_EQ(session.map_cache()->limits().max_entries, 1u);
+  ASSERT_TRUE(session.map().ok());  // stores + sweeps: still >= 1 entry, bounded by 1
+  std::size_t entries = 0;
+  for (const auto& item : fs::directory_iterator(dir)) {
+    const std::string name = item.path().filename().string();
+    if (name.size() > 11 && name.rfind(".envmap.xml") == name.size() - 11) ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
 }
 
 TEST(MapCache, ClearRemovesEveryEntry) {

@@ -295,6 +295,19 @@ TEST(Session, GridmlSeededSessionMatchesDeployFromGridml) {
   Session bad(net);
   EXPECT_FALSE(bad.load_map_from_gridml("<GRID />", "l0.lan").ok());
   EXPECT_FALSE(bad.load_map_from_gridml("not xml at all", "x").ok());
+
+  // A malformed bandwidth property is a Result error naming the
+  // property, not a std::stod exception killing the process.
+  const auto at = published.find("ENV_base_BW\" value=\"");
+  ASSERT_NE(at, std::string::npos) << published;
+  std::string corrupted = published;
+  const auto value_at = at + std::string("ENV_base_BW\" value=\"").size();
+  corrupted.replace(value_at, corrupted.find('"', value_at) - value_at, "fast-ish");
+  auto status = bad.load_map_from_gridml(corrupted, "l0.lan");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::protocol);
+  EXPECT_NE(status.error().message.find("ENV_base_BW"), std::string::npos)
+      << status.error().message;
 }
 
 TEST(ScenarioId, MissingHostIsNamedErrorNotCrash) {

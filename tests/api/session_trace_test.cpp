@@ -33,7 +33,11 @@ TEST(SessionProbeSpec, RejectsMalformedSpecs) {
   auto scenario = make_scenario("dumbbell");
   simnet::Network net(simnet::Scenario(scenario).topology);
   Session session(net, scenario);
-  for (const char* bad : {"teleport:/tmp/x", "record:", "replay:", "fault:", "fault:bw#1=explode"}) {
+  // The fault specs include out-of-range / wrapping counters: they must
+  // come back as Result errors, never as exceptions escaping the call.
+  for (const char* bad : {"teleport:/tmp/x", "record:", "replay:", "fault:", "fault:bw#1=explode",
+                          "fault:bw#huge=fail:timeout", "fault:bw#-1=fail",
+                          "fault:bw#99999999999999999999999=fail:timeout"}) {
     auto status = session.set_probe_engine_spec(bad);
     ASSERT_FALSE(status.ok()) << bad;
     EXPECT_EQ(status.error().code, ErrorCode::invalid_argument) << bad;

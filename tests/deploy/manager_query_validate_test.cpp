@@ -75,6 +75,23 @@ TEST(ManagerConfig, ParseRejectsGarbage) {
   EXPECT_FALSE(parse_config("[substitution s]\nrepresentative = only-one\n").ok());
 }
 
+TEST(ManagerConfig, ParseRejectsMalformedNumbersAsProtocolErrors) {
+  // A hand-edited config with a non-numeric period/probe/tokens value
+  // used to throw a bare std::stod/stoll/stoull exception through
+  // parse_config; every case must come back as a Result instead.
+  for (const char* line :
+       {"period = fast", "period = 7.5s", "probe = lots", "probe = 1e3x",
+        "tokens = -1", "tokens = many", "tokens = 99999999999999999999999"}) {
+    const std::string text = std::string("[clique c]\n") + line + "\nmembers = a.x\n";
+    auto parsed = parse_config(text);
+    ASSERT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(parsed.error().code, ErrorCode::protocol) << line;
+    // The error names the malformed value, not a downstream complaint.
+    EXPECT_NE(parsed.error().message.find("bad clique"), std::string::npos)
+        << parsed.error().message;
+  }
+}
+
 TEST(ManagerConfig, LocalAssignmentExtractsPerHostDuties) {
   const DeploymentPlan plan = sample_plan();
   const HostAssignment master = local_assignment(plan, "m.x");

@@ -1,0 +1,172 @@
+// The within-zone batch schedule: the endpoint-constrained makespan
+// model, the default ProbeEngine::run_batch loop (canonical order), and
+// the mapper's BatchStats accounting — including the rule that savings
+// are only credited on segments whose phase-2d verdict is `switched`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "env/batch_schedule.hpp"
+#include "env/mapper.hpp"
+#include "env/probe_engine.hpp"
+#include "env/scenario_zones.hpp"
+#include "env/sim_probe_engine.hpp"
+#include "simnet/network.hpp"
+#include "simnet/scenario.hpp"
+
+namespace envnws::env {
+namespace {
+
+ProbeExperiment pair_exp(const std::string& a, const std::string& b) {
+  return ProbeExperiment::single(a, b);
+}
+
+TEST(BatchMakespan, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(batch_makespan({}, {}, 8), 0.0);
+  EXPECT_DOUBLE_EQ(batch_makespan({pair_exp("a", "b")}, {3.0}, 8), 3.0);
+  // One worker is the sequential sum by definition.
+  EXPECT_DOUBLE_EQ(
+      batch_makespan({pair_exp("a", "b"), pair_exp("c", "d"), pair_exp("e", "f")},
+                     {1.0, 2.0, 3.0}, 1),
+      6.0);
+}
+
+TEST(BatchMakespan, DisjointExperimentsOverlapUpToWorkerCount) {
+  const std::vector<ProbeExperiment> disjoint{pair_exp("a", "b"), pair_exp("c", "d"),
+                                              pair_exp("e", "f"), pair_exp("g", "h")};
+  const std::vector<double> unit{1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(batch_makespan(disjoint, unit, 4), 1.0);
+  EXPECT_DOUBLE_EQ(batch_makespan(disjoint, unit, 8), 1.0);
+  EXPECT_DOUBLE_EQ(batch_makespan(disjoint, unit, 2), 2.0);
+}
+
+TEST(BatchMakespan, SharedEndpointSerializesRegardlessOfWorkers) {
+  // Phase 2a/2b shape: everything pivots on the master.
+  const std::vector<ProbeExperiment> star{pair_exp("m", "a"), pair_exp("m", "b"),
+                                          pair_exp("m", "c")};
+  EXPECT_DOUBLE_EQ(batch_makespan(star, {1.0, 2.0, 3.0}, 8), 6.0);
+  // A concurrent experiment's whole endpoint set counts.
+  const std::vector<ProbeExperiment> pairs{
+      ProbeExperiment::concurrent({BandwidthRequest{"m", "a"}, BandwidthRequest{"m", "b"}}),
+      ProbeExperiment::concurrent({BandwidthRequest{"m", "c"}, BandwidthRequest{"m", "d"}})};
+  EXPECT_DOUBLE_EQ(batch_makespan(pairs, {2.0, 2.0}, 8), 4.0);
+}
+
+TEST(BatchMakespan, CompleteGraphPairsScheduleLikeATournament) {
+  // All C(4,2) member pairs of one segment, unit duration. A perfect
+  // round-robin needs n-1 = 3 rounds; the greedy canonical-order
+  // scheduler achieves exactly that (later pairs overtake blocked ones).
+  std::vector<ProbeExperiment> experiments;
+  const std::vector<std::string> member{"a", "b", "c", "d"};
+  for (std::size_t i = 0; i < member.size(); ++i) {
+    for (std::size_t j = i + 1; j < member.size(); ++j) {
+      experiments.push_back(pair_exp(member[i], member[j]));
+    }
+  }
+  const std::vector<double> unit(experiments.size(), 1.0);
+  EXPECT_DOUBLE_EQ(batch_makespan(experiments, unit, 8), 3.0);
+  EXPECT_DOUBLE_EQ(batch_makespan(experiments, unit, 1), 6.0);
+}
+
+/// Engine that logs the order of its calls; run_batch is inherited, so
+/// this asserts the default loop preserves canonical order.
+class OrderLoggingEngine final : public ProbeEngine {
+ public:
+  Result<HostIdentity> lookup(const std::string& hostname) override {
+    calls.push_back("L " + hostname);
+    return HostIdentity{hostname, "10.0.0.1", {}};
+  }
+  Result<std::vector<TraceHop>> traceroute(const std::string& from,
+                                           const std::string& target) override {
+    calls.push_back("T " + from + ">" + target);
+    return std::vector<TraceHop>{};
+  }
+  Result<double> bandwidth(const std::string& from, const std::string& to) override {
+    calls.push_back("B " + from + ">" + to);
+    stats_.experiments++;
+    stats_.busy_time_s += 1.0;
+    return 1e6;
+  }
+  std::vector<Result<double>> concurrent_bandwidth(
+      const std::vector<BandwidthRequest>& requests) override {
+    std::string call = "C";
+    for (const auto& request : requests) call += " " + request.from + ">" + request.to;
+    calls.push_back(call);
+    stats_.experiments++;
+    stats_.busy_time_s += 2.0;
+    return std::vector<Result<double>>(requests.size(), Result<double>(5e5));
+  }
+  [[nodiscard]] ProbeStats stats() const override { return stats_; }
+
+  std::vector<std::string> calls;
+
+ private:
+  ProbeStats stats_;
+};
+
+TEST(RunBatch, DefaultImplementationIsTheCanonicalSequentialLoop) {
+  OrderLoggingEngine engine;
+  const std::vector<ProbeExperiment> experiments{
+      ProbeExperiment::single("m", "a"),
+      ProbeExperiment::concurrent({BandwidthRequest{"m", "a"}, BandwidthRequest{"m", "b"}}),
+      ProbeExperiment::single("a", "b")};
+  const auto outcomes = engine.run_batch(experiments, 8);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(engine.calls,
+            (std::vector<std::string>{"B m>a", "C m>a m>b", "B a>b"}));
+  // Results indexed by canonical order, durations from stats diffs.
+  EXPECT_DOUBLE_EQ(outcomes[0].results.front().value(), 1e6);
+  ASSERT_EQ(outcomes[1].results.size(), 2u);
+  EXPECT_DOUBLE_EQ(outcomes[1].results[1].value(), 5e5);
+  EXPECT_DOUBLE_EQ(outcomes[0].duration_s, 1.0);
+  EXPECT_DOUBLE_EQ(outcomes[1].duration_s, 2.0);
+  EXPECT_DOUBLE_EQ(outcomes[2].duration_s, 1.0);
+}
+
+/// Map one scenario's first zone with the given probe_jobs.
+ZoneMapResult map_zone(const simnet::Scenario& scenario, int probe_jobs) {
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  MapperOptions options;
+  options.probe_jobs = probe_jobs;
+  SimProbeEngine engine(net, options);
+  Mapper mapper(engine, options);
+  const auto zones = zones_from_scenario(scenario);
+  EXPECT_TRUE(zones.ok());
+  auto result = mapper.map_zone(zones.value().front());
+  EXPECT_TRUE(result.ok()) << result.error().to_string();
+  return std::move(result.value());
+}
+
+TEST(BatchedMapping, SwitchedSegmentEarnsTheMakespanCredit) {
+  const auto sequential = map_zone(simnet::star_switch(8, units::mbps(100)), 1);
+  const auto batched = map_zone(simnet::star_switch(8, units::mbps(100)), 8);
+  // What was measured is identical...
+  EXPECT_EQ(render_effective(sequential.root), render_effective(batched.root));
+  EXPECT_EQ(sequential.stats.experiments, batched.stats.experiments);
+  EXPECT_DOUBLE_EQ(sequential.stats.duration_s, batched.stats.duration_s);
+  // ...the batches are the same...
+  EXPECT_EQ(sequential.batch.batches, batched.batch.batches);
+  EXPECT_EQ(sequential.batch.batched_experiments, batched.batch.batched_experiments);
+  EXPECT_DOUBLE_EQ(sequential.batch.sequential_s, batched.batch.sequential_s);
+  // ...but only the batched schedule models a shorter makespan (the
+  // phase-2c internal pairs of the switched segment overlap).
+  EXPECT_DOUBLE_EQ(sequential.batch.makespan_s, sequential.batch.sequential_s);
+  EXPECT_LT(batched.batch.makespan_s, batched.batch.sequential_s);
+  EXPECT_LT(batched.batched_duration_s(), batched.stats.duration_s);
+  EXPECT_DOUBLE_EQ(sequential.batched_duration_s(), sequential.stats.duration_s);
+}
+
+TEST(BatchedMapping, SharedSegmentGetsNoCredit) {
+  // A hub's jam verdict is `shared`: concurrent internal transfers
+  // would have contended, so the modeled schedule must not pretend the
+  // batched 2c pairs overlapped.
+  const auto batched = map_zone(simnet::star_hub(8, units::mbps(10)), 8);
+  EXPECT_GT(batched.batch.batched_experiments, 0u);
+  EXPECT_DOUBLE_EQ(batched.batch.makespan_s, batched.batch.sequential_s);
+  EXPECT_DOUBLE_EQ(batched.batched_duration_s(), batched.stats.duration_s);
+}
+
+}  // namespace
+}  // namespace envnws::env

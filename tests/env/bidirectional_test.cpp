@@ -95,7 +95,9 @@ TEST(Bidirectional, GridmlRoundTripKeepsAsymmetryAnnotations) {
   const gridml::NetworkNode node = net.to_gridml();
   EXPECT_EQ(node.property("ENV_base_reverse_BW").value_or(""), "100.00");
   EXPECT_TRUE(node.property("ENV_route_asymmetric").has_value());
-  const EnvNetwork back = EnvNetwork::from_gridml(node);
+  const auto rebuilt = EnvNetwork::from_gridml(node);
+  ASSERT_TRUE(rebuilt.ok());
+  const EnvNetwork& back = rebuilt.value();
   EXPECT_TRUE(back.route_asymmetric);
   EXPECT_NEAR(back.base_reverse_bw_bps, mbps(100), 1.0);
   // Rendering mentions the flag.

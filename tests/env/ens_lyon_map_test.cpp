@@ -146,8 +146,9 @@ TEST_F(EnsLyonMap, GridmlSerializationRoundTrips) {
   EXPECT_EQ(reparsed.value().to_string(), xml);
   // The effective tree survives the round trip.
   ASSERT_FALSE(reparsed.value().networks.empty());
-  const EnvNetwork rebuilt = EnvNetwork::from_gridml(reparsed.value().networks.back());
-  EXPECT_EQ(rebuilt.all_machines().size(), map_->root.all_machines().size());
+  const auto rebuilt = EnvNetwork::from_gridml(reparsed.value().networks.back());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value().all_machines().size(), map_->root.all_machines().size());
 }
 
 TEST_F(EnsLyonMap, MappingTakesMinutesNotDays) {

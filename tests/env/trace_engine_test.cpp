@@ -8,6 +8,8 @@
 // (examples/record_trace).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -212,6 +214,19 @@ TEST(FaultSpecTest, RejectsMalformedRules) {
   }
 }
 
+TEST(FaultSpecTest, RejectsOutOfRangeAndWrappingCounters) {
+  // "bw#huge" and beyond-2^64 indices must be parse errors, and "-1"
+  // must not wrap to 18446744073709551615 the way bare std::stoull does
+  // — none of these may throw out of parse() either.
+  for (const char* bad :
+       {"bw#huge=fail:timeout", "bw#99999999999999999999999=fail:timeout", "bw#-1=fail",
+        "bw%-2=fail", "any#1e3=fail", "cbw*=scale:1e999", "bw*=scale:-0.5"}) {
+    auto spec = FaultSpec::parse(bad);
+    ASSERT_FALSE(spec.ok()) << bad;
+    EXPECT_EQ(spec.error().code, ErrorCode::invalid_argument) << bad;
+  }
+}
+
 TEST(FaultEngine, FailsAndScalesSelectedExperiments) {
   auto spec = FaultSpec::parse("bw#1=fail:unreachable,cbw*=scale:0.5");
   ASSERT_TRUE(spec.ok());
@@ -251,6 +266,13 @@ constexpr GoldenFamily kGolden[] = {
 };
 
 TEST(GoldenTraces, ReplayIsBitIdenticalToTheLiveRunWithZeroProbes) {
+  // CI runs this suite once more with ENVNWS_TEST_PROBE_JOBS=8: the
+  // batched within-zone schedule must replay the committed traces
+  // exactly like the sequential one (canonical experiment order).
+  int probe_jobs = 1;
+  if (const char* env_jobs = std::getenv("ENVNWS_TEST_PROBE_JOBS")) {
+    probe_jobs = std::max(1, std::atoi(env_jobs));
+  }
   for (const auto& family : kGolden) {
     SCOPED_TRACE(family.spec);
     const fs::path path = kTraceDir / family.file;
@@ -264,11 +286,13 @@ TEST(GoldenTraces, ReplayIsBitIdenticalToTheLiveRunWithZeroProbes) {
     // The live simulator run...
     simnet::Network live_net(simnet::Scenario(scenario.value()).topology);
     api::Session live(live_net, scenario.value());
+    live.options().mapper.probe_jobs = probe_jobs;
     ASSERT_TRUE(live.map().ok());
 
     // ...and the replay of the committed trace.
     simnet::Network replay_net(simnet::Scenario(scenario.value()).topology);
     api::Session replay(replay_net, scenario.value());
+    replay.options().mapper.probe_jobs = probe_jobs;
     ASSERT_TRUE(replay.set_probe_engine_spec("replay:" + path.string()).ok());
     auto status = replay.map();
     ASSERT_TRUE(status.ok()) << status.error().to_string()
