@@ -12,11 +12,24 @@
 //  3. With --map-cache=DIR: maps once through the persistent cache, then
 //     again — the second run must reload with ZERO probe experiments.
 //  4. With --probe=<engine-spec>: maps through the given probe engine
-//     (record:/replay:/fault: — docs/TESTING.md). A record: spec is
-//     additionally replayed back and verified bit-identical, so the
-//     bench doubles as a trace round-trip smoke test.
+//     (record:/replay:/fault:/socket: — docs/TESTING.md,
+//     docs/SOCKET_ENGINE.md). A record: spec is additionally replayed
+//     back and verified bit-identical, so the bench doubles as a trace
+//     round-trip smoke test.
+//  5. Live-vs-model (skipped when ENVNWS_TEST_NO_NET=1): an in-process
+//     loopback probe-agent fleet is mapped over REAL TCP sockets at
+//     --jobs=1 and --jobs=K; the measured wall-clock speedup of the
+//     genuinely concurrent run_batch is printed next to the
+//     batch_schedule.hpp model's prediction, and the two runs must be
+//     digest-identical.
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,8 +42,10 @@
 #include "env/cost_model.hpp"
 #include "env/env_tree.hpp"
 #include "env/mapper.hpp"
+#include "env/probe_agent.hpp"
 #include "env/scenario_zones.hpp"
 #include "env/sim_probe_engine.hpp"
+#include "env/socket_probe_engine.hpp"
 #include "simnet/scenario.hpp"
 
 using namespace envnws;
@@ -233,6 +248,120 @@ void jobs_section(const std::string& spec, int max_jobs) {
   if (max_jobs > 1 && !faster) std::exit(1);
 }
 
+/// Live-vs-model: map a loopback probe-agent fleet over real TCP at
+/// jobs=1 and jobs=max_jobs. Agents run paced fixed-rate mode, so the
+/// reported measurements (and the digest) are identical across runs
+/// while the wall clock honestly reflects the realized batch schedule.
+void socket_section(const std::string& spec, int max_jobs) {
+  if (const char* no_net = std::getenv("ENVNWS_TEST_NO_NET");
+      no_net != nullptr && std::string(no_net) == "1") {
+    std::printf("--- live socket agents: skipped (ENVNWS_TEST_NO_NET=1) ---\n\n");
+    return;
+  }
+  std::printf("--- live socket agents vs batch-schedule model: %s ---\n", spec.c_str());
+  simnet::Scenario scenario = bench::make_scenario_or_exit(spec);
+
+  // 512 KiB at a paced 200 Mbps ~= 21 ms per transfer: long enough for
+  // honest overlap measurements, short enough for a bench.
+  constexpr double kPacedRate = 200e6;
+  constexpr std::int64_t kProbeBytes = 512 * 1024;
+  std::vector<std::unique_ptr<env::ProbeAgent>> agents;
+  std::string roster_text;
+  for (const simnet::NodeId id : scenario.topology.hosts()) {
+    const simnet::Node& node = scenario.topology.node(id);
+    env::ProbeAgentConfig config;
+    // Rostered under the zone-local name the mapper probes with.
+    config.name = node.fqdn.empty() ? node.name : node.fqdn;
+    config.fqdn = node.fqdn;
+    config.ip = node.ip.is_zero() ? "127.0.0.1" : node.ip.to_string();
+    config.fixed_rate_bps = kPacedRate;
+    config.pace = true;
+    agents.push_back(std::make_unique<env::ProbeAgent>(std::move(config)));
+    if (auto status = agents.back()->start(); !status.ok()) {
+      std::fprintf(stderr, "agent '%s' failed to start: %s\n", node.name.c_str(),
+                   status.error().to_string().c_str());
+      std::exit(1);
+    }
+    roster_text +=
+        agents.back()->config().name + " 127.0.0.1:" + std::to_string(agents.back()->port()) + "\n";
+  }
+  // Unique per process: concurrent bench invocations on one machine
+  // must not clobber each other's roster.
+  const std::string roster_path =
+      (std::filesystem::temp_directory_path() /
+       ("envnws-bench-agents." + std::to_string(static_cast<long long>(::getpid())) + ".cfg"))
+          .string();
+  {
+    std::ofstream out(roster_path, std::ios::trunc);
+    out << roster_text;
+  }
+
+  std::string baseline_digest;
+  double wall_1 = 0.0;
+  double wall_k = 0.0;
+  double modeled_sequential_s = 0.0;
+  double modeled_makespan_s = 0.0;
+  Table table({"jobs", "experiments", "wall seconds", "modeled batched s", "modeled saved s"});
+  std::vector<int> sweep{1};
+  if (max_jobs > 1) sweep.push_back(max_jobs);
+  for (const int jobs : sweep) {
+    simnet::Network net(simnet::Scenario(scenario).topology);
+    api::Session session(net, scenario);
+    session.options().mapper.probe_bytes = kProbeBytes;
+    session.options().mapper.stabilization_gap_s = 0.0;
+    session.options().mapper.probe_jobs = jobs;
+    if (auto status = session.set_probe_engine_spec("socket:" + roster_path); !status.ok()) {
+      std::fprintf(stderr, "socket spec failed: %s\n", status.error().to_string().c_str());
+      std::exit(1);
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    if (auto status = session.map(); !status.ok()) {
+      std::fprintf(stderr, "socket map failed at --jobs=%d: %s\n", jobs,
+                   status.error().to_string().c_str());
+      std::exit(1);
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+    const env::MapResult& result = session.map_result();
+    if (jobs == 1) {
+      baseline_digest = result.identity_digest();
+      wall_1 = wall;
+    } else {
+      wall_k = wall;
+      modeled_sequential_s = result.stats.duration_s;
+      modeled_makespan_s = result.batched_duration_s();
+      if (result.identity_digest() != baseline_digest) {
+        std::fprintf(stderr, "BUG: --jobs=%d socket MapResult differs from --jobs=1\n", jobs);
+        std::exit(1);
+      }
+    }
+    table.add_row({std::to_string(jobs), std::to_string(result.stats.experiments),
+                   strings::format_double(wall, 2),
+                   strings::format_double(result.batched_duration_s(), 2),
+                   strings::format_double(result.batch.saved_s(), 2)});
+  }
+  for (auto& agent : agents) agent->stop();
+  std::error_code roster_ec;
+  std::filesystem::remove(roster_path, roster_ec);
+  std::printf("%s", table.to_string().c_str());
+  if (max_jobs <= 1) {
+    std::printf("single worker requested (--jobs=1): no schedule to realize, "
+                "live mapping completed\n\n");
+    return;
+  }
+
+  const double live_speedup = wall_k > 0.0 ? wall_1 / wall_k : 0.0;
+  const double model_speedup =
+      modeled_makespan_s > 0.0 ? modeled_sequential_s / modeled_makespan_s : 0.0;
+  std::printf("run_batch over %d real connections: %.2fx measured wall-clock speedup "
+              "(batch-schedule model predicts %.2fx); digest identical: yes\n",
+              max_jobs, live_speedup, model_speedup);
+  const bool faster = max_jobs > 1 && wall_k < wall_1;
+  std::printf("jobs=%d measurably beats jobs=1 wall-clock: %s\n\n", max_jobs,
+              faster ? "yes" : "NO — BUG");
+  if (max_jobs > 1 && !faster) std::exit(1);
+}
+
 /// Map through `probe_spec`; after a record: run, replay the trace back
 /// and require the bit-identical MapResult (MapResult::identity_digest,
 /// the same definition the golden-trace suite asserts).
@@ -303,6 +432,10 @@ int main(int argc, char** argv) {
                    : cli.scenario_spec,
                cli.jobs);
   if (bench::is_spec_template(cli.scenario_spec)) jobs_section(kParallelScenario, cli.jobs);
+
+  // The realized batch schedule: real sockets, real overlap, next to
+  // the model the jobs_section plotted.
+  socket_section("star-switch:12@100", cli.jobs);
 
   if (!cli.map_cache_dir.empty()) cache_section(parallel_spec, cli.map_cache_dir);
   if (!cli.probe_spec.empty()) probe_engine_section(parallel_spec, cli.probe_spec);

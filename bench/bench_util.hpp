@@ -58,7 +58,9 @@ struct BenchCli {
   /// --probe=<spec>: probe-engine spec forwarded to
   /// api::Session::set_probe_engine_spec ("" = the simulator). E.g.
   /// record:/tmp/run.envtrace, replay:/tmp/run.envtrace,
-  /// fault:bw%7=fail:timeout — grammar in docs/TESTING.md.
+  /// fault:bw%7=fail:timeout, socket:agents.cfg (real TCP probe
+  /// agents), record:/tmp/run.envtrace@socket:agents.cfg — grammar in
+  /// docs/TESTING.md and docs/SOCKET_ENGINE.md.
   std::string probe_spec;
 };
 

@@ -1,0 +1,136 @@
+// Standalone probe-agent daemon (docs/SOCKET_ENGINE.md).
+//
+// Runs one env::ProbeAgent — the NWS-style sensor process every mapped
+// host needs — until stdin closes or SIGINT/SIGTERM arrives:
+//
+//   $ ./examples/probe_agent --name h0 --fqdn h0.lan --port 0
+//   probe_agent: 'h0' listening on 127.0.0.1:49152
+//
+// The printed `<host> <address>:<port>` line is exactly one roster line,
+// so a fleet can be assembled with shell alone:
+//
+//   $ for h in h0 h1 h2; do ./examples/probe_agent --name $h --quiet \
+//       --roster-line >> agents.cfg & done
+//
+// --rate fixes the reported transfer timing (deterministic offline-first
+// mode); --pace additionally makes wall time track it. Without --rate
+// the agent reports measured wall time — the real mode.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/parse.hpp"
+#include "env/probe_agent.hpp"
+
+using namespace envnws;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --name <host> [--fqdn <fqdn>] [--ip <ipv4>] [--listen <ipv4>]\n"
+               "          [--port <n>] [--prop k=v]... [--rate <bps>] [--pace]\n"
+               "          [--io-timeout <s>] [--roster-line] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  env::ProbeAgentConfig config;
+  bool roster_line = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--name") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      config.name = v;
+    } else if (arg == "--fqdn") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      config.fqdn = v;
+    } else if (arg == "--ip") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      config.ip = v;
+    } else if (arg == "--listen") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      config.listen_address = v;
+    } else if (arg == "--port") {
+      const char* v = value();
+      const auto port = v != nullptr ? parse::to_u64(v) : std::optional<std::uint64_t>();
+      if (!port.has_value() || *port > 65535) return usage(argv[0]);
+      config.port = static_cast<std::uint16_t>(*port);
+    } else if (arg == "--prop") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      const std::string pair = v;
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) return usage(argv[0]);
+      config.properties[pair.substr(0, eq)] = pair.substr(eq + 1);
+    } else if (arg == "--rate") {
+      const char* v = value();
+      const auto rate = v != nullptr ? parse::to_double(v) : std::optional<double>();
+      if (!rate.has_value() || *rate <= 0.0) return usage(argv[0]);
+      config.fixed_rate_bps = *rate;
+    } else if (arg == "--pace") {
+      config.pace = true;
+    } else if (arg == "--io-timeout") {
+      const char* v = value();
+      const auto timeout = v != nullptr ? parse::to_double(v) : std::optional<double>();
+      if (!timeout.has_value() || *timeout <= 0.0) return usage(argv[0]);
+      config.io_timeout_s = *timeout;
+    } else if (arg == "--roster-line") {
+      roster_line = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config.name.empty()) return usage(argv[0]);
+  if (config.fqdn.empty()) config.fqdn = config.name;
+
+  env::ProbeAgent agent(std::move(config));
+  if (auto status = agent.start(); !status.ok()) {
+    std::fprintf(stderr, "probe_agent: %s\n", status.error().to_string().c_str());
+    return 1;
+  }
+  if (roster_line) {
+    std::printf("%s %s:%u\n", agent.config().name.c_str(),
+                agent.config().listen_address.c_str(), agent.port());
+  } else if (!quiet) {
+    std::printf("probe_agent: '%s' listening on %s:%u (fqdn %s, %s)\n",
+                agent.config().name.c_str(), agent.config().listen_address.c_str(), agent.port(),
+                agent.config().fqdn.c_str(),
+                agent.config().fixed_rate_bps > 0.0
+                    ? (agent.config().pace ? "fixed rate, paced" : "fixed rate")
+                    : "measured timing");
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  // Serve until the controlling process closes stdin or signals us —
+  // both work for shell fleets and test harnesses.
+  char buffer[256];
+  while (g_stop == 0 && std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
+  }
+  agent.stop();
+  if (!quiet && !roster_line) {
+    const auto stats = agent.stats();
+    std::printf("probe_agent: '%s' served %llu experiment(s), %lld byte(s)\n",
+                agent.config().name.c_str(), static_cast<unsigned long long>(stats.experiments),
+                static_cast<long long>(stats.bytes_sent));
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "common/units.hpp"
 #include "env/scenario_zones.hpp"
 #include "env/sim_probe_engine.hpp"
+#include "env/socket_probe_engine.hpp"
 
 namespace envnws::api {
 
@@ -79,21 +80,71 @@ Status Session::set_probe_engine_spec(const std::string& spec_text) {
   std::string path;
   env::FaultSpec fault;
   std::optional<env::ProbeTrace> trace;
-  if (spec.empty() || spec == "sim") {
-    // the factory alone
-  } else if (strings::starts_with(spec, "record:")) {
+  std::optional<env::wire::AgentRoster> roster;
+
+  // Split an optional "@<base>" suffix off a decorating spec
+  // ("record:<path>@socket:<agents.cfg>"). Splitting at the LAST '@'
+  // whose suffix parses as a base spec keeps '@' usable inside paths.
+  std::string working = spec;
+  std::string base;
+  bool base_was_suffix = false;
+  if (const auto at = working.rfind('@'); at != std::string::npos) {
+    const std::string suffix = working.substr(at + 1);
+    if (suffix == "sim" || strings::starts_with(suffix, "socket:")) {
+      base = suffix;
+      base_was_suffix = true;
+      working = working.substr(0, at);
+    }
+  }
+  if (strings::starts_with(working, "socket:")) {
+    if (!base.empty()) {
+      return make_error(ErrorCode::invalid_argument,
+                        "probe spec '" + spec + "' names two base engines");
+    }
+    base = working;
+    working = "sim";
+  } else if (base_was_suffix && (working.empty() || working == "sim")) {
+    return make_error(ErrorCode::invalid_argument,
+                      "probe spec '" + spec +
+                          "' decorates nothing; use the base spec by itself");
+  }
+  if (strings::starts_with(base, "socket:")) {
+    const std::string roster_path =
+        strings::trim(base.substr(std::string("socket:").size()));
+    if (roster_path.empty()) {
+      return make_error(ErrorCode::invalid_argument,
+                        "probe spec 'socket:' names no agent roster file");
+    }
+    auto loaded = env::wire::AgentRoster::load(roster_path);
+    if (!loaded.ok()) return loaded.error();
+    if (loaded.value().empty()) {
+      return make_error(ErrorCode::invalid_argument,
+                        "agent roster '" + roster_path + "' lists no agents");
+    }
+    roster = std::move(loaded.value());
+  }
+
+  if (working.empty() || working == "sim") {
+    // the base engine alone
+  } else if (strings::starts_with(working, "record:")) {
     mode = ProbeMode::record;
-    path = strings::trim(spec.substr(std::string("record:").size()));
+    path = strings::trim(working.substr(std::string("record:").size()));
     if (path.empty()) {
       return make_error(ErrorCode::invalid_argument, "probe spec 'record:' names no trace file");
     }
-  } else if (strings::starts_with(spec, "replay:") || strings::starts_with(spec, "replay-lenient:")) {
-    const bool lenient = strings::starts_with(spec, "replay-lenient:");
+  } else if (strings::starts_with(working, "replay:") ||
+             strings::starts_with(working, "replay-lenient:")) {
+    const bool lenient = strings::starts_with(working, "replay-lenient:");
+    if (!lenient && base_was_suffix) {
+      return make_error(ErrorCode::invalid_argument,
+                        "probe spec 'replay:' is offline by definition and takes no "
+                        "@<base> suffix (use replay-lenient: for a live fallback)");
+    }
     mode = lenient ? ProbeMode::replay_lenient : ProbeMode::replay_strict;
-    path = strings::trim(spec.substr(spec.find(':') + 1));
+    path = strings::trim(working.substr(working.find(':') + 1));
     if (path.empty()) {
       return make_error(ErrorCode::invalid_argument,
-                        "probe spec '" + spec.substr(0, spec.find(':') + 1) +
+                        "probe spec '" + working.substr(0, working.find(':') + 1) +
                             "' names no trace file");
     }
     auto loaded = env::ProbeTrace::load(path);
@@ -106,9 +157,9 @@ Status Session::set_probe_engine_spec(const std::string& spec_text) {
     } else {
       return loaded.error();
     }
-  } else if (strings::starts_with(spec, "fault:")) {
+  } else if (strings::starts_with(working, "fault:")) {
     mode = ProbeMode::fault;
-    auto parsed = env::FaultSpec::parse(spec.substr(std::string("fault:").size()));
+    auto parsed = env::FaultSpec::parse(working.substr(std::string("fault:").size()));
     if (!parsed.ok()) return parsed.error();
     if (parsed.value().empty()) {
       return make_error(ErrorCode::invalid_argument, "probe spec 'fault:' carries no rules");
@@ -117,15 +168,28 @@ Status Session::set_probe_engine_spec(const std::string& spec_text) {
   } else {
     return make_error(ErrorCode::invalid_argument,
                       "unknown probe engine spec '" + spec +
-                          "' (expected sim, record:<path>, replay:<path>, "
-                          "replay-lenient:<path> or fault:<rules>)");
+                          "' (expected sim, socket:<agents.cfg>, record:<path>, "
+                          "replay:<path>, replay-lenient:<path> or fault:<rules>, "
+                          "decorators optionally suffixed with @sim or "
+                          "@socket:<agents.cfg>)");
   }
   probe_mode_ = mode;
   probe_spec_text_ = spec.empty() ? "sim" : spec;
+  socket_roster_ = std::move(roster);
   trace_path_ = std::move(path);
   replay_trace_ = std::move(trace);
   fault_spec_ = std::move(fault);
   return {};
+}
+
+std::unique_ptr<env::ProbeEngine> Session::make_base_engine(simnet::Network& net) {
+  if (socket_roster_.has_value()) {
+    // Each call builds an independent engine over the shared roster:
+    // separate connection pools, so per-zone engines probe concurrently
+    // without sharing sockets.
+    return std::make_unique<env::SocketProbeEngine>(*socket_roster_, options_.mapper);
+  }
+  return engine_factory_(net, options_.mapper);
 }
 
 void Session::record_trace_issue(const Error& error) {
@@ -136,10 +200,9 @@ void Session::record_trace_issue(const Error& error) {
 Result<std::unique_ptr<env::ProbeEngine>> Session::make_sequential_engine() {
   switch (probe_mode_) {
     case ProbeMode::factory:
-      return std::unique_ptr<env::ProbeEngine>(engine_factory_(net_, options_.mapper));
+      return std::unique_ptr<env::ProbeEngine>(make_base_engine(net_));
     case ProbeMode::record: {
-      auto recorder = env::RecordingProbeEngine::open(engine_factory_(net_, options_.mapper),
-                                                      trace_path_);
+      auto recorder = env::RecordingProbeEngine::open(make_base_engine(net_), trace_path_);
       if (!recorder.ok()) return recorder.error();
       recorder.value()->set_error_handler([this](const Error& error) { record_trace_issue(error); });
       return std::unique_ptr<env::ProbeEngine>(std::move(recorder.value()));
@@ -156,13 +219,13 @@ Result<std::unique_ptr<env::ProbeEngine>> Session::make_sequential_engine() {
       auto replayer = std::make_unique<env::TraceProbeEngine>(
           *replay_trace_,
           lenient ? env::TraceProbeEngine::Mode::lenient : env::TraceProbeEngine::Mode::strict,
-          lenient ? engine_factory_(net_, options_.mapper) : nullptr);
+          lenient ? make_base_engine(net_) : nullptr);
       replayer->set_violation_handler([this](const Error& error) { record_trace_issue(error); });
       return std::unique_ptr<env::ProbeEngine>(std::move(replayer));
     }
     case ProbeMode::fault:
       return std::unique_ptr<env::ProbeEngine>(std::make_unique<env::FaultInjectingProbeEngine>(
-          engine_factory_(net_, options_.mapper), fault_spec_));
+          make_base_engine(net_), fault_spec_));
   }
   return make_error(ErrorCode::internal, "unhandled probe engine mode");
 }
@@ -180,8 +243,12 @@ std::unique_ptr<env::ProbeEngine> Session::make_zone_engine(std::size_t zone_ind
     std::unique_ptr<simnet::Network> replica;
     std::unique_ptr<env::ProbeEngine> delegate;
     if (lenient) {
-      replica = std::make_unique<simnet::Network>(scenario_->topology, net_.options());
-      delegate = engine_factory_(*replica, options_.mapper);
+      if (socket_roster_.has_value()) {
+        delegate = make_base_engine(net_);  // sockets need no replica
+      } else {
+        replica = std::make_unique<simnet::Network>(scenario_->topology, net_.options());
+        delegate = engine_factory_(*replica, options_.mapper);
+      }
     }
     auto replayer = std::make_unique<env::TraceProbeEngine>(
         std::move(trace.value()),
@@ -192,10 +259,17 @@ std::unique_ptr<env::ProbeEngine> Session::make_zone_engine(std::size_t zone_ind
     // Keep the lenient delegate's replica alive for the engine's lifetime.
     return std::make_unique<ReplicaEngine>(std::move(replica), std::move(replayer));
   }
-  auto replica = std::make_unique<simnet::Network>(scenario_->topology, net_.options());
-  auto engine = engine_factory_(*replica, options_.mapper);
-  std::unique_ptr<env::ProbeEngine> wrapped =
-      std::make_unique<ReplicaEngine>(std::move(replica), std::move(engine));
+  std::unique_ptr<env::ProbeEngine> wrapped;
+  if (socket_roster_.has_value()) {
+    // Socket engines observe the real agents, not the simulated
+    // platform: no replica needed, each zone just gets its own engine
+    // (private connection pool) so zones can probe concurrently.
+    wrapped = make_base_engine(net_);
+  } else {
+    auto replica = std::make_unique<simnet::Network>(scenario_->topology, net_.options());
+    auto engine = engine_factory_(*replica, options_.mapper);
+    wrapped = std::make_unique<ReplicaEngine>(std::move(replica), std::move(engine));
+  }
   switch (probe_mode_) {
     case ProbeMode::record: {
       auto recorder = env::RecordingProbeEngine::open(std::move(wrapped), path);
@@ -265,6 +339,11 @@ Result<env::MapResult> Session::probe_map() {
        "mapping " + std::to_string(zones.value().size()) + " firewall zone(s) of scenario '" +
            scenario_->name + "'" +
            (threads > 1 ? " on " + std::to_string(threads) + " threads" : ""));
+  if (socket_roster_.has_value()) {
+    emit(Event::Kind::note, Stage::map,
+         "probing through socket agent roster '" + socket_roster_->source + "' (" +
+             std::to_string(socket_roster_->agents.size()) + " agent(s))");
+  }
   const auto progress = [this](const env::ZoneProgress& zone) {
     Event::Kind kind = Event::Kind::zone_started;
     if (zone.phase == env::ZoneProgress::Phase::finished) kind = Event::Kind::zone_finished;
@@ -369,8 +448,11 @@ Status Session::map() {
   // fault specs exist to exercise the probe path itself, so a cache hit
   // would defeat record:/replay: (success with no trace touched), and a
   // fault:/replay-lenient: result must never be stored as the
-  // platform's truth.
-  const bool use_cache = map_cache_.has_value() && probe_mode_ == ProbeMode::factory;
+  // platform's truth. Socket specs bypass too: the cache key
+  // fingerprints the SCENARIO platform, which a live agent fleet is
+  // not — a hit would silently serve simulator truth for a real run.
+  const bool use_cache = map_cache_.has_value() && probe_mode_ == ProbeMode::factory &&
+                         !socket_roster_.has_value();
   if (map_cache_.has_value() && !use_cache) {
     emit(Event::Kind::note, Stage::map,
          "map cache bypassed (probe engine spec '" + probe_spec_text_ + "')");

@@ -51,6 +51,7 @@
 #include "env/mapper.hpp"
 #include "env/options.hpp"
 #include "env/probe_engine.hpp"
+#include "env/probe_wire.hpp"
 #include "env/trace_probe_engine.hpp"
 #include "simnet/scenario.hpp"
 
@@ -88,17 +89,28 @@ class Session {
   /// each call receiving a private replica of the scenario platform, so
   /// the engines can probe concurrently.
   Session& set_probe_engine_factory(ProbeEngineFactory factory);
-  /// Configure the probe backend from a spec string (docs/TESTING.md):
+  /// Configure the probe backend from a spec string (docs/TESTING.md,
+  /// docs/SOCKET_ENGINE.md):
   ///   "sim"                   — the engine factory alone (the default)
-  ///   "record:<path>"         — factory engine, every experiment appended
+  ///   "socket:<agents.cfg>"   — env::SocketProbeEngine over the agent
+  ///                             roster at <agents.cfg>: REAL TCP
+  ///                             experiments against probe-agent daemons
+  ///   "record:<path>"         — base engine, every experiment appended
   ///                             to the ENVTRACE file at <path>
   ///   "replay:<path>"         — strict replay of <path>: ZERO live probes;
   ///                             any out-of-trace request fails map() with
   ///                             the offending experiment index
   ///   "replay-lenient:<path>" — replay; out-of-trace requests fall back
-  ///                             to the factory engine
-  ///   "fault:<rules>"         — factory engine behind fault injection,
+  ///                             to the base engine
+  ///   "fault:<rules>"         — base engine behind fault injection,
   ///                             e.g. "fault:bw#3=fail:timeout,cbw*=scale:0.5"
+  /// The decorating specs (record:/replay-lenient:/fault:) take an
+  /// optional "@<base>" suffix selecting the base engine they wrap:
+  /// "@sim" (the factory, the default) or "@socket:<agents.cfg>" — so
+  /// "record:run.envtrace@socket:agents.cfg" maps through live sockets
+  /// while producing a golden trace that later replays bit-identically
+  /// offline, agents long gone. "replay:" is offline by definition and
+  /// rejects a base suffix.
   /// With `map_threads > 1` each zone records/replays its own file at
   /// `<path>.zone<k>` (a sequential trace holds all zones in one file, so
   /// traces replay with the thread mode they were recorded with).
@@ -177,6 +189,10 @@ class Session {
             int zone_index = -1);
   Status fail(Stage stage, const Error& error);
   [[nodiscard]] std::string map_cache_key() const;
+  /// The base (undecorated) engine of the current spec: a
+  /// SocketProbeEngine when a "socket:" roster is configured, the
+  /// engine factory otherwise.
+  std::unique_ptr<env::ProbeEngine> make_base_engine(simnet::Network& net);
   /// Probe every zone (sequentially on net_, or concurrently on private
   /// platform replicas when map_threads > 1) and merge.
   Result<env::MapResult> probe_map();
@@ -202,6 +218,9 @@ class Session {
   ProbeEngineFactory engine_factory_;
   ProbeMode probe_mode_ = ProbeMode::factory;
   std::string probe_spec_text_ = "sim";
+  /// Base engine of the spec: a loaded "socket:" roster, or nullopt for
+  /// the engine factory. Orthogonal to probe_mode_ (the decorator).
+  std::optional<env::wire::AgentRoster> socket_roster_;
   std::string trace_path_;
   /// Eagerly parsed single-file replay trace; unset for per-zone
   /// (threaded) recordings, which load lazily per zone.

@@ -8,9 +8,7 @@
 
 namespace envnws::env {
 
-namespace {
-
-std::vector<std::string> endpoints_of(const ProbeExperiment& experiment) {
+std::vector<std::string> experiment_endpoints(const ProbeExperiment& experiment) {
   std::vector<std::string> endpoints;
   endpoints.reserve(experiment.transfers.size() * 2);
   for (const auto& transfer : experiment.transfers) {
@@ -19,8 +17,6 @@ std::vector<std::string> endpoints_of(const ProbeExperiment& experiment) {
   }
   return endpoints;
 }
-
-}  // namespace
 
 double batch_makespan(const std::vector<ProbeExperiment>& experiments,
                       const std::vector<double>& durations, std::size_t workers) {
@@ -48,14 +44,14 @@ double batch_makespan(const std::vector<ProbeExperiment>& experiments,
   double makespan = 0.0;
 
   const auto is_startable = [&](std::size_t i) {
-    for (const auto& endpoint : endpoints_of(experiments[i])) {
+    for (const auto& endpoint : experiment_endpoints(experiments[i])) {
       const auto it = busy.find(endpoint);
       if (it != busy.end() && it->second > 0) return false;
     }
     return true;
   };
   const auto start = [&](std::size_t i) {
-    for (const auto& endpoint : endpoints_of(experiments[i])) ++busy[endpoint];
+    for (const auto& endpoint : experiment_endpoints(experiments[i])) ++busy[endpoint];
     running.push_back(Running{now + durations[i], i});
     done[i] = true;
     --remaining;
@@ -84,7 +80,7 @@ double batch_makespan(const std::vector<ProbeExperiment>& experiments,
     makespan = std::max(makespan, now);
     for (auto it = running.begin(); it != running.end();) {
       if (it->ends_at <= now) {
-        for (const auto& endpoint : endpoints_of(experiments[it->index])) {
+        for (const auto& endpoint : experiment_endpoints(experiments[it->index])) {
           --busy[endpoint];
         }
         it = running.erase(it);

@@ -21,6 +21,13 @@
 
 namespace envnws::env {
 
+/// The endpoint set of one experiment — the names whose network
+/// adapters the experiment occupies. This is THE definition of "shares
+/// an endpoint" for the disjointness rule: the schedule model below and
+/// the realized schedule in SocketProbeEngine::run_batch must agree on
+/// it, so both use this one helper.
+[[nodiscard]] std::vector<std::string> experiment_endpoints(const ProbeExperiment& experiment);
+
 /// Makespan of running `experiments[i]` (taking `durations[i]` seconds)
 /// over `workers` concurrent slots. Greedy event-driven list scheduling
 /// in canonical order: whenever a slot is free, the first not-yet-run

@@ -1,0 +1,315 @@
+#include "env/probe_agent.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <sstream>
+
+namespace envnws::env {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Deterministic bulk payload chunk (the bytes themselves carry no
+/// information; the transfer's size and timing do).
+const std::array<char, 64 * 1024>& payload_chunk() {
+  static const std::array<char, 64 * 1024> chunk = [] {
+    std::array<char, 64 * 1024> filled{};
+    filled.fill('e');
+    return filled;
+  }();
+  return chunk;
+}
+
+double elapsed_s(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+void sleep_s(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+/// Serialize a property map as `k:v,k:v` with each key/value
+/// individually escaped (the whole field is escaped once more by the
+/// frame serializer; the engine unescapes the pieces after splitting).
+std::string encode_properties(const std::map<std::string, std::string>& properties) {
+  std::string out;
+  for (const auto& [key, value] : properties) {
+    if (!out.empty()) out += ',';
+    out += wire::escape(key);
+    out += ':';
+    out += wire::escape(value);
+  }
+  return out;
+}
+
+}  // namespace
+
+ProbeAgent::ProbeAgent(ProbeAgentConfig config) : config_(std::move(config)) {}
+
+ProbeAgent::~ProbeAgent() { stop(); }
+
+Status ProbeAgent::start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return make_error(ErrorCode::invalid_argument, "probe agent already running");
+    stopping_ = false;
+  }
+  auto listener = wire::TcpListener::listen(config_.listen_address, config_.port);
+  if (!listener.ok()) return listener.error();
+  listener_ = std::move(listener.value());
+  port_ = listener_.port();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = true;
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return {};
+}
+
+void ProbeAgent::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_ && !acceptor_.joinable()) return;
+    stopping_ = true;
+    // shutdown() (not close) wakes threads blocked on these sockets;
+    // each fd stays owned — and is eventually closed — by its serving
+    // thread, under this mutex, so no fd is ever recycled under a
+    // concurrent operation.
+    for (auto& conn : conns_) conn->socket.shutdown_both();
+  }
+  // The acceptor polls with a short timeout and re-checks stopping_, so
+  // it exits on its own; joining BEFORE closing the listener keeps the
+  // listener fd from being closed under the acceptor's poll().
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close_fd();
+  // After the acceptor exits no new connections appear; join the rest.
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns.swap(conns_);
+    running_ = false;
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+bool ProbeAgent::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+ProbeStats ProbeAgent::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ProbeAgent::accept_loop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    auto accepted = listener_.accept(0.25);
+    if (!accepted.ok()) {
+      if (accepted.error().code == ErrorCode::timeout) continue;
+      return;  // listener closed (stop()) or fatal
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(accepted.value());
+    conns_.push_back(std::move(conn));
+    const std::size_t slot = conns_.size() - 1;
+    conns_.back()->thread = std::thread([this, slot] { serve_connection(slot); });
+  }
+}
+
+void ProbeAgent::serve_connection(std::size_t slot) {
+  Connection* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn = conns_[slot].get();
+  }
+  wire::FrameBuffer buffer;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) break;
+    }
+    auto payload = wire::recv_frame(conn->socket, buffer, config_.io_timeout_s);
+    if (!payload.ok()) {
+      // A malformed stream earns one diagnostic ERR before the
+      // connection dies (the frame boundary is lost, so nothing more
+      // can be parsed); closed/timed-out peers just end the session.
+      if (payload.error().code == ErrorCode::protocol) {
+        (void)wire::send_frame(conn->socket, wire::error_payload(payload.error()), 1.0);
+      }
+      break;
+    }
+    auto message = wire::WireMessage::parse(payload.value());
+    std::string reply;
+    if (!message.ok()) {
+      // Frame boundaries survive a bad payload: report and keep serving.
+      reply = wire::error_payload(message.error());
+    } else {
+      reply = handle(message.value(), conn->socket, buffer);
+    }
+    if (reply.empty()) break;  // handler already tore the stream down
+    if (!wire::send_frame(conn->socket, reply, config_.io_timeout_s).ok()) break;
+  }
+  // Close under the mutex: stop() shutdown()s these sockets from
+  // another thread, and fd_ must not change under it.
+  std::lock_guard<std::mutex> lock(mutex_);
+  conn->socket.close_fd();
+  conn->done = true;
+}
+
+std::string ProbeAgent::handle(const wire::WireMessage& message, wire::TcpSocket& socket,
+                               wire::FrameBuffer& buffer) {
+  if (message.type == "HELLO") {
+    wire::WireMessage reply("HELLO-OK");
+    reply.add("name", config_.name);
+    reply.add("fqdn", config_.fqdn);
+    reply.add("ip", config_.ip);
+    if (!config_.properties.empty()) reply.add("props", encode_properties(config_.properties));
+    reply.add_f64("rate", config_.fixed_rate_bps);
+    return reply.serialize();
+  }
+  if (message.type == "PING") {
+    auto seq = message.u64("seq");
+    if (!seq.ok()) return wire::error_payload(seq.error());
+    return wire::WireMessage("PONG").add_u64("seq", seq.value()).serialize();
+  }
+  if (message.type == "STATS") {
+    const ProbeStats stats = this->stats();
+    wire::WireMessage reply("STATS-OK");
+    reply.add_u64("experiments", stats.experiments);
+    reply.add_u64("bytes", static_cast<std::uint64_t>(std::max<std::int64_t>(stats.bytes_sent, 0)));
+    reply.add_f64("busy", stats.busy_time_s);
+    return reply.serialize();
+  }
+  if (message.type == "BWXFER") return handle_bwxfer(message);
+  if (message.type == "BULK") return handle_bulk(message, socket, buffer);
+  return wire::error_payload(
+      make_error(ErrorCode::protocol, "unknown frame type '" + message.type + "'"));
+}
+
+std::string ProbeAgent::handle_bwxfer(const wire::WireMessage& message) {
+  const std::string to = message.get("to");
+  auto port = message.u64("port");
+  auto bytes = message.u64("bytes");
+  auto streams = message.has("streams") ? message.u64("streams") : Result<std::uint64_t>(1);
+  if (to.empty()) {
+    return wire::error_payload(make_error(ErrorCode::protocol, "BWXFER carries no 'to' field"));
+  }
+  if (!port.ok()) return wire::error_payload(port.error());
+  if (!bytes.ok()) return wire::error_payload(bytes.error());
+  if (!streams.ok()) return wire::error_payload(streams.error());
+  if (port.value() == 0 || port.value() > 65535) {
+    return wire::error_payload(make_error(ErrorCode::protocol, "BWXFER port out of range"));
+  }
+  if (bytes.value() == 0 || bytes.value() > static_cast<std::uint64_t>(wire::kMaxBulkBytes)) {
+    return wire::error_payload(make_error(ErrorCode::protocol, "BWXFER bytes out of range"));
+  }
+  if (streams.value() == 0 || streams.value() > 1024) {
+    return wire::error_payload(make_error(ErrorCode::protocol, "BWXFER streams out of range"));
+  }
+
+  auto peer = wire::TcpSocket::dial(to, static_cast<std::uint16_t>(port.value()),
+                                    config_.io_timeout_s);
+  if (!peer.ok()) {
+    Error error = peer.error();
+    error.message = "peer " + to + ":" + std::to_string(port.value()) + ": " + error.message;
+    return wire::error_payload(error);
+  }
+  wire::WireMessage bulk("BULK");
+  bulk.add_u64("bytes", bytes.value());
+  bulk.add_u64("streams", streams.value());
+  if (auto sent = wire::send_frame(peer.value(), bulk.serialize(), config_.io_timeout_s);
+      !sent.ok()) {
+    return wire::error_payload(sent.error());
+  }
+  std::uint64_t left = bytes.value();
+  const auto& chunk = payload_chunk();
+  while (left > 0) {
+    const std::size_t piece = static_cast<std::size_t>(
+        std::min<std::uint64_t>(left, chunk.size()));
+    if (auto sent = peer.value().send_all(std::string_view(chunk.data(), piece),
+                                          config_.io_timeout_s);
+        !sent.ok()) {
+      return wire::error_payload(sent.error());
+    }
+    left -= piece;
+  }
+  wire::FrameBuffer peer_buffer;
+  auto verdict = wire::recv_message(peer.value(), peer_buffer, config_.io_timeout_s);
+  if (!verdict.ok()) return wire::error_payload(verdict.error());
+  Error peer_error;
+  if (wire::is_error(verdict.value(), peer_error)) return wire::error_payload(peer_error);
+  if (verdict.value().type != "BULK-OK") {
+    return wire::error_payload(make_error(
+        ErrorCode::protocol, "unexpected peer reply '" + verdict.value().type + "' to BULK"));
+  }
+  auto seconds = verdict.value().f64("seconds");
+  if (!seconds.ok()) return wire::error_payload(seconds.error());
+  if (!(seconds.value() > 0.0)) {
+    return wire::error_payload(make_error(ErrorCode::protocol, "BULK-OK seconds out of range"));
+  }
+  const double bps = static_cast<double>(bytes.value()) * 8.0 / seconds.value();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.experiments;
+    stats_.bytes_sent += static_cast<std::int64_t>(bytes.value());
+    stats_.busy_time_s += seconds.value();
+  }
+  wire::WireMessage reply("BWXFER-OK");
+  reply.add_f64("bps", bps);
+  reply.add_f64("seconds", seconds.value());
+  reply.add_u64("bytes", bytes.value());
+  return reply.serialize();
+}
+
+std::string ProbeAgent::handle_bulk(const wire::WireMessage& message, wire::TcpSocket& socket,
+                                    wire::FrameBuffer& buffer) {
+  auto bytes = message.u64("bytes");
+  auto streams = message.has("streams") ? message.u64("streams") : Result<std::uint64_t>(1);
+  if (!bytes.ok()) return wire::error_payload(bytes.error());
+  if (!streams.ok()) return wire::error_payload(streams.error());
+  if (bytes.value() == 0 || bytes.value() > static_cast<std::uint64_t>(wire::kMaxBulkBytes)) {
+    return wire::error_payload(make_error(ErrorCode::protocol, "BULK bytes out of range"));
+  }
+  if (streams.value() == 0 || streams.value() > 1024) {
+    return wire::error_payload(make_error(ErrorCode::protocol, "BULK streams out of range"));
+  }
+  const auto begin = Clock::now();
+  // The payload follows the frame as raw bytes: drain whatever the
+  // frame decoder already buffered, then sink the rest off the socket.
+  std::uint64_t left = bytes.value();
+  left -= buffer.take_raw(static_cast<std::size_t>(left)).size();
+  std::array<char, 64 * 1024> sink;
+  while (left > 0) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(left, sink.size()));
+    auto got = socket.recv_some(sink.data(), want, config_.io_timeout_s);
+    if (!got.ok()) return wire::error_payload(got.error());
+    left -= got.value();
+  }
+  double seconds = std::max(elapsed_s(begin), 1e-9);
+  if (config_.fixed_rate_bps > 0.0) {
+    const double modeled = static_cast<double>(bytes.value()) * 8.0 *
+                           static_cast<double>(streams.value()) / config_.fixed_rate_bps;
+    if (config_.pace) sleep_s(modeled - seconds);
+    seconds = modeled;
+  }
+  wire::WireMessage reply("BULK-OK");
+  reply.add_f64("seconds", seconds);
+  reply.add_u64("bytes", bytes.value());
+  return reply.serialize();
+}
+
+}  // namespace envnws::env

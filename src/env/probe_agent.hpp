@@ -1,0 +1,114 @@
+// The probe agent: an NWS-style sensor process for SocketProbeEngine.
+//
+// One agent runs per mapped host (Wolski's NWS deploys exactly such
+// long-lived sensor daemons). It answers the wire protocol of
+// env/probe_wire.hpp on a TCP listener:
+//
+//   HELLO  -> the host's identity (fqdn, ip, inventory properties)
+//   PING   -> PONG echo (the engine times RTT trains client-side)
+//   BWXFER -> run one bulk transfer TO another agent: the agent dials
+//             the peer, streams `bytes` of payload through a BULK
+//             frame, and relays the peer's timing verdict back
+//   STATS  -> the agent's own cumulative experiment counters
+//   BULK   -> the receiving half of a transfer: sink the payload, time
+//             it, reply BULK-OK with the elapsed seconds
+//
+// Determinism for offline-first validation: with `fixed_rate_bps > 0`
+// the receiving agent REPORTS `bytes * 8 * streams / rate` seconds
+// instead of the measured wall time (`streams` is the engine-declared
+// number of transfers sharing the sending NIC, so concurrent probes see
+// source fair-share contention exactly like a real adapter) — the
+// transferred bytes still cross a real TCP connection, only the
+// reported timing is modeled, which is what makes loopback mapping
+// digests reproducible across runs and probe_jobs values. With
+// `pace = true` the agent additionally sleeps so the wall time tracks
+// the reported time, giving the loopback bench honest wall-clock
+// behavior. `fixed_rate_bps == 0` is the real mode: measured wall time.
+//
+// The class is embeddable (the loopback test fixture spawns N agents
+// in-process on ephemeral ports); `examples/probe_agent` wraps it as a
+// standalone daemon.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "env/probe_engine.hpp"
+#include "env/probe_wire.hpp"
+
+namespace envnws::env {
+
+struct ProbeAgentConfig {
+  std::string name;  ///< the roster host name this agent serves
+  std::string fqdn;  ///< HELLO identity; empty models failed reverse DNS
+  std::string ip = "127.0.0.1";
+  std::map<std::string, std::string> properties;  ///< HELLO inventory
+
+  std::string listen_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; real port via ProbeAgent::port()
+
+  /// > 0: deterministic reported transfer timing (see file comment).
+  double fixed_rate_bps = 0.0;
+  /// Sleep so wall time matches the deterministic reported time.
+  bool pace = false;
+  /// Bound on every frame/bulk I/O operation the agent performs.
+  double io_timeout_s = 30.0;
+};
+
+class ProbeAgent {
+ public:
+  explicit ProbeAgent(ProbeAgentConfig config);
+  ~ProbeAgent();
+  ProbeAgent(const ProbeAgent&) = delete;
+  ProbeAgent& operator=(const ProbeAgent&) = delete;
+
+  /// Bind, listen and start serving on a background thread.
+  Status start();
+  /// Stop serving: wakes every in-flight connection and joins all
+  /// threads. Idempotent; also called by the destructor.
+  void stop();
+
+  [[nodiscard]] const ProbeAgentConfig& config() const { return config_; }
+  /// The bound port (the ephemeral one when config().port was 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool running() const;
+
+  /// Cumulative counters of the experiments THIS agent sourced
+  /// (BWXFER) — the same numbers the STATS frame serves.
+  [[nodiscard]] ProbeStats stats() const;
+
+ private:
+  void accept_loop();
+  void serve_connection(std::size_t slot);
+  /// Handle one control message; returns the reply payload.
+  std::string handle(const wire::WireMessage& message, wire::TcpSocket& socket,
+                     wire::FrameBuffer& buffer);
+  std::string handle_bwxfer(const wire::WireMessage& message);
+  std::string handle_bulk(const wire::WireMessage& message, wire::TcpSocket& socket,
+                          wire::FrameBuffer& buffer);
+
+  ProbeAgentConfig config_;
+  wire::TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  mutable std::mutex mutex_;  ///< guards conns_, stats_, stopping_
+  bool running_ = false;
+  bool stopping_ = false;
+  /// Per-connection slots: the socket (so stop() can shut it down) and
+  /// its serving thread. Slots are never erased while running — conns_
+  /// is bounded by the connections one mapping opens.
+  struct Connection {
+    wire::TcpSocket socket;
+    std::thread thread;
+    bool done = false;
+  };
+  std::vector<std::unique_ptr<Connection>> conns_;
+  ProbeStats stats_;
+};
+
+}  // namespace envnws::env

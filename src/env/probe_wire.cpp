@@ -1,0 +1,593 @@
+#include "env/probe_wire.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/parse.hpp"
+#include "common/strings.hpp"
+
+namespace envnws::env::wire {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Error protocol_error(std::string message) {
+  return make_error(ErrorCode::protocol, std::move(message));
+}
+
+/// Seconds left before `deadline` (clamped at 0).
+double remaining_s(Clock::time_point deadline) {
+  const auto left = std::chrono::duration<double>(deadline - Clock::now()).count();
+  return left > 0.0 ? left : 0.0;
+}
+
+Clock::time_point deadline_after(double timeout_s) {
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(timeout_s > 0.0 ? timeout_s : 0.0));
+}
+
+/// poll() one fd for the given events within the deadline. Returns true
+/// when ready, false on timeout, an error on poll failure.
+Result<bool> wait_ready(int fd, short events, Clock::time_point deadline) {
+  while (true) {
+    const double left = remaining_s(deadline);
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int timeout_ms = static_cast<int>(left * 1000.0) + (left > 0.0 ? 1 : 0);
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready > 0) return true;
+    if (ready == 0) return false;
+    if (errno == EINTR) continue;
+    return make_error(ErrorCode::internal, std::string("poll failed: ") + std::strerror(errno));
+  }
+}
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return make_error(ErrorCode::internal,
+                      std::string("cannot set socket non-blocking: ") + std::strerror(errno));
+  }
+  return {};
+}
+
+Result<struct sockaddr_in> make_address(const std::string& ipv4, std::uint16_t port) {
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, ipv4.c_str(), &addr.sin_addr) != 1) {
+    return make_error(ErrorCode::invalid_argument, "bad IPv4 address '" + ipv4 + "'");
+  }
+  return addr;
+}
+
+bool needs_escape(unsigned char c) {
+  return c <= 0x20 || c == 0x7f || c == '%' || c == '=' || c == ',' || c == ':';
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+// --- frames -----------------------------------------------------------------
+
+std::string encode_frame(const std::string& payload) {
+  std::string frame;
+  frame.reserve(kMagic.size() + 12 + payload.size());
+  frame += kMagic;
+  frame += std::to_string(payload.size());
+  frame += '\n';
+  frame += payload;
+  return frame;
+}
+
+void FrameBuffer::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+}
+
+Result<std::optional<std::string>> FrameBuffer::next() {
+  if (poisoned_.has_value()) return *poisoned_;
+  const auto poison = [this](Error error) -> Result<std::optional<std::string>> {
+    poisoned_ = std::move(error);
+    return *poisoned_;
+  };
+  // Magic check on whatever prefix has arrived: diverging early beats
+  // buffering a hostile stream while waiting for a newline.
+  const std::size_t check = std::min(buffer_.size(), kMagic.size());
+  if (std::string_view(buffer_).substr(0, check) != kMagic.substr(0, check)) {
+    return poison(protocol_error("bad frame magic (expected 'ENVP ')"));
+  }
+  const auto newline = buffer_.find('\n');
+  if (newline == std::string::npos) {
+    if (buffer_.size() >= kMaxFrameHeader) {
+      return poison(protocol_error("unterminated frame header"));
+    }
+    return std::optional<std::string>();  // need more bytes
+  }
+  if (newline >= kMaxFrameHeader) {
+    return poison(protocol_error("oversized frame header"));
+  }
+  const std::string length_token = buffer_.substr(kMagic.size(), newline - kMagic.size());
+  const auto length = parse::to_u64(length_token);
+  if (!length.has_value()) {
+    return poison(protocol_error("bad frame length '" + length_token + "'"));
+  }
+  if (*length > kMaxFramePayload) {
+    return poison(protocol_error("oversized frame payload (" + length_token + " bytes, max " +
+                                 std::to_string(kMaxFramePayload) + ")"));
+  }
+  const std::size_t total = newline + 1 + static_cast<std::size_t>(*length);
+  if (buffer_.size() < total) return std::optional<std::string>();  // need more bytes
+  std::string payload = buffer_.substr(newline + 1, static_cast<std::size_t>(*length));
+  buffer_.erase(0, total);
+  return std::optional<std::string>(std::move(payload));
+}
+
+std::string FrameBuffer::take_raw(std::size_t max) {
+  const std::size_t take = std::min(max, buffer_.size());
+  std::string out = buffer_.substr(0, take);
+  buffer_.erase(0, take);
+  return out;
+}
+
+// --- messages ---------------------------------------------------------------
+
+std::string escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const unsigned char c : value) {
+    if (needs_escape(c)) {
+      char buffer[4];
+      std::snprintf(buffer, sizeof(buffer), "%%%02X", c);
+      out += buffer;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> unescape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '%') {
+      out += value[i];
+      continue;
+    }
+    if (i + 2 >= value.size()) {
+      return protocol_error("truncated %-escape in '" + value + "'");
+    }
+    const int hi = hex_digit(value[i + 1]);
+    const int lo = hex_digit(value[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return protocol_error("bad %-escape in '" + value + "'");
+    }
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+WireMessage& WireMessage::add(const std::string& key, const std::string& value) {
+  fields.emplace_back(key, value);
+  return *this;
+}
+
+WireMessage& WireMessage::add_u64(const std::string& key, std::uint64_t value) {
+  return add(key, std::to_string(value));
+}
+
+WireMessage& WireMessage::add_f64(const std::string& key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return add(key, buffer);
+}
+
+bool WireMessage::has(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string WireMessage::get(const std::string& key, const std::string& fallback) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+Result<double> WireMessage::f64(const std::string& key) const {
+  if (!has(key)) return protocol_error(type + " frame carries no '" + key + "' field");
+  const std::string text = get(key);
+  if (const auto value = parse::to_double(text); value.has_value()) return *value;
+  return protocol_error("bad numeric field " + key + "='" + text + "' in " + type + " frame");
+}
+
+Result<std::uint64_t> WireMessage::u64(const std::string& key) const {
+  if (!has(key)) return protocol_error(type + " frame carries no '" + key + "' field");
+  const std::string text = get(key);
+  if (const auto value = parse::to_u64(text); value.has_value()) return *value;
+  return protocol_error("bad numeric field " + key + "='" + text + "' in " + type + " frame");
+}
+
+std::string WireMessage::serialize() const {
+  std::string out = type;
+  for (const auto& [key, value] : fields) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += escape(value);
+  }
+  return out;
+}
+
+Result<WireMessage> WireMessage::parse(const std::string& payload) {
+  if (payload.empty()) return protocol_error("empty frame payload");
+  const auto tokens = strings::split(payload, ' ');
+  WireMessage message;
+  message.type = tokens.front();
+  if (message.type.empty()) return protocol_error("frame payload starts with a separator");
+  for (const char c : message.type) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-';
+    if (!ok) return protocol_error("bad frame type '" + message.type + "'");
+  }
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const auto eq = token.find('=');
+    if (token.empty() || eq == std::string::npos || eq == 0) {
+      return protocol_error("bad field token '" + token + "' in " + message.type + " frame");
+    }
+    auto value = unescape(token.substr(eq + 1));
+    if (!value.ok()) return value.error();
+    message.fields.emplace_back(token.substr(0, eq), std::move(value.value()));
+  }
+  return message;
+}
+
+std::string error_payload(const Error& error) {
+  return WireMessage("ERR")
+      .add("code", envnws::to_string(error.code))
+      .add("msg", error.message)
+      .serialize();
+}
+
+bool is_error(const WireMessage& message, Error& error) {
+  if (message.type != "ERR") return false;
+  const auto code = error_code_from_string(message.get("code"));
+  error.code = code.value_or(ErrorCode::protocol);
+  error.message = message.get("msg", "unspecified agent error");
+  return true;
+}
+
+// --- roster -----------------------------------------------------------------
+
+Result<AgentRoster> AgentRoster::parse(const std::string& text, std::string source) {
+  AgentRoster roster;
+  roster.source = std::move(source);
+  std::set<std::string> seen;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  const auto fail = [&](const std::string& what) {
+    return make_error(ErrorCode::invalid_argument,
+                      roster.source + ":" + std::to_string(line_number) + ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+    const auto tokens = strings::split_nonempty(strings::trim(line), ' ');
+    std::vector<std::string> flat;
+    for (const auto& token : tokens) {
+      // Tolerate tab-separated rosters too.
+      for (const auto& piece : strings::split_nonempty(token, '\t')) flat.push_back(piece);
+    }
+    if (flat.empty()) continue;
+    if (flat.size() == 1) return Result<AgentRoster>(fail("missing address (expected '<host> <ipv4>:<port>')"));
+    if (flat.size() > 2) return Result<AgentRoster>(fail("trailing tokens after '<host> <ipv4>:<port>'"));
+    AgentEndpoint endpoint;
+    endpoint.host = flat[0];
+    const std::string& location = flat[1];
+    const auto colon = location.rfind(':');
+    if (colon == std::string::npos) {
+      return Result<AgentRoster>(fail("missing port in '" + location + "'"));
+    }
+    endpoint.address = location.substr(0, colon);
+    const std::string port_token = location.substr(colon + 1);
+    struct in_addr parsed_addr {};
+    if (endpoint.address.empty() ||
+        ::inet_pton(AF_INET, endpoint.address.c_str(), &parsed_addr) != 1) {
+      return Result<AgentRoster>(fail("bad address '" + endpoint.address +
+                                      "' (numeric IPv4 required)"));
+    }
+    const auto port = parse::to_u64(port_token);
+    if (!port.has_value() || *port == 0 || *port > 65535) {
+      return Result<AgentRoster>(fail("bad port '" + port_token + "' (expected 1..65535)"));
+    }
+    endpoint.port = static_cast<std::uint16_t>(*port);
+    if (!seen.insert(endpoint.host).second) {
+      return Result<AgentRoster>(fail("duplicate host '" + endpoint.host + "'"));
+    }
+    roster.agents.push_back(std::move(endpoint));
+  }
+  return roster;
+}
+
+Result<AgentRoster> AgentRoster::load(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    return make_error(ErrorCode::not_found, "no agent roster at '" + path + "'");
+  }
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return make_error(ErrorCode::internal, "cannot read agent roster '" + path + "'");
+  }
+  return parse(text.str(), path);
+}
+
+const AgentEndpoint* AgentRoster::find(const std::string& host) const {
+  for (const auto& agent : agents) {
+    if (agent.host == host) return &agent;
+  }
+  return nullptr;
+}
+
+std::string AgentRoster::to_string() const {
+  std::ostringstream out;
+  for (const auto& agent : agents) {
+    out << agent.host << ' ' << agent.address << ':' << agent.port << '\n';
+  }
+  return out.str();
+}
+
+// --- sockets ----------------------------------------------------------------
+
+TcpSocket::TcpSocket(int fd) : fd_(fd) {}
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpSocket::~TcpSocket() { close_fd(); }
+
+void TcpSocket::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpSocket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<TcpSocket> TcpSocket::dial(const std::string& ipv4, std::uint16_t port,
+                                  double timeout_s) {
+  const auto addr = make_address(ipv4, port);
+  if (!addr.ok()) return addr.error();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(ErrorCode::internal,
+                      std::string("cannot create socket: ") + std::strerror(errno));
+  }
+  TcpSocket socket(fd);
+  if (auto status = set_nonblocking(fd); !status.ok()) return status.error();
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  const auto deadline = deadline_after(timeout_s);
+  struct sockaddr_in address = addr.value();
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&address), sizeof(address)) == 0) {
+    return socket;
+  }
+  if (errno != EINPROGRESS) {
+    return make_error(ErrorCode::unreachable, "connect to " + ipv4 + ":" +
+                                                  std::to_string(port) + " failed: " +
+                                                  std::strerror(errno));
+  }
+  auto ready = wait_ready(fd, POLLOUT, deadline);
+  if (!ready.ok()) return ready.error();
+  if (!ready.value()) {
+    return make_error(ErrorCode::timeout, "connect to " + ipv4 + ":" + std::to_string(port) +
+                                              " timed out");
+  }
+  int error = 0;
+  socklen_t length = sizeof(error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &length) != 0 || error != 0) {
+    return make_error(ErrorCode::unreachable,
+                      "connect to " + ipv4 + ":" + std::to_string(port) +
+                          " failed: " + std::strerror(error != 0 ? error : errno));
+  }
+  return socket;
+}
+
+Status TcpSocket::send_all(std::string_view data, double timeout_s) {
+  if (fd_ < 0) return make_error(ErrorCode::internal, "send on closed socket");
+  const auto deadline = deadline_after(timeout_s);
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t wrote =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      auto ready = wait_ready(fd_, POLLOUT, deadline);
+      if (!ready.ok()) return ready.error();
+      if (!ready.value()) return make_error(ErrorCode::timeout, "send timed out");
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    return make_error(ErrorCode::unreachable,
+                      std::string("send failed: ") + std::strerror(errno));
+  }
+  return {};
+}
+
+Result<std::size_t> TcpSocket::recv_some(char* out, std::size_t cap, double timeout_s) {
+  if (fd_ < 0) return make_error(ErrorCode::internal, "recv on closed socket");
+  const auto deadline = deadline_after(timeout_s);
+  while (true) {
+    const ssize_t got = ::recv(fd_, out, cap, 0);
+    if (got > 0) return static_cast<std::size_t>(got);
+    if (got == 0) return make_error(ErrorCode::unreachable, "connection closed by peer");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      auto ready = wait_ready(fd_, POLLIN, deadline);
+      if (!ready.ok()) return ready.error();
+      if (!ready.value()) return make_error(ErrorCode::timeout, "recv timed out");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return make_error(ErrorCode::unreachable,
+                      std::string("recv failed: ") + std::strerror(errno));
+  }
+}
+
+Status TcpSocket::recv_exact(char* out, std::size_t size, double timeout_s) {
+  const auto deadline = deadline_after(timeout_s);
+  std::size_t received = 0;
+  while (received < size) {
+    auto got = recv_some(out + received, size - received, remaining_s(deadline));
+    if (!got.ok()) return got.error();
+    received += got.value();
+  }
+  return {};
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { close_fd(); }
+
+void TcpListener::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::listen(const std::string& ipv4, std::uint16_t port) {
+  const auto addr = make_address(ipv4, port);
+  if (!addr.ok()) return addr.error();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(ErrorCode::internal,
+                      std::string("cannot create socket: ") + std::strerror(errno));
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (auto status = set_nonblocking(fd); !status.ok()) return status.error();
+  struct sockaddr_in address = addr.value();
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&address), sizeof(address)) != 0) {
+    return make_error(ErrorCode::internal, "cannot bind " + ipv4 + ":" + std::to_string(port) +
+                                               ": " + std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    return make_error(ErrorCode::internal,
+                      std::string("cannot listen: ") + std::strerror(errno));
+  }
+  struct sockaddr_in bound {};
+  socklen_t length = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &length) != 0) {
+    return make_error(ErrorCode::internal,
+                      std::string("cannot read bound port: ") + std::strerror(errno));
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<TcpSocket> TcpListener::accept(double timeout_s) {
+  if (fd_ < 0) return make_error(ErrorCode::internal, "accept on closed listener");
+  const auto deadline = deadline_after(timeout_s);
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      TcpSocket socket(fd);
+      if (auto status = set_nonblocking(fd); !status.ok()) return status.error();
+      const int nodelay = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+      return socket;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      auto ready = wait_ready(fd_, POLLIN, deadline);
+      if (!ready.ok()) return ready.error();
+      if (!ready.value()) return make_error(ErrorCode::timeout, "accept timed out");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return make_error(ErrorCode::internal,
+                      std::string("accept failed: ") + std::strerror(errno));
+  }
+}
+
+Status send_frame(TcpSocket& socket, const std::string& payload, double timeout_s) {
+  return socket.send_all(encode_frame(payload), timeout_s);
+}
+
+Result<std::string> recv_frame(TcpSocket& socket, FrameBuffer& buffer, double timeout_s) {
+  const auto deadline = deadline_after(timeout_s);
+  while (true) {
+    auto decoded = buffer.next();
+    if (!decoded.ok()) return decoded.error();
+    if (decoded.value().has_value()) return *decoded.value();
+    char chunk[4096];
+    auto got = socket.recv_some(chunk, sizeof(chunk), remaining_s(deadline));
+    if (!got.ok()) return got.error();
+    buffer.feed(chunk, got.value());
+  }
+}
+
+Result<WireMessage> recv_message(TcpSocket& socket, FrameBuffer& buffer, double timeout_s) {
+  auto payload = recv_frame(socket, buffer, timeout_s);
+  if (!payload.ok()) return payload.error();
+  return WireMessage::parse(payload.value());
+}
+
+}  // namespace envnws::env::wire

@@ -1,0 +1,217 @@
+// The probe-agent wire protocol (docs/SOCKET_ENGINE.md).
+//
+// `env::SocketProbeEngine` talks to long-lived probe agents — NWS-style
+// sensor processes — over TCP using length-prefixed text frames:
+//
+//   "ENVP <payload-bytes>\n" <payload>
+//
+// The payload is one line: a TYPE token followed by `key=value` fields
+// (values percent-escaped, so names and error messages survive spaces).
+// Control frames are HELLO / PING / BWXFER / STATS (engine -> agent) and
+// BULK (agent -> agent bulk transfer); replies are `<TYPE>-OK`, `PONG`
+// or `ERR code=<ErrorCode> msg=<text>`.
+//
+// Everything here is deliberately exception-free and fuzz-safe: frame
+// decoding (`FrameBuffer`) bounds the header and payload sizes before
+// trusting them, every numeric field goes through `common/parse.hpp`,
+// and malformed input of any kind comes back as a `Result` error — the
+// robustness contract tests/env/socket_protocol_test.cpp hammers on.
+//
+// The agent roster (`AgentRoster`) is the operator-supplied "sensor
+// directory": one `<host> <ipv4>:<port>` line per agent, hostnames being
+// exactly the names the mapper probes with. Parsing rejects malformed
+// lines with `<source>:<line>:` prefixed errors, mirroring the PR 4
+// parse-hardening pattern.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace envnws::env::wire {
+
+/// Frame magic: every frame starts with exactly "ENVP ".
+inline constexpr std::string_view kMagic = "ENVP ";
+/// Upper bound on one control-frame payload. Bulk transfer data is NOT
+/// framed (it follows a BULK frame as raw bytes), so control frames can
+/// stay small and a hostile length prefix is rejected cheaply.
+inline constexpr std::size_t kMaxFramePayload = 64 * 1024;
+/// Upper bound on the header ("ENVP <len>\n"); anything longer without a
+/// newline cannot be a valid header.
+inline constexpr std::size_t kMaxFrameHeader = 24;
+/// Upper bound on one BULK transfer (defensive: probe payloads are MiB).
+inline constexpr std::int64_t kMaxBulkBytes = std::int64_t(1) << 30;
+
+/// Serialize one frame: header + payload.
+[[nodiscard]] std::string encode_frame(const std::string& payload);
+
+/// Incremental frame decoder over a received byte stream. Feed bytes as
+/// they arrive; `next()` yields complete payloads. Pure memory — the
+/// fuzz tests drive it without any socket.
+class FrameBuffer {
+ public:
+  void feed(const char* data, std::size_t size);
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  /// One decoded payload, `nullopt` when more bytes are needed, or a
+  /// `protocol` error when the stream cannot be a frame (bad magic,
+  /// junk or oversized length, unterminated header). After an error the
+  /// stream is unrecoverable: the buffer stays poisoned and every later
+  /// call returns the same error.
+  Result<std::optional<std::string>> next();
+
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+  /// Extract up to `max` already-buffered bytes as raw data. Frames may
+  /// be followed by unframed payload (BULK transfers); when the sender
+  /// coalesces frame and payload into one TCP segment, the tail lands
+  /// here and the bulk reader drains it before touching the socket.
+  [[nodiscard]] std::string take_raw(std::size_t max);
+
+ private:
+  std::string buffer_;
+  std::optional<Error> poisoned_;
+};
+
+/// One parsed control message: TYPE plus ordered key=value fields.
+struct WireMessage {
+  std::string type;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  WireMessage() = default;
+  explicit WireMessage(std::string type_) : type(std::move(type_)) {}
+
+  WireMessage& add(const std::string& key, const std::string& value);
+  WireMessage& add_u64(const std::string& key, std::uint64_t value);
+  WireMessage& add_f64(const std::string& key, double value);  ///< 17 significant digits
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = {}) const;
+  /// Numeric accessors: `protocol` errors naming the field on junk,
+  /// missing values, or out-of-range magnitudes (via common/parse.hpp).
+  [[nodiscard]] Result<double> f64(const std::string& key) const;
+  [[nodiscard]] Result<std::uint64_t> u64(const std::string& key) const;
+
+  /// `parse(serialize())` round-trips.
+  [[nodiscard]] std::string serialize() const;
+  static Result<WireMessage> parse(const std::string& payload);
+};
+
+/// Percent-escape a field value (space, %, =, comma, colon, control
+/// bytes) so it survives the space-separated payload grammar.
+[[nodiscard]] std::string escape(const std::string& value);
+/// Inverse of escape(); `protocol` error on truncated or non-hex `%xx`.
+[[nodiscard]] Result<std::string> unescape(const std::string& value);
+
+/// Build an `ERR` reply frame payload.
+[[nodiscard]] std::string error_payload(const Error& error);
+/// True when the message is an `ERR` frame; fills `error` (unknown code
+/// strings degrade to `protocol`).
+[[nodiscard]] bool is_error(const WireMessage& message, Error& error);
+
+// --- agent roster -----------------------------------------------------------
+
+struct AgentEndpoint {
+  std::string host;     ///< the name the mapper probes with
+  std::string address;  ///< numeric IPv4 ("127.0.0.1" for loopback fleets)
+  std::uint16_t port = 0;
+};
+
+/// The roster file: `<host> <ipv4>:<port>` per line, `#` comments and
+/// blank lines ignored. Order is preserved (it is the operator's
+/// document); lookups go by host name.
+struct AgentRoster {
+  std::vector<AgentEndpoint> agents;
+  std::string source = "<memory>";
+
+  /// Malformed lines fail with `<source>:<line>: ...` errors: missing
+  /// address or port, non-numeric address, junk/out-of-range port,
+  /// duplicate host, trailing tokens.
+  static Result<AgentRoster> parse(const std::string& text, std::string source = "<memory>");
+  /// `not_found` when the file does not exist.
+  static Result<AgentRoster> load(const std::string& path);
+
+  [[nodiscard]] const AgentEndpoint* find(const std::string& host) const;
+  [[nodiscard]] bool empty() const { return agents.empty(); }
+  [[nodiscard]] std::string to_string() const;  ///< parse(to_string()) round-trips
+};
+
+// --- bounded socket I/O -----------------------------------------------------
+
+/// Movable owner of one connected TCP socket (non-blocking; every
+/// operation takes an explicit timeout). All errors are `Result`s:
+/// `unreachable` for refused/reset/closed peers, `timeout` when the
+/// deadline passes — the distinction the engine surfaces to the mapper.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd);
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+  ~TcpSocket();
+
+  /// Connect to `ipv4:port` within `timeout_s`.
+  static Result<TcpSocket> dial(const std::string& ipv4, std::uint16_t port, double timeout_s);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  Status send_all(std::string_view data, double timeout_s);
+  /// Up to `cap` bytes; an orderly peer close is an `unreachable` error
+  /// ("connection closed"), since every protocol exchange here expects
+  /// a reply.
+  Result<std::size_t> recv_some(char* out, std::size_t cap, double timeout_s);
+  /// Exactly `size` bytes or an error.
+  Status recv_exact(char* out, std::size_t size, double timeout_s);
+
+  /// Wake any thread blocked in send/recv on this socket (used by agent
+  /// shutdown); the socket stays owned by its thread.
+  void shutdown_both();
+  void close_fd();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket (the agent side). `port == 0` binds an ephemeral
+/// port; `port()` reports the real one.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  static Result<TcpListener> listen(const std::string& ipv4, std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// One accepted connection; `timeout` error when none arrived in time
+  /// (the accept loop polls so it can observe a stop flag).
+  Result<TcpSocket> accept(double timeout_s);
+  void close_fd();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Send one framed payload.
+Status send_frame(TcpSocket& socket, const std::string& payload, double timeout_s);
+/// Receive one framed payload through `buffer` (which carries any bytes
+/// read beyond the frame into the next call).
+Result<std::string> recv_frame(TcpSocket& socket, FrameBuffer& buffer, double timeout_s);
+/// Receive one frame and parse it as a control message.
+Result<WireMessage> recv_message(TcpSocket& socket, FrameBuffer& buffer, double timeout_s);
+
+}  // namespace envnws::env::wire

@@ -344,6 +344,75 @@ TEST(MapCacheGc, SweepDeletesCorruptEntriesAndSparesForeignFiles) {
   EXPECT_TRUE(fs::exists(foreign));
 }
 
+// The sweep-cost regression (ROADMAP follow-on): warm sweeps memoize
+// parse verdicts per (file, size, mtime) and must NOT re-parse entries
+// that haven't changed on disk. The probe: corrupt an entry's CONTENT
+// while preserving its size and mtime — a re-parsing sweep would notice
+// (and delete it), a memoizing sweep must trust the cached verdict and
+// spare it. Touching the mtime then invalidates the marker, and the
+// next sweep re-parses and removes the file.
+TEST(MapCacheGc, WarmSweepSkipsReparsingUnchangedEntries) {
+  const std::string dir = fresh_cache_dir("gc-warm");
+  MapCache cache(dir);
+  const env::MapResult map = mapped_platform();
+  store_under(cache, map, "a");
+  store_under(cache, map, "b");
+  // Cold sweep: parses (and memoizes) both entries.
+  auto cold = cache.sweep();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold.value(), 0u);
+
+  // Same-size corruption with the original mtime restored: on disk the
+  // entry is garbage, but its (size, mtime) identity is unchanged.
+  const fs::path entry = cache.path_for(MapCache::key_for("a", env::MapperOptions{}));
+  std::error_code ec;
+  const auto original_mtime = fs::last_write_time(entry, ec);
+  ASSERT_FALSE(ec);
+  const auto original_size = fs::file_size(entry, ec);
+  ASSERT_FALSE(ec);
+  {
+    std::ofstream out(entry, std::ios::trunc);
+    out << std::string(static_cast<std::size_t>(original_size), 'x');
+  }
+  fs::last_write_time(entry, original_mtime, ec);
+  ASSERT_FALSE(ec);
+  ASSERT_EQ(fs::file_size(entry), original_size);
+
+  auto warm = cache.sweep();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value(), 0u);
+  EXPECT_TRUE(fs::exists(entry)) << "warm sweep re-parsed an unchanged entry";
+
+  // A changed mtime invalidates the memoized verdict: the corruption is
+  // now seen and the entry removed like any other corrupt file.
+  fs::last_write_time(entry, fs::file_time_type::clock::now(), ec);
+  ASSERT_FALSE(ec);
+  auto invalidated = cache.sweep();
+  ASSERT_TRUE(invalidated.ok());
+  EXPECT_EQ(invalidated.value(), 1u);
+  EXPECT_FALSE(fs::exists(entry));
+  EXPECT_TRUE(has_entry(cache, "b"));
+
+  // A FRESH MapCache instance has no markers: its first sweep parses
+  // everything (the memoization is per-instance, correctness never
+  // depends on it).
+  {
+    const fs::path entry_b = cache.path_for(MapCache::key_for("b", env::MapperOptions{}));
+    const auto mtime_b = fs::last_write_time(entry_b, ec);
+    const auto size_b = fs::file_size(entry_b, ec);
+    {
+      std::ofstream out(entry_b, std::ios::trunc);
+      out << std::string(static_cast<std::size_t>(size_b), 'y');
+    }
+    fs::last_write_time(entry_b, mtime_b, ec);
+    MapCache fresh(dir);
+    auto first = fresh.sweep();
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.value(), 1u);
+    EXPECT_FALSE(fs::exists(entry_b));
+  }
+}
+
 TEST(MapCacheGc, StoreSweepsAutomaticallyWhenBounded) {
   const std::string dir = fresh_cache_dir("gc-store");
   MapCache cache(dir);

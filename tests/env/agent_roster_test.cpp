@@ -1,0 +1,114 @@
+// Agent roster parsing (env/probe_wire.hpp): the operator-authored
+// `<host> <ipv4>:<port>` file SocketProbeEngine finds its agents
+// through. Malformed lines must come back as line-numbered Result
+// errors — the PR 4 parse-hardening pattern — never as exceptions or
+// silently skipped entries.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "env/probe_wire.hpp"
+
+namespace envnws::env::wire {
+namespace {
+
+TEST(AgentRoster, ParsesHostsCommentsAndBlankLines) {
+  const std::string text =
+      "# loopback fleet\n"
+      "master 127.0.0.1:4000\n"
+      "\n"
+      "h0\t127.0.0.1:4001   # tabs and trailing comments are fine\n"
+      "  h1   10.0.0.7:65535\n";
+  auto roster = AgentRoster::parse(text, "agents.cfg");
+  ASSERT_TRUE(roster.ok()) << roster.error().to_string();
+  ASSERT_EQ(roster.value().agents.size(), 3u);
+  EXPECT_EQ(roster.value().agents[0].host, "master");  // file order preserved
+  EXPECT_EQ(roster.value().agents[1].host, "h0");
+  EXPECT_EQ(roster.value().agents[1].address, "127.0.0.1");
+  EXPECT_EQ(roster.value().agents[1].port, 4001);
+  EXPECT_EQ(roster.value().agents[2].address, "10.0.0.7");
+  EXPECT_EQ(roster.value().agents[2].port, 65535);
+
+  const AgentEndpoint* found = roster.value().find("h1");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->port, 65535);
+  EXPECT_EQ(roster.value().find("nope"), nullptr);
+}
+
+TEST(AgentRoster, RoundTripsThroughToString) {
+  auto roster = AgentRoster::parse("a 127.0.0.1:1\nb 127.0.0.2:2\n");
+  ASSERT_TRUE(roster.ok());
+  auto again = AgentRoster::parse(roster.value().to_string());
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.value().agents.size(), 2u);
+  EXPECT_EQ(again.value().agents[1].host, "b");
+  EXPECT_EQ(again.value().agents[1].address, "127.0.0.2");
+}
+
+TEST(AgentRoster, RejectsMalformedLinesWithLineNumbers) {
+  struct Case {
+    const char* text;
+    int line;        ///< the offending 1-based line
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"h0 127.0.0.1:4000\nh1\n", 2, "missing address"},
+      {"h0 127.0.0.1\n", 1, "missing port"},
+      {"h0 127.0.0.1:4000 extra\n", 1, "trailing tokens"},
+      {"h0 :4000\n", 1, "bad address"},
+      {"h0 localhost:4000\n", 1, "bad address"},         // numeric IPv4 required
+      {"h0 999.0.0.1:4000\n", 1, "bad address"},
+      {"h0 127.0.0.1:\n", 1, "bad port"},
+      {"h0 127.0.0.1:zero\n", 1, "bad port"},
+      {"h0 127.0.0.1:0\n", 1, "bad port"},
+      {"h0 127.0.0.1:70000\n", 1, "bad port"},
+      {"h0 127.0.0.1:-1\n", 1, "bad port"},              // no stoull wraparound
+      {"h0 127.0.0.1:99999999999999999999\n", 1, "bad port"},
+      {"# fine\nh0 127.0.0.1:1\nh0 127.0.0.1:2\n", 3, "duplicate host"},
+  };
+  for (const Case& c : cases) {
+    auto roster = AgentRoster::parse(c.text, "agents.cfg");
+    ASSERT_FALSE(roster.ok()) << c.text;
+    EXPECT_EQ(roster.error().code, ErrorCode::invalid_argument) << c.text;
+    const std::string expected_prefix = "agents.cfg:" + std::to_string(c.line) + ":";
+    EXPECT_NE(roster.error().message.find(expected_prefix), std::string::npos)
+        << roster.error().message;
+    EXPECT_NE(roster.error().message.find(c.needle), std::string::npos)
+        << roster.error().message;
+  }
+}
+
+TEST(AgentRoster, LoadReportsMissingFileAsNotFound) {
+  auto roster = AgentRoster::load("/definitely/not/there/agents.cfg");
+  ASSERT_FALSE(roster.ok());
+  EXPECT_EQ(roster.error().code, ErrorCode::not_found);
+}
+
+TEST(AgentRoster, LoadParsesARealFileAndNamesItInErrors) {
+  namespace fs = std::filesystem;
+  const std::string path = (fs::path(::testing::TempDir()) / "roster-load.cfg").string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "h0 127.0.0.1:4000\nbroken-line\n";
+  }
+  auto roster = AgentRoster::load(path);
+  ASSERT_FALSE(roster.ok());
+  EXPECT_EQ(roster.error().code, ErrorCode::invalid_argument);
+  // The error is anchored to the file AND the line.
+  EXPECT_NE(roster.error().message.find(path + ":2:"), std::string::npos)
+      << roster.error().message;
+
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "h0 127.0.0.1:4000\n";
+  }
+  auto good = AgentRoster::load(path);
+  ASSERT_TRUE(good.ok()) << good.error().to_string();
+  EXPECT_EQ(good.value().source, path);
+  ASSERT_EQ(good.value().agents.size(), 1u);
+}
+
+}  // namespace
+}  // namespace envnws::env::wire

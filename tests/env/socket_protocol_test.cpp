@@ -1,0 +1,417 @@
+// Wire-protocol robustness (env/probe_wire.hpp, env/probe_agent.hpp):
+// frame decoding and message parsing must turn EVERY malformed input —
+// truncated frames, oversized or junk length prefixes, wrong magic,
+// non-numeric fields — into an error Result, never an exception, hang
+// or out-of-bounds access (the CI sanitizer job runs this suite under
+// ASan+UBSan). Includes a seeded fuzz pass and live-socket checks
+// against a real ProbeAgent and a scripted junk-replying server.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "env/probe_agent.hpp"
+#include "env/probe_wire.hpp"
+#include "env/socket_probe_engine.hpp"
+
+namespace envnws::env {
+namespace {
+
+using wire::AgentRoster;
+using wire::FrameBuffer;
+using wire::WireMessage;
+
+bool no_net() {
+  const char* flag = std::getenv("ENVNWS_TEST_NO_NET");
+  return flag != nullptr && std::string(flag) == "1";
+}
+
+#define SKIP_WITHOUT_NET()                                     \
+  do {                                                         \
+    if (no_net()) GTEST_SKIP() << "ENVNWS_TEST_NO_NET=1 set";  \
+  } while (0)
+
+// --- frame decoding ---------------------------------------------------------
+
+TEST(FrameCodec, RoundTripsPayloads) {
+  for (const std::string payload :
+       {std::string(""), std::string("HELLO name=h0"), std::string(1024, 'x')}) {
+    FrameBuffer buffer;
+    buffer.feed(wire::encode_frame(payload));
+    auto decoded = buffer.next();
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_TRUE(decoded.value().has_value());
+    EXPECT_EQ(*decoded.value(), payload);
+    // Nothing left over.
+    auto empty = buffer.next();
+    ASSERT_TRUE(empty.ok());
+    EXPECT_FALSE(empty.value().has_value());
+  }
+}
+
+TEST(FrameCodec, ReassemblesFramesSplitAcrossFeeds) {
+  const std::string frame = wire::encode_frame("PING seq=7");
+  FrameBuffer buffer;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    auto partial = buffer.next();
+    ASSERT_TRUE(partial.ok());
+    EXPECT_FALSE(partial.value().has_value()) << "frame completed early at byte " << i;
+    buffer.feed(frame.substr(i, 1));
+  }
+  auto decoded = buffer.next();
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded.value().has_value());
+  EXPECT_EQ(*decoded.value(), "PING seq=7");
+}
+
+TEST(FrameCodec, DecodesBackToBackFrames) {
+  FrameBuffer buffer;
+  buffer.feed(wire::encode_frame("A t=1") + wire::encode_frame("B t=2"));
+  auto first = buffer.next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().has_value());
+  EXPECT_EQ(*first.value(), "A t=1");
+  auto second = buffer.next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_EQ(*second.value(), "B t=2");
+}
+
+TEST(FrameCodec, RejectsMalformedHeaders) {
+  const char* malformed[] = {
+      "EVIL 12\npayload-bytes",           // wrong magic
+      "ENVPX12\n",                        // magic must include the space
+      "ENVP 12x\nsome-payload-here",      // junk length
+      "ENVP -5\n",                        // negative length (no wraparound)
+      "ENVP 99999999999999999999\n",      // overflowing length token
+      "ENVP 999999999\n",                 // oversized payload claim
+      "ENVP \n",                          // empty length
+      "ENVP 3 3\n",                       // embedded space in length
+  };
+  for (const char* input : malformed) {
+    FrameBuffer buffer;
+    buffer.feed(std::string(input));
+    auto decoded = buffer.next();
+    ASSERT_FALSE(decoded.ok()) << input;
+    EXPECT_EQ(decoded.error().code, ErrorCode::protocol) << input;
+    // The stream stays poisoned: feeding more never "recovers" it.
+    buffer.feed(wire::encode_frame("HELLO name=h0"));
+    auto still = buffer.next();
+    ASSERT_FALSE(still.ok()) << input;
+  }
+}
+
+TEST(FrameCodec, RejectsUnterminatedHeader) {
+  FrameBuffer buffer;
+  buffer.feed(std::string("ENVP 11111111111111111111111111"));  // no newline, too long
+  auto decoded = buffer.next();
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::protocol);
+}
+
+TEST(FrameCodec, TruncatedPayloadJustWaits) {
+  FrameBuffer buffer;
+  buffer.feed(std::string("ENVP 10\nabc"));  // 3 of 10 payload bytes
+  auto decoded = buffer.next();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().has_value());  // need more, not an error
+  buffer.feed(std::string("defghij"));
+  auto complete = buffer.next();
+  ASSERT_TRUE(complete.ok());
+  ASSERT_TRUE(complete.value().has_value());
+  EXPECT_EQ(*complete.value(), "abcdefghij");
+}
+
+// --- message parsing --------------------------------------------------------
+
+TEST(WireMessages, SerializeParseRoundTripsEscapedValues) {
+  WireMessage message("HELLO-OK");
+  message.add("fqdn", "h0.cri2000.ens-lyon.fr");
+  message.add("msg", "spaces, commas, = signs and 100% percent\nnewlines");
+  message.add_f64("rate", 1.25e8);
+  message.add_u64("bytes", 1048576);
+  auto parsed = WireMessage::parse(message.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().type, "HELLO-OK");
+  EXPECT_EQ(parsed.value().get("fqdn"), "h0.cri2000.ens-lyon.fr");
+  EXPECT_EQ(parsed.value().get("msg"), "spaces, commas, = signs and 100% percent\nnewlines");
+  ASSERT_TRUE(parsed.value().f64("rate").ok());
+  EXPECT_DOUBLE_EQ(parsed.value().f64("rate").value(), 1.25e8);
+  ASSERT_TRUE(parsed.value().u64("bytes").ok());
+  EXPECT_EQ(parsed.value().u64("bytes").value(), 1048576u);
+}
+
+TEST(WireMessages, RejectsMalformedPayloads) {
+  const char* malformed[] = {
+      "",                     // empty payload
+      " HELLO",               // leading separator
+      "hello name=h0",        // lower-case type
+      "HELLO name",           // field without '='
+      "HELLO =value",         // empty key
+      "HELLO  name=h0",       // empty token from double space
+      "HELLO name=h%ZZ",      // bad percent escape
+      "HELLO name=h%2",       // truncated percent escape
+  };
+  for (const char* payload : malformed) {
+    auto parsed = WireMessage::parse(payload);
+    ASSERT_FALSE(parsed.ok()) << "'" << payload << "'";
+    EXPECT_EQ(parsed.error().code, ErrorCode::protocol) << payload;
+  }
+}
+
+TEST(WireMessages, NumericAccessorsRejectJunkWithoutThrowing) {
+  auto parsed = WireMessage::parse(
+      "BWXFER-OK bps=banana seconds=-1e-3 bytes=-1 big=99999999999999999999 ok=2.5");
+  ASSERT_TRUE(parsed.ok());
+  const WireMessage& message = parsed.value();
+  EXPECT_FALSE(message.f64("bps").ok());           // junk double
+  EXPECT_FALSE(message.u64("bytes").ok());         // "-1" must not wrap to 2^64-1
+  EXPECT_FALSE(message.u64("big").ok());           // out of range
+  EXPECT_FALSE(message.f64("absent").ok());        // missing field
+  EXPECT_TRUE(message.f64("seconds").ok());        // valid (range checks are the caller's)
+  ASSERT_TRUE(message.f64("ok").ok());
+  EXPECT_DOUBLE_EQ(message.f64("ok").value(), 2.5);
+}
+
+TEST(WireMessages, ErrFramesCarryStructuredErrors) {
+  const Error original = make_error(ErrorCode::timeout, "peer 127.0.0.1:9: recv timed out");
+  auto parsed = WireMessage::parse(wire::error_payload(original));
+  ASSERT_TRUE(parsed.ok());
+  Error decoded;
+  ASSERT_TRUE(wire::is_error(parsed.value(), decoded));
+  EXPECT_EQ(decoded.code, ErrorCode::timeout);
+  EXPECT_EQ(decoded.message, original.message);
+  // Unknown code strings degrade to protocol instead of crashing.
+  auto unknown = WireMessage::parse("ERR code=gremlins msg=what");
+  ASSERT_TRUE(unknown.ok());
+  ASSERT_TRUE(wire::is_error(unknown.value(), decoded));
+  EXPECT_EQ(decoded.code, ErrorCode::protocol);
+}
+
+// --- seeded fuzz ------------------------------------------------------------
+
+// Random byte soup and mutated valid frames: the decoder and message
+// parser must classify every input as frame / need-more / error without
+// crashing (ASan+UBSan in CI make memory errors loud).
+TEST(WireFuzz, DecoderAndParserSurviveSeededGarbage) {
+  std::mt19937 rng(0xE0F5EED);
+  const std::string valid = wire::encode_frame("BWXFER to=127.0.0.1 port=4000 bytes=65536");
+  for (int round = 0; round < 2000; ++round) {
+    std::string input;
+    const int shape = static_cast<int>(rng() % 3);
+    if (shape == 0) {  // raw garbage
+      const std::size_t length = rng() % 64;
+      for (std::size_t i = 0; i < length; ++i) {
+        input.push_back(static_cast<char>(rng() % 256));
+      }
+    } else if (shape == 1) {  // truncated / extended valid frame
+      input = valid.substr(0, rng() % (valid.size() + 1));
+      const std::size_t extra = rng() % 8;
+      for (std::size_t i = 0; i < extra; ++i) {
+        input.push_back(static_cast<char>(rng() % 256));
+      }
+    } else {  // byte-flipped valid frame
+      input = valid;
+      const std::size_t flips = 1 + rng() % 4;
+      for (std::size_t i = 0; i < flips && !input.empty(); ++i) {
+        input[rng() % input.size()] = static_cast<char>(rng() % 256);
+      }
+    }
+    FrameBuffer buffer;
+    // Feed in random-sized pieces to exercise resumption points.
+    std::size_t fed = 0;
+    while (fed < input.size()) {
+      const std::size_t piece = 1 + rng() % 16;
+      buffer.feed(input.substr(fed, piece));
+      fed += std::min(piece, input.size() - fed);
+      auto decoded = buffer.next();
+      if (!decoded.ok()) break;  // poisoned: classified as garbage, done
+      if (decoded.value().has_value()) {
+        // Whatever decoded must also parse or error cleanly.
+        (void)WireMessage::parse(*decoded.value());
+      }
+    }
+  }
+}
+
+// --- live agent robustness --------------------------------------------------
+
+TEST(ProbeAgentProtocol, RepliesErrToGarbageWithoutDying) {
+  SKIP_WITHOUT_NET();
+  ProbeAgentConfig config;
+  config.name = "h0";
+  config.fqdn = "h0.lan";
+  config.io_timeout_s = 5.0;
+  ProbeAgent agent(config);
+  ASSERT_TRUE(agent.start().ok());
+
+  // Parseable frame, junk message: ERR reply, connection stays usable.
+  {
+    auto socket = wire::TcpSocket::dial("127.0.0.1", agent.port(), 2.0);
+    ASSERT_TRUE(socket.ok());
+    wire::FrameBuffer buffer;
+    ASSERT_TRUE(wire::send_frame(socket.value(), "BOGUS key=value", 2.0).ok());
+    auto reply = wire::recv_message(socket.value(), buffer, 2.0);
+    ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+    Error error;
+    EXPECT_TRUE(wire::is_error(reply.value(), error));
+    EXPECT_EQ(error.code, ErrorCode::protocol);
+    // Same connection still answers real requests.
+    ASSERT_TRUE(wire::send_frame(socket.value(), "PING seq=1", 2.0).ok());
+    auto pong = wire::recv_message(socket.value(), buffer, 2.0);
+    ASSERT_TRUE(pong.ok());
+    EXPECT_EQ(pong.value().type, "PONG");
+  }
+  // Unframeable bytes: one diagnostic ERR, then the agent hangs up.
+  {
+    auto socket = wire::TcpSocket::dial("127.0.0.1", agent.port(), 2.0);
+    ASSERT_TRUE(socket.ok());
+    wire::FrameBuffer buffer;
+    ASSERT_TRUE(socket.value().send_all("total garbage, not a frame\n", 2.0).ok());
+    auto reply = wire::recv_message(socket.value(), buffer, 2.0);
+    if (reply.ok()) {
+      Error error;
+      EXPECT_TRUE(wire::is_error(reply.value(), error));
+      auto eof = wire::recv_message(socket.value(), buffer, 2.0);
+      EXPECT_FALSE(eof.ok());
+    }
+  }
+  // The agent survived both abuses.
+  {
+    auto socket = wire::TcpSocket::dial("127.0.0.1", agent.port(), 2.0);
+    ASSERT_TRUE(socket.ok());
+    wire::FrameBuffer buffer;
+    ASSERT_TRUE(wire::send_frame(socket.value(), "HELLO name=h0", 2.0).ok());
+    auto reply = wire::recv_message(socket.value(), buffer, 2.0);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().type, "HELLO-OK");
+    EXPECT_EQ(reply.value().get("fqdn"), "h0.lan");
+  }
+  agent.stop();
+}
+
+TEST(ProbeAgentProtocol, RejectsOutOfRangeBwxferFields) {
+  SKIP_WITHOUT_NET();
+  ProbeAgentConfig config;
+  config.name = "h0";
+  config.io_timeout_s = 5.0;
+  ProbeAgent agent(config);
+  ASSERT_TRUE(agent.start().ok());
+  auto socket = wire::TcpSocket::dial("127.0.0.1", agent.port(), 2.0);
+  ASSERT_TRUE(socket.ok());
+  wire::FrameBuffer buffer;
+  const char* bad_requests[] = {
+      "BWXFER port=4000 bytes=1024",                        // missing 'to'
+      "BWXFER to=127.0.0.1 port=0 bytes=1024",              // port 0
+      "BWXFER to=127.0.0.1 port=99999 bytes=1024",          // port range
+      "BWXFER to=127.0.0.1 port=4000 bytes=0",              // empty transfer
+      "BWXFER to=127.0.0.1 port=4000 bytes=-1",             // negative bytes
+      "BWXFER to=127.0.0.1 port=4000 bytes=99999999999999", // over bulk cap
+      "BWXFER to=127.0.0.1 port=4000 bytes=1024 streams=0", // streams range
+      "BULK bytes=banana",                                  // junk numeric
+  };
+  for (const char* request : bad_requests) {
+    ASSERT_TRUE(wire::send_frame(socket.value(), request, 2.0).ok()) << request;
+    auto reply = wire::recv_message(socket.value(), buffer, 2.0);
+    ASSERT_TRUE(reply.ok()) << request;
+    Error error;
+    EXPECT_TRUE(wire::is_error(reply.value(), error)) << request;
+    EXPECT_EQ(error.code, ErrorCode::protocol) << request;
+  }
+  agent.stop();
+}
+
+// A scripted server speaking syntactically valid frames with junk
+// CONTENT: the engine must classify every reply as a protocol error.
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(std::vector<std::string> reply_payloads)
+      : replies_(std::move(reply_payloads)) {}
+
+  ~ScriptedServer() { stop(); }
+
+  bool start() {
+    auto listener = wire::TcpListener::listen("127.0.0.1", 0);
+    if (!listener.ok()) return false;
+    listener_ = std::move(listener.value());
+    thread_ = std::thread([this] { serve(); });
+    return true;
+  }
+
+  void stop() {
+    stopping_ = true;
+    listener_.close_fd();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+ private:
+  void serve() {
+    std::size_t next = 0;
+    while (!stopping_ && next < replies_.size()) {
+      auto accepted = listener_.accept(0.25);
+      if (!accepted.ok()) {
+        if (accepted.error().code == ErrorCode::timeout) continue;
+        return;
+      }
+      wire::TcpSocket socket = std::move(accepted.value());
+      wire::FrameBuffer buffer;
+      while (next < replies_.size()) {
+        auto request = wire::recv_frame(socket, buffer, 5.0);
+        if (!request.ok()) break;  // engine dropped the pooled conn
+        if (!wire::send_frame(socket, replies_[next++], 5.0).ok()) break;
+      }
+    }
+  }
+
+  std::vector<std::string> replies_;
+  wire::TcpListener listener_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+TEST(SocketEngineProtocol, JunkAgentRepliesBecomeProtocolErrors) {
+  SKIP_WITHOUT_NET();
+  ScriptedServer server({
+      "WAT fqdn=x",                                        // wrong reply type to HELLO
+      "HELLO-OK fqdn=h0 ip=1.2.3.4 props=broken-token",    // bad props grammar
+      "BWXFER-OK bps=banana seconds=0.5 bytes=65536",      // junk numeric
+      "BWXFER-OK bps=-1 seconds=0.5 bytes=65536",          // non-positive measurement
+  });
+  ASSERT_TRUE(server.start());
+  AgentRoster roster;
+  roster.agents.push_back(wire::AgentEndpoint{"h0", "127.0.0.1", server.port()});
+  roster.agents.push_back(wire::AgentEndpoint{"h1", "127.0.0.1", server.port()});
+  MapperOptions options;
+  options.stabilization_gap_s = 0.0;
+  options.probe_bytes = 65536;
+  SocketEngineOptions socket_options;
+  socket_options.connect_timeout_s = 2.0;
+  socket_options.frame_timeout_s = 2.0;
+  socket_options.transfer_timeout_s = 2.0;
+  SocketProbeEngine engine(roster, options, socket_options);
+
+  auto wrong_type = engine.lookup("h0");
+  ASSERT_FALSE(wrong_type.ok());
+  EXPECT_EQ(wrong_type.error().code, ErrorCode::protocol);
+
+  auto bad_props = engine.lookup("h0");
+  ASSERT_FALSE(bad_props.ok());
+  EXPECT_EQ(bad_props.error().code, ErrorCode::protocol);
+
+  auto junk_bps = engine.bandwidth("h0", "h1");
+  ASSERT_FALSE(junk_bps.ok());
+  EXPECT_EQ(junk_bps.error().code, ErrorCode::protocol);
+
+  auto negative = engine.bandwidth("h0", "h1");
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.error().code, ErrorCode::protocol);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace envnws::env
