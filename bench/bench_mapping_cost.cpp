@@ -35,6 +35,7 @@
 
 #include "api/envnws.hpp"
 #include "bench_util.hpp"
+#include "common/hash.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 
@@ -55,10 +56,18 @@ namespace {
 constexpr const char* kDefaultTemplate = "star-switch:{N}@100";
 constexpr const char* kParallelScenario = "multi-firewall:8x8";
 
-void sweep_section(const std::string& spec_template) {
+/// identity_digest() is the full canonical identity TEXT; the JSON
+/// report carries its fixed-width hash (same convention as the
+/// monitor's snapshot digests).
+std::string short_digest(const std::string& identity) {
+  return hash::hex64(hash::fnv1a64(identity));
+}
+
+void sweep_section(const std::string& spec_template, bench::JsonWriter* json) {
   Table table({"hosts", "naive exps", "naive days@30s", "env model exps", "env measured exps",
                "env sim minutes", "naive/env ratio"});
 
+  if (json != nullptr) json->begin_array("sweep");
   for (const int n : {4, 8, 12, 16, 20, 24, 32}) {
     const std::string spec = bench::instantiate_spec(spec_template, n);
     simnet::Scenario scenario = bench::make_scenario_or_exit(spec);
@@ -86,8 +95,20 @@ void sweep_section(const std::string& spec_template) {
          strings::format_double(static_cast<double>(naive.experiments) /
                                     static_cast<double>(measured.experiments),
                                 0)});
+    if (json != nullptr) {
+      json->begin_object()
+          .field("scenario", spec)
+          .field("hosts", hosts)
+          .field("naive_experiments", naive.experiments)
+          .field("naive_days_at_30s", naive.days(30.0))
+          .field("model_experiments", model.experiments)
+          .field("measured_experiments", measured.experiments)
+          .field("sim_minutes", measured.duration_s / 60.0)
+          .end_object();
+    }
     if (!bench::is_spec_template(spec_template)) break;  // single fixed scenario
   }
+  if (json != nullptr) json->end_array();
   std::printf("%s\n", table.to_string().c_str());
   std::printf("paper anchor: naive at 20 hosts = %.1f days (paper: \"about 50 days\")\n\n",
               env::naive_full_mapping_cost(20).days(30.0));
@@ -105,7 +126,7 @@ double timed_map(api::Session& session, int threads) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
 }
 
-void parallel_section(const std::string& spec, int threads) {
+void parallel_section(const std::string& spec, int threads, bench::JsonWriter* json) {
   simnet::Scenario scenario = bench::make_scenario_or_exit(spec);
   std::printf("--- concurrent zone mapping: %s ---\n", spec.c_str());
 
@@ -142,6 +163,18 @@ void parallel_section(const std::string& spec, int threads) {
   std::printf("parallel merged MapResult (grid, root, warnings) identical to sequential: %s\n\n",
               identical ? "yes" : "NO — BUG");
   if (!identical) std::exit(1);
+  if (json != nullptr) {
+    json->begin_object("parallel_zones")
+        .field("scenario", spec)
+        .field("threads", threads)
+        .field("experiments", seq.experiments)
+        .field("sequential_real_seconds", seq_real_s)
+        .field("parallel_real_seconds", par_real_s)
+        .field("sim_speedup", sim_speedup)
+        .field("identical", identical)
+        .field("digest", short_digest(parallel.map_result().identity_digest()))
+        .end_object();
+  }
 }
 
 void cache_section(const std::string& spec, const std::string& cache_dir) {
@@ -184,11 +217,12 @@ void cache_section(const std::string& spec, const std::string& cache_dir) {
 /// against the unconstrained list-scheduling bound. Every run must
 /// produce the bit-identical MapResult (identity_digest) — batching
 /// changes WHEN experiments could run, never what they measure.
-void jobs_section(const std::string& spec, int max_jobs) {
+void jobs_section(const std::string& spec, int max_jobs, bench::JsonWriter* json) {
   std::printf("--- batched within-zone probe schedule (--jobs): %s ---\n", spec.c_str());
   std::vector<int> sweep{1};
   for (int jobs = 2; jobs < max_jobs; jobs *= 2) sweep.push_back(jobs);
   if (max_jobs > 1) sweep.push_back(max_jobs);
+  if (json != nullptr) json->begin_object().field("scenario", spec).begin_array("runs");
 
   std::string baseline_digest;
   double sequential_minutes = 0.0;
@@ -231,7 +265,18 @@ void jobs_section(const std::string& spec, int max_jobs) {
                    strings::format_double(
                        batched_minutes > 0.0 ? sequential_minutes / batched_minutes : 0.0, 2),
                    strings::format_double(bound_minutes, 2)});
+    if (json != nullptr) {
+      json->begin_object()
+          .field("jobs", jobs)
+          .field("batches", result.batch.batches)
+          .field("batched_experiments", result.batch.batched_experiments)
+          .field("sim_minutes", result.stats.duration_s / 60.0)
+          .field("batched_minutes", batched_minutes)
+          .field("list_model_bound_minutes", bound_minutes)
+          .end_object();
+    }
   }
+  if (json != nullptr) json->end_array().field("digest", short_digest(baseline_digest)).end_object();
   std::printf("%s", table.to_string().c_str());
   // Zero savings is the CORRECT outcome on a platform without switched
   // segments (a hub serializes everything — see BatchStats): report it,
@@ -252,10 +297,16 @@ void jobs_section(const std::string& spec, int max_jobs) {
 /// jobs=1 and jobs=max_jobs. Agents run paced fixed-rate mode, so the
 /// reported measurements (and the digest) are identical across runs
 /// while the wall clock honestly reflects the realized batch schedule.
-void socket_section(const std::string& spec, int max_jobs) {
+void socket_section(const std::string& spec, int max_jobs, bench::JsonWriter* json) {
   if (const char* no_net = std::getenv("ENVNWS_TEST_NO_NET");
       no_net != nullptr && std::string(no_net) == "1") {
     std::printf("--- live socket agents: skipped (ENVNWS_TEST_NO_NET=1) ---\n\n");
+    if (json != nullptr) {
+      json->begin_object("socket_live")
+          .field("scenario", spec)
+          .field("skipped", true)
+          .end_object();
+    }
     return;
   }
   std::printf("--- live socket agents vs batch-schedule model: %s ---\n", spec.c_str());
@@ -347,12 +398,33 @@ void socket_section(const std::string& spec, int max_jobs) {
   if (max_jobs <= 1) {
     std::printf("single worker requested (--jobs=1): no schedule to realize, "
                 "live mapping completed\n\n");
+    if (json != nullptr) {
+      json->begin_object("socket_live")
+          .field("scenario", spec)
+          .field("skipped", false)
+          .field("jobs", 1)
+          .field("wall_seconds_sequential", wall_1)
+          .field("digest", short_digest(baseline_digest))
+          .end_object();
+    }
     return;
   }
 
   const double live_speedup = wall_k > 0.0 ? wall_1 / wall_k : 0.0;
   const double model_speedup =
       modeled_makespan_s > 0.0 ? modeled_sequential_s / modeled_makespan_s : 0.0;
+  if (json != nullptr) {
+    json->begin_object("socket_live")
+        .field("scenario", spec)
+        .field("skipped", false)
+        .field("jobs", max_jobs)
+        .field("wall_seconds_sequential", wall_1)
+        .field("wall_seconds_batched", wall_k)
+        .field("measured_speedup", live_speedup)
+        .field("model_predicted_speedup", model_speedup)
+        .field("digest", short_digest(baseline_digest))
+        .end_object();
+  }
   std::printf("run_batch over %d real connections: %.2fx measured wall-clock speedup "
               "(batch-schedule model predicts %.2fx); digest identical: yes\n",
               max_jobs, live_speedup, model_speedup);
@@ -415,29 +487,54 @@ int main(int argc, char** argv) {
                 " ~50 days at n=20 while ENV stays at simulated minutes — and concurrent"
                 " zone mapping cuts those minutes by ~the zone count");
 
-  sweep_section(cli.scenario_spec);
+  // --json: a machine-readable report next to the tables (scenario,
+  // worker counts, wall clocks, model predictions, digests).
+  bench::JsonWriter writer;
+  bench::JsonWriter* json = cli.json_path.empty() ? nullptr : &writer;
+  if (json != nullptr) {
+    json->field("bench", "mapping_cost")
+        .field("scenario_spec", cli.scenario_spec)
+        .field("threads", cli.threads)
+        .field("jobs", cli.jobs);
+  }
+
+  sweep_section(cli.scenario_spec, json);
 
   // The zone fan-out needs a genuinely multi-zone platform: use the
   // given scenario when it is one concrete spec, the default firewall
   // family when the bench swept a template.
   const std::string parallel_spec =
       bench::is_spec_template(cli.scenario_spec) ? kParallelScenario : cli.scenario_spec;
-  parallel_section(parallel_spec, cli.threads);
+  parallel_section(parallel_spec, cli.threads, json);
 
   // The within-zone batch schedule: a single-zone star (where zone
   // fan-out buys nothing — the exact gap this schedule closes) and the
   // multi-zone firewall platform.
+  if (json != nullptr) json->begin_array("probe_batching");
   jobs_section(bench::is_spec_template(cli.scenario_spec)
                    ? bench::instantiate_spec(cli.scenario_spec, 24)
                    : cli.scenario_spec,
-               cli.jobs);
-  if (bench::is_spec_template(cli.scenario_spec)) jobs_section(kParallelScenario, cli.jobs);
+               cli.jobs, json);
+  if (bench::is_spec_template(cli.scenario_spec)) {
+    jobs_section(kParallelScenario, cli.jobs, json);
+  }
+  if (json != nullptr) json->end_array();
 
   // The realized batch schedule: real sockets, real overlap, next to
   // the model the jobs_section plotted.
-  socket_section("star-switch:12@100", cli.jobs);
+  socket_section("star-switch:12@100", cli.jobs, json);
 
   if (!cli.map_cache_dir.empty()) cache_section(parallel_spec, cli.map_cache_dir);
   if (!cli.probe_spec.empty()) probe_engine_section(parallel_spec, cli.probe_spec);
+
+  if (json != nullptr) {
+    std::ofstream out(cli.json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --json report to '%s'\n", cli.json_path.c_str());
+      return 1;
+    }
+    out << json->finish();
+    std::printf("JSON report written to %s\n", cli.json_path.c_str());
+  }
   return 0;
 }

@@ -5,11 +5,115 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "api/scenario_registry.hpp"
 #include "simnet/scenario.hpp"
 
 namespace envnws::bench {
+
+/// Minimal JSON emitter for bench --json reports: no dependency, just
+/// comma/nesting bookkeeping. The document root is an object; finish()
+/// closes it and returns the text. Keys are emitter-controlled literals;
+/// values are escaped.
+class JsonWriter {
+ public:
+  JsonWriter() { first_.push_back(true); out_ = "{"; }
+
+  JsonWriter& field(const std::string& key, const std::string& value) {
+    pre(key);
+    out_ += quoted(value);
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonWriter& field(const std::string& key, double value) {
+    pre(key);
+    out_ += number(value);
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, std::uint64_t value) {
+    pre(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, int value) {
+    pre(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, bool value) {
+    pre(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+  /// Empty key: anonymous element (inside an array).
+  JsonWriter& begin_object(const std::string& key = "") {
+    pre(key);
+    out_ += "{";
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += "}";
+    first_.pop_back();
+    return *this;
+  }
+  JsonWriter& begin_array(const std::string& key) {
+    pre(key);
+    out_ += "[";
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += "]";
+    first_.pop_back();
+    return *this;
+  }
+  /// Close the root object and return the document.
+  [[nodiscard]] std::string finish() {
+    out_ += "}\n";
+    return out_;
+  }
+
+ private:
+  void pre(const std::string& key) {
+    if (!first_.back()) out_ += ", ";
+    first_.back() = false;
+    if (!key.empty()) out_ += quoted(key) + ": ";
+  }
+  static std::string quoted(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+      if (c == '"') {
+        out += "\\\"";
+      } else if (c == '\\') {
+        out += "\\\\";
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char escape[8];
+        std::snprintf(escape, sizeof(escape), "\\u%04x", static_cast<unsigned char>(c));
+        out += escape;
+      } else {
+        out += c;
+      }
+    }
+    return out + "\"";
+  }
+  static std::string number(double value) {
+    char text[40];
+    std::snprintf(text, sizeof(text), "%.17g", value);
+    // JSON has no inf/nan literals.
+    const std::string out = text;
+    if (out.find("inf") != std::string::npos || out.find("nan") != std::string::npos) {
+      return "null";
+    }
+    return out;
+  }
+
+  std::string out_;
+  std::vector<bool> first_;  ///< per nesting level: no element emitted yet
+};
 
 inline void banner(const std::string& experiment_id, const std::string& paper_artifact,
                    const std::string& expectation) {
@@ -62,6 +166,9 @@ struct BenchCli {
   /// agents), record:/tmp/run.envtrace@socket:agents.cfg — grammar in
   /// docs/TESTING.md and docs/SOCKET_ENGINE.md.
   std::string probe_spec;
+  /// --json=<path>: also write the bench's measurements as a JSON
+  /// report ("" = text output only).
+  std::string json_path;
 };
 
 /// The single bench flag parser. `parallel_flags` controls whether
@@ -71,7 +178,9 @@ struct BenchCli {
 inline BenchCli bench_cli(int argc, char** argv, const std::string& default_spec,
                           bool parallel_flags = true) {
   const auto usage_and_exit = [&] {
-    std::fprintf(stderr, "usage: %s [--scenario=<spec%s>]%s [--list]   (default scenario: %s)\n",
+    std::fprintf(stderr,
+                 "usage: %s [--scenario=<spec%s>]%s [--json=<path>] [--list]   "
+                 "(default scenario: %s)\n",
                  argv[0], parallel_flags ? "-or-template" : "",
                  parallel_flags
                      ? " [--threads=K] [--jobs=K] [--map-cache=DIR] [--probe=<engine-spec>]"
@@ -101,6 +210,9 @@ inline BenchCli bench_cli(int argc, char** argv, const std::string& default_spec
       cli.map_cache_dir = arg.substr(std::strlen("--map-cache="));
     } else if (parallel_flags && arg.rfind("--probe=", 0) == 0) {
       cli.probe_spec = arg.substr(std::strlen("--probe="));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cli.json_path = arg.substr(std::strlen("--json="));
+      if (cli.json_path.empty()) usage_and_exit();
     } else {
       usage_and_exit();
     }

@@ -1,0 +1,239 @@
+// envnws_monitord — the monitoring daemon as a command-line tool.
+//
+// Takes a scenario, derives its deployment plan (map -> plan through
+// api::Session), then runs the monitor daemon over any probe-engine
+// spec: the simulator, a live loopback agent fleet, a recorded trace.
+// The CI smoke is one self-contained invocation:
+//
+//   $ ./examples/envnws_monitord --scenario=star-switch:6 --fleet \
+//         --cycles=40 --serve --query
+//
+// which spawns one in-process ProbeAgent per scenario host on ephemeral
+// loopback ports, monitors through real TCP probes for 40 cycles while
+// serving SNAPSHOT/QUERY/SERIES clients, queries itself, and shuts the
+// fleet down cleanly. Offline, no fleet required:
+//
+//   $ ./examples/envnws_monitord --scenario=star-switch:6 \
+//         --probe=replay:run.envtrace --cycles=40
+//
+// With --fleet, the token AUTO inside --probe is replaced by the
+// generated roster path, so "--fleet --probe=record:run.envtrace@socket:AUTO"
+// records a golden monitoring trace for later replay.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/envnws.hpp"
+#include "common/parse.hpp"
+#include "env/probe_agent.hpp"
+#include "monitor/query_server.hpp"
+
+using namespace envnws;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "envnws_monitord: %s\n", message.c_str());
+  return 1;
+}
+
+struct Args {
+  std::string scenario = "star-switch:6";
+  std::string probe;  ///< engine spec; empty = "sim", or socket: with --fleet
+  std::uint64_t cycles = 20;
+  double period_s = 1.0;
+  std::size_t jobs = 1;
+  bool fleet = false;
+  double fleet_rate_bps = 1e9;
+  bool serve = false;
+  std::uint16_t serve_port = 0;
+  bool query = false;
+  bool no_remap = false;
+  std::string dump_path;
+};
+
+bool parse_args(int argc, char** argv, Args& args, std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const std::string& prefix) { return arg.substr(prefix.size()); };
+    if (arg.rfind("--scenario=", 0) == 0) {
+      args.scenario = value("--scenario=");
+    } else if (arg.rfind("--probe=", 0) == 0) {
+      args.probe = value("--probe=");
+    } else if (arg.rfind("--cycles=", 0) == 0) {
+      auto parsed = parse::to_u64(value("--cycles="));
+      if (!parsed.has_value()) { error = "bad --cycles"; return false; }
+      args.cycles = *parsed;
+    } else if (arg.rfind("--period=", 0) == 0) {
+      auto parsed = parse::to_double(value("--period="));
+      if (!parsed.has_value() || *parsed <= 0) { error = "bad --period"; return false; }
+      args.period_s = *parsed;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      auto parsed = parse::to_u64(value("--jobs="));
+      if (!parsed.has_value() || *parsed == 0) { error = "bad --jobs"; return false; }
+      args.jobs = static_cast<std::size_t>(*parsed);
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      auto parsed = parse::to_double(value("--rate="));
+      if (!parsed.has_value() || *parsed <= 0) { error = "bad --rate"; return false; }
+      args.fleet_rate_bps = *parsed;
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      auto parsed = parse::to_u64(value("--serve="));
+      if (!parsed.has_value() || *parsed > 65535) { error = "bad --serve port"; return false; }
+      args.serve = true;
+      args.serve_port = static_cast<std::uint16_t>(*parsed);
+    } else if (arg.rfind("--dump=", 0) == 0) {
+      args.dump_path = value("--dump=");
+    } else if (arg == "--fleet") {
+      args.fleet = true;
+    } else if (arg == "--serve") {
+      args.serve = true;
+    } else if (arg == "--query") {
+      args.query = true;
+    } else if (arg == "--no-remap") {
+      args.no_remap = true;
+    } else {
+      error = "unknown argument '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  std::string arg_error;
+  if (!parse_args(argc, argv, args, arg_error)) {
+    std::fprintf(stderr,
+                 "usage: %s [--scenario=<spec>] [--probe=<engine-spec>] [--cycles=N]\n"
+                 "          [--period=S] [--jobs=N] [--fleet] [--rate=BPS]\n"
+                 "          [--serve[=PORT]] [--query] [--no-remap] [--dump=<path>]\n",
+                 argv[0]);
+    return fail(arg_error);
+  }
+
+  auto scenario = api::ScenarioRegistry::builtin().make(args.scenario);
+  if (!scenario.ok()) {
+    return fail("bad scenario '" + args.scenario + "': " + scenario.error().to_string());
+  }
+
+  // Optional in-process loopback fleet: one fixed-rate ProbeAgent per
+  // scenario host, rostered under the names the plan's cliques probe.
+  std::vector<std::unique_ptr<env::ProbeAgent>> fleet;
+  std::string roster_path;
+  if (args.fleet) {
+    for (const simnet::NodeId id : scenario.value().topology.hosts()) {
+      const simnet::Node& node = scenario.value().topology.node(id);
+      env::ProbeAgentConfig config;
+      config.name = node.fqdn.empty() ? node.name : node.fqdn;
+      config.fqdn = node.fqdn;
+      config.fixed_rate_bps = args.fleet_rate_bps;
+      fleet.push_back(std::make_unique<env::ProbeAgent>(std::move(config)));
+      if (auto started = fleet.back()->start(); !started.ok()) {
+        return fail("agent for " + node.name + ": " + started.error().to_string());
+      }
+    }
+    roster_path = (std::filesystem::temp_directory_path() /
+                   ("monitord-roster-" + std::to_string(::getpid()) + ".cfg"))
+                      .string();
+    std::ofstream roster(roster_path, std::ios::trunc);
+    for (const auto& agent : fleet) {
+      roster << agent->config().name << " 127.0.0.1:" << agent->port() << "\n";
+    }
+    if (args.probe.empty()) args.probe = "socket:" + roster_path;
+    // Let recorded-fleet specs reference the ephemeral roster.
+    const std::string token = "AUTO";
+    if (const auto at = args.probe.find(token); at != std::string::npos) {
+      args.probe.replace(at, token.size(), roster_path);
+    }
+  }
+  if (args.probe.empty()) args.probe = "sim";
+
+  simnet::Network net(simnet::Scenario(scenario.value()).topology);
+  api::Session session(net, scenario.value());
+  if (args.fleet || args.probe.rfind("sim", 0) != 0) {
+    // Loopback probes need no settle gap; keep payloads LAN-sized.
+    session.options().mapper.probe_bytes = 64 * 1024;
+    session.options().mapper.stabilization_gap_s = 0.0;
+  }
+  if (auto status = session.set_probe_engine_spec(args.probe); !status.ok()) {
+    return fail("bad probe spec: " + status.error().to_string());
+  }
+
+  monitor::MonitorOptions options;
+  options.period_s = args.period_s;
+  options.probe_jobs = args.jobs;
+  options.remap_on_drift = !args.no_remap;
+  auto made = session.make_monitor(options);
+  if (!made.ok()) return fail("monitor setup failed: " + made.error().to_string());
+  std::unique_ptr<monitor::MonitorDaemon> daemon = std::move(made.value());
+  std::printf("monitord: plan '%s': %zu probe(s)/cycle, %llu pair(s), spec %s\n",
+              args.scenario.c_str(), daemon->scheduler().probes_per_cycle(),
+              static_cast<unsigned long long>(daemon->scheduler().pairs_total()),
+              args.probe.c_str());
+
+  if (args.serve) {
+    if (auto status = daemon->start_query_server("127.0.0.1", args.serve_port); !status.ok()) {
+      return fail("query server: " + status.error().to_string());
+    }
+    std::printf("monitord: serving queries on 127.0.0.1:%u\n", daemon->query_port());
+  }
+
+  if (auto status = daemon->run_cycles(args.cycles); !status.ok()) {
+    return fail("measurement loop: " + status.error().to_string());
+  }
+
+  const auto snapshot = daemon->snapshot();
+  std::printf("monitord: %llu cycle(s), %llu measurement(s), %llu failure(s), "
+              "%llu remap(s) (%llu experiment(s))\n",
+              static_cast<unsigned long long>(daemon->cycles()),
+              static_cast<unsigned long long>(daemon->measurements()),
+              static_cast<unsigned long long>(daemon->probe_failures()),
+              static_cast<unsigned long long>(daemon->remaps()),
+              static_cast<unsigned long long>(daemon->remap_experiments()));
+  std::printf("monitord: snapshot v%llu digest %s (%zu pair(s))\n",
+              static_cast<unsigned long long>(snapshot->version), snapshot->digest().c_str(),
+              snapshot->pairs.size());
+
+  if (args.query) {
+    if (!args.serve) return fail("--query needs --serve");
+    auto client = monitor::QueryClient::connect("127.0.0.1", daemon->query_port());
+    if (!client.ok()) return fail("query connect: " + client.error().to_string());
+    auto summary = client.value().snapshot();
+    if (!summary.ok()) return fail("SNAPSHOT: " + summary.error().to_string());
+    if (summary.value().digest != snapshot->digest()) {
+      return fail("served snapshot digest differs from the local one");
+    }
+    std::printf("monitord: SNAPSHOT served: v%llu digest %s, %llu measurement(s)\n",
+                static_cast<unsigned long long>(summary.value().version),
+                summary.value().digest.c_str(),
+                static_cast<unsigned long long>(summary.value().measurements));
+    if (!snapshot->pairs.empty()) {
+      const auto& first = snapshot->pairs.front().key;
+      auto answer = client.value().query(first);
+      if (!answer.ok()) return fail("QUERY: " + answer.error().to_string());
+      std::printf("monitord: QUERY %s -> %.6g bit/s (forecast %.6g, %s)\n",
+                  first.to_string().c_str(), answer.value().latest,
+                  answer.value().forecast.value, answer.value().forecast.winner.c_str());
+    }
+  }
+
+  if (!args.dump_path.empty()) {
+    std::ofstream out(args.dump_path, std::ios::trunc);
+    out << daemon->dump_series();
+    std::printf("monitord: series dumped to %s\n", args.dump_path.c_str());
+  }
+
+  daemon.reset();  // stops the query server before the fleet goes away
+  for (auto& agent : fleet) agent->stop();
+  if (!roster_path.empty()) std::filesystem::remove(roster_path);
+  std::printf("monitord: clean shutdown\n");
+  return 0;
+}

@@ -8,14 +8,28 @@
 //
 //   $ ./examples/record_trace dumbbell:3x3@100/10 tests/data/traces/dumbbell-3x3.envtrace
 //
-// The tool maps the scenario once with a recording engine, then maps it
-// again from the fresh trace and verifies the two MapResults match — a
-// trace that does not survive its own round-trip is never written home.
+// With --fleet[=<rate_bps>] the probes are REAL: the tool spawns one
+// fixed-rate loopback ProbeAgent per scenario host, maps through
+// "record:<path>@socket:<roster>", stops the fleet, and replays the
+// trace strictly offline — that is how the committed golden SOCKET
+// trace (tests/data/traces/socket-star-6.envtrace) was produced:
+//
+//   $ ./examples/record_trace star-switch:6 tests/data/traces/socket-star-6.envtrace --fleet
+//
+// Either way the tool maps the scenario once with a recording engine,
+// then maps it again from the fresh trace and verifies the two
+// MapResults match — a trace that does not survive its own round-trip
+// is never written home.
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "api/envnws.hpp"
+#include "common/parse.hpp"
 #include "env/env_tree.hpp"
+#include "env/probe_agent.hpp"
 
 using namespace envnws;
 
@@ -26,36 +40,100 @@ int fail(const std::string& message) {
   return 1;
 }
 
+/// Fixed-rate agents make socket measurements — and thus the recorded
+/// trace — reproducible across runs.
+constexpr double kDefaultFleetRate = 1e9;
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <scenario-spec> <output-trace-path>\n", argv[0]);
+  if (argc != 3 && argc != 4) {
+    std::fprintf(stderr, "usage: %s <scenario-spec> <output-trace-path> [--fleet[=<rate_bps>]]\n",
+                 argv[0]);
     return 2;
   }
   const std::string spec = argv[1];
   const std::string path = argv[2];
+  std::optional<double> fleet_rate;
+  if (argc == 4) {
+    const std::string flag = argv[3];
+    if (flag == "--fleet") {
+      fleet_rate = kDefaultFleetRate;
+    } else if (flag.rfind("--fleet=", 0) == 0) {
+      auto rate = parse::to_double(flag.substr(8));
+      if (!rate.has_value() || *rate <= 0) return fail("bad --fleet rate '" + flag + "'");
+      fleet_rate = *rate;
+    } else {
+      return fail("unknown argument '" + flag + "'");
+    }
+  }
 
   auto scenario = api::ScenarioRegistry::builtin().make(spec);
   if (!scenario.ok()) return fail("bad scenario '" + spec + "': " + scenario.error().to_string());
 
+  // --fleet: live loopback agents behind the recorder, rostered under
+  // the exact names the mapper probes with.
+  std::vector<std::unique_ptr<env::ProbeAgent>> fleet;
+  std::string record_spec = "record:" + path;
+  std::string roster_path;
+  if (fleet_rate.has_value()) {
+    for (const simnet::NodeId id : scenario.value().topology.hosts()) {
+      const simnet::Node& node = scenario.value().topology.node(id);
+      env::ProbeAgentConfig config;
+      config.name = node.fqdn.empty() ? node.name : node.fqdn;
+      config.fqdn = node.fqdn;
+      config.properties = node.properties;
+      config.fixed_rate_bps = *fleet_rate;
+      fleet.push_back(std::make_unique<env::ProbeAgent>(std::move(config)));
+      if (auto started = fleet.back()->start(); !started.ok()) {
+        return fail("agent for " + node.name + ": " + started.error().to_string());
+      }
+    }
+    roster_path = path + ".roster.tmp";
+    env::wire::AgentRoster roster;
+    for (const auto& agent : fleet) {
+      roster.agents.push_back(
+          env::wire::AgentEndpoint{agent->config().name, "127.0.0.1", agent->port()});
+    }
+    std::FILE* out = std::fopen(roster_path.c_str(), "w");
+    if (out == nullptr) return fail("cannot write roster " + roster_path);
+    const std::string text = roster.to_string();
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    record_spec += "@socket:" + roster_path;
+  }
+
   simnet::Network record_net(simnet::Scenario(scenario.value()).topology);
   api::Session recorder(record_net, scenario.value());
-  if (auto status = recorder.set_probe_engine_spec("record:" + path); !status.ok()) {
+  if (fleet_rate.has_value()) {
+    // Loopback probes: LAN payloads, no settle gap (matches the socket
+    // integration suite, so traces stay comparable).
+    recorder.options().mapper.probe_bytes = 64 * 1024;
+    recorder.options().mapper.stabilization_gap_s = 0.0;
+  }
+  if (auto status = recorder.set_probe_engine_spec(record_spec); !status.ok()) {
     return fail(status.error().to_string());
   }
   if (auto status = recorder.map(); !status.ok()) {
     return fail("mapping failed: " + status.error().to_string());
   }
   const env::MapResult& live = recorder.map_result();
-  std::printf("recorded %s: %llu experiments, %zu zone(s) -> %s\n", spec.c_str(),
+  std::printf("recorded %s%s: %llu experiments, %zu zone(s) -> %s\n", spec.c_str(),
+              fleet_rate.has_value() ? " (live socket fleet)" : "",
               static_cast<unsigned long long>(live.stats.experiments), live.zones.size(),
               path.c_str());
 
-  // Round-trip check: replay the trace we just wrote on a fresh session
-  // and require the bit-identical MapResult the golden suite asserts.
+  // The offline half: agents (if any) gone, the trace alone must
+  // reproduce the run bit-identically, with zero live probes.
+  for (auto& agent : fleet) agent->stop();
+  if (!roster_path.empty()) std::remove(roster_path.c_str());
+
   simnet::Network replay_net(simnet::Scenario(scenario.value()).topology);
   api::Session replayer(replay_net, scenario.value());
+  if (fleet_rate.has_value()) {
+    replayer.options().mapper.probe_bytes = 64 * 1024;
+    replayer.options().mapper.stabilization_gap_s = 0.0;
+  }
   if (auto status = replayer.set_probe_engine_spec("replay:" + path); !status.ok()) {
     return fail(status.error().to_string());
   }

@@ -579,6 +579,39 @@ Status Session::validate() {
   return {};
 }
 
+Result<std::unique_ptr<monitor::MonitorDaemon>> Session::make_monitor(
+    monitor::MonitorOptions options) {
+  if (!plan_.has_value()) {
+    if (auto status = plan(); !status.ok()) return status.error();
+  }
+  auto engine = make_sequential_engine();
+  if (!engine.ok()) return engine.error();
+  // Incremental re-maps probe with the same tunables the map stage used
+  // (probe payload, stabilization gap, thresholds).
+  options.remap = options_.mapper;
+  auto daemon =
+      std::make_unique<monitor::MonitorDaemon>(*plan_, std::move(engine.value()), options);
+  daemon->set_observer([this](const monitor::MonitorEvent& event) {
+    std::string detail = std::string("monitor ") + monitor::to_string(event.kind) +
+                         " cycle=" + std::to_string(event.cycle);
+    if (!event.segment.empty()) detail += " segment=" + event.segment;
+    if (!event.detail.empty()) detail += " " + event.detail;
+    emit(Event::Kind::note, Stage::apply, std::move(detail));
+  });
+  daemon->set_remap_sink([this](const std::string& segment, const env::ZoneMapResult&) {
+    // The segment provably changed under the cached map: drop the entry
+    // so the next map() re-probes instead of serving a stale platform.
+    (void)invalidate_map_cache();
+    emit(Event::Kind::note, Stage::apply,
+         "monitor re-mapped segment '" + segment + "'; map cache entry invalidated");
+  });
+  emit(Event::Kind::note, Stage::apply,
+       "monitor daemon created: " + std::to_string(daemon->scheduler().probes_per_cycle()) +
+           " probe(s)/cycle over " + std::to_string(plan_->cliques.size()) + " clique(s), spec " +
+           probe_spec_text_);
+  return daemon;
+}
+
 Status Session::run_all(bool with_validation) {
   // apply() auto-runs any missing plan()/map() prerequisites itself.
   if (system_ == nullptr) {

@@ -53,6 +53,7 @@
 #include "env/probe_engine.hpp"
 #include "env/probe_wire.hpp"
 #include "env/trace_probe_engine.hpp"
+#include "monitor/daemon.hpp"
 #include "simnet/scenario.hpp"
 
 namespace envnws::api {
@@ -175,6 +176,22 @@ class Session {
   [[nodiscard]] nws::NwsSystem& system();
   [[nodiscard]] deploy::QueryService& queries();
   [[nodiscard]] const deploy::ValidationReport& validation() const;
+
+  // --- monitoring ---------------------------------------------------------
+  /// Build a monitoring daemon (src/monitor/, docs/MONITORD.md) over this
+  /// session's deployment plan and probe-engine spec, running plan()
+  /// first when needed. The daemon owns a fresh sequential engine built
+  /// from the current spec — so "replay:<trace>" monitors fully offline
+  /// and "record:<trace>@socket:<roster>" captures a live session for
+  /// later replay — and `options.remap` is overwritten with this
+  /// session's mapper options (incremental re-maps probe exactly like the
+  /// map stage did). Daemon events surface as Stage::apply notes through
+  /// the session observer, and a successful incremental re-map
+  /// invalidates the session's map-cache entry: the platform provably
+  /// changed under the cached view. The daemon must not outlive the
+  /// session.
+  Result<std::unique_ptr<monitor::MonitorDaemon>> make_monitor(
+      monitor::MonitorOptions options = {});
 
   /// Transfer ownership of the running system / query service out of the
   /// session (the core::auto_deploy compatibility wrapper uses these).

@@ -283,6 +283,18 @@ bool is_error(const WireMessage& message, Error& error) {
   return true;
 }
 
+Result<WireMessage> expect_reply(Result<WireMessage> reply, std::string_view expected_type,
+                                 std::string_view context) {
+  if (!reply.ok()) return reply;
+  Error carried;
+  if (is_error(reply.value(), carried)) return carried;
+  if (reply.value().type != expected_type) {
+    return make_error(ErrorCode::protocol, "unexpected reply '" + reply.value().type + "' to " +
+                                               std::string(context));
+  }
+  return reply;
+}
+
 // --- roster -----------------------------------------------------------------
 
 Result<AgentRoster> AgentRoster::parse(const std::string& text, std::string source) {

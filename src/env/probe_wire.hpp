@@ -114,6 +114,34 @@ struct WireMessage {
 /// strings degrade to `protocol`).
 [[nodiscard]] bool is_error(const WireMessage& message, Error& error);
 
+/// Reply-type guard shared by every client of the protocol: passes the
+/// reply through when it carries `expected_type`, converts `ERR` frames
+/// into the error they carry, and reports any other type as a `protocol`
+/// error naming the request (`context`) it answered.
+[[nodiscard]] Result<WireMessage> expect_reply(Result<WireMessage> reply,
+                                               std::string_view expected_type,
+                                               std::string_view context);
+
+// --- monitor frames ---------------------------------------------------------
+//
+// The monitoring daemon (src/monitor/, docs/MONITORD.md) serves query
+// clients over the same framed protocol the probe agents speak:
+//
+//   SNAPSHOT                          -> SNAPSHOT-OK version= cycles= time=
+//                                        pairs= measurements= failures=
+//                                        drifting= remaps= digest=
+//   QUERY resource= src= [dst=]       -> QUERY-OK value= mae= rmse= winner=
+//                                        samples= latest= time= drifting=
+//   SERIES resource= src= [dst=] [max=] -> SERIES-OK count= points=t:v,...
+//
+// SNAPSHOT and QUERY are answered entirely from the immutable published
+// MonitorSnapshot (the RCU read path); SERIES reads one store shard.
+// Unknown pairs answer `ERR code=not_found`; malformed requests
+// `ERR code=protocol` — the same error surface as the probe agents.
+inline constexpr std::string_view kSnapshotFrame = "SNAPSHOT";
+inline constexpr std::string_view kQueryFrame = "QUERY";
+inline constexpr std::string_view kSeriesFrame = "SERIES";
+
 // --- agent roster -----------------------------------------------------------
 
 struct AgentEndpoint {

@@ -43,6 +43,7 @@ Result<std::unique_ptr<SocketProbeEngine::AgentConn>> SocketProbeEngine::acquire
     if (pooled != pool_.end() && !pooled->second.empty()) {
       auto conn = std::move(pooled->second.back());
       pooled->second.pop_back();
+      --idle_count_;
       conn->reused = true;
       return conn;
     }
@@ -59,13 +60,48 @@ Result<std::unique_ptr<SocketProbeEngine::AgentConn>> SocketProbeEngine::acquire
 
 void SocketProbeEngine::release(const std::string& host, std::unique_ptr<AgentConn> conn) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& idle = pool_[host];
-  if (idle.size() < 8) idle.push_back(std::move(conn));
+  // Global LRU bound, not a per-host quota: the connection just used is
+  // always the hottest, so it pools unconditionally and the
+  // least-recently-released idle connection anywhere pays for it. A
+  // fleet of thousands of agents thus costs at most max_idle_sockets
+  // idle fds, while hosts probed in a tight loop keep their connection.
+  conn->reused = false;
+  conn->released_at = ++release_serial_;
+  pool_[host].push_back(std::move(conn));
+  ++idle_count_;
+  const std::size_t bound = std::max<std::size_t>(socket_options_.max_idle_sockets, 1);
+  while (idle_count_ > bound) {
+    auto oldest_host = pool_.end();
+    std::size_t oldest_slot = 0;
+    std::uint64_t oldest_stamp = ~std::uint64_t(0);
+    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+      for (std::size_t slot = 0; slot < it->second.size(); ++slot) {
+        if (it->second[slot]->released_at < oldest_stamp) {
+          oldest_stamp = it->second[slot]->released_at;
+          oldest_host = it;
+          oldest_slot = slot;
+        }
+      }
+    }
+    if (oldest_host == pool_.end()) break;  // unreachable: idle_count_ > 0
+    oldest_host->second.erase(oldest_host->second.begin() +
+                              static_cast<std::ptrdiff_t>(oldest_slot));
+    if (oldest_host->second.empty()) pool_.erase(oldest_host);
+    --idle_count_;
+  }
 }
 
 void SocketProbeEngine::drop_pool(const std::string& host) {
   std::lock_guard<std::mutex> lock(mutex_);
-  pool_.erase(host);
+  const auto it = pool_.find(host);
+  if (it == pool_.end()) return;
+  idle_count_ -= it->second.size();
+  pool_.erase(it);
+}
+
+std::size_t SocketProbeEngine::idle_sockets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return idle_count_;
 }
 
 Result<wire::WireMessage> SocketProbeEngine::round_trip(const std::string& host,
@@ -113,13 +149,11 @@ Result<HostIdentity> SocketProbeEngine::lookup(const std::string& hostname) {
     auto cached = identities_.find(hostname);
     if (cached != identities_.end()) return cached->second;
   }
-  auto reply = round_trip(hostname, wire::WireMessage("HELLO").add("name", hostname),
-                          socket_options_.frame_timeout_s);
+  auto reply = wire::expect_reply(round_trip(hostname,
+                                             wire::WireMessage("HELLO").add("name", hostname),
+                                             socket_options_.frame_timeout_s),
+                                  "HELLO-OK", "HELLO");
   if (!reply.ok()) return reply.error();
-  if (reply.value().type != "HELLO-OK") {
-    return make_error(ErrorCode::protocol,
-                      "unexpected reply '" + reply.value().type + "' to HELLO");
-  }
   HostIdentity identity;
   identity.fqdn = reply.value().get("fqdn");
   identity.ip = reply.value().get("ip");
@@ -176,14 +210,11 @@ SocketProbeEngine::Measured SocketProbeEngine::measure(const BandwidthRequest& r
   transfer.add_u64("bytes", static_cast<std::uint64_t>(std::max<std::int64_t>(
                                 options_.probe_bytes, 1)));
   transfer.add_u64("streams", static_cast<std::uint64_t>(std::max(streams, 1)));
-  auto reply = round_trip(request.from, transfer, socket_options_.transfer_timeout_s);
+  auto reply = wire::expect_reply(round_trip(request.from, transfer,
+                                             socket_options_.transfer_timeout_s),
+                                  "BWXFER-OK", "BWXFER");
   if (!reply.ok()) {
     measured.bandwidth_bps = reply.error();
-    return measured;
-  }
-  if (reply.value().type != "BWXFER-OK") {
-    measured.bandwidth_bps = Result<double>(make_error(
-        ErrorCode::protocol, "unexpected reply '" + reply.value().type + "' to BWXFER"));
     return measured;
   }
   auto bps = reply.value().f64("bps");
@@ -374,14 +405,11 @@ Result<double> SocketProbeEngine::ping_rtt(const std::string& host, int train) {
   std::vector<double> rtts;
   for (int seq = 0; seq < std::max(train, 1); ++seq) {
     const auto begin = Clock::now();
-    auto reply = round_trip(host,
-                            wire::WireMessage("PING").add_u64("seq", static_cast<std::uint64_t>(seq)),
-                            socket_options_.frame_timeout_s);
+    auto reply = wire::expect_reply(
+        round_trip(host, wire::WireMessage("PING").add_u64("seq", static_cast<std::uint64_t>(seq)),
+                   socket_options_.frame_timeout_s),
+        "PONG", "PING");
     if (!reply.ok()) return reply.error();
-    if (reply.value().type != "PONG") {
-      return make_error(ErrorCode::protocol,
-                        "unexpected reply '" + reply.value().type + "' to PING");
-    }
     auto echoed = reply.value().u64("seq");
     if (!echoed.ok()) return echoed.error();
     if (echoed.value() != static_cast<std::uint64_t>(seq)) {
@@ -393,12 +421,10 @@ Result<double> SocketProbeEngine::ping_rtt(const std::string& host, int train) {
 }
 
 Result<ProbeStats> SocketProbeEngine::agent_stats(const std::string& host) {
-  auto reply = round_trip(host, wire::WireMessage("STATS"), socket_options_.frame_timeout_s);
+  auto reply = wire::expect_reply(
+      round_trip(host, wire::WireMessage("STATS"), socket_options_.frame_timeout_s), "STATS-OK",
+      "STATS");
   if (!reply.ok()) return reply.error();
-  if (reply.value().type != "STATS-OK") {
-    return make_error(ErrorCode::protocol,
-                      "unexpected reply '" + reply.value().type + "' to STATS");
-  }
   auto experiments = reply.value().u64("experiments");
   auto bytes = reply.value().u64("bytes");
   auto busy = reply.value().f64("busy");

@@ -54,6 +54,13 @@ struct SocketEngineOptions {
   double connect_timeout_s = 5.0;   ///< dialing an agent
   double frame_timeout_s = 10.0;    ///< control-frame round trips (HELLO/PING/STATS)
   double transfer_timeout_s = 60.0; ///< full BWXFER completion bound
+  /// Global bound on idle pooled connections, across ALL hosts: when a
+  /// released connection would exceed it, the least-recently-used idle
+  /// connection anywhere in the pool is closed. A monitord driving
+  /// thousands of agents thus holds at most this many idle sockets,
+  /// while a small fleet still reuses every connection. Minimum 1 (a
+  /// released connection always pools; eviction happens afterwards).
+  std::size_t max_idle_sockets = 32;
 };
 
 class SocketProbeEngine final : public ProbeEngine {
@@ -81,6 +88,9 @@ class SocketProbeEngine final : public ProbeEngine {
   Result<ProbeStats> agent_stats(const std::string& host);
 
   [[nodiscard]] const wire::AgentRoster& roster() const { return roster_; }
+  /// Idle pooled connections right now, across every host — always
+  /// <= SocketEngineOptions::max_idle_sockets (the LRU bound).
+  [[nodiscard]] std::size_t idle_sockets() const;
 
  private:
   /// One pooled control connection to an agent.
@@ -88,6 +98,9 @@ class SocketProbeEngine final : public ProbeEngine {
     wire::TcpSocket socket;
     wire::FrameBuffer buffer;
     bool reused = false;  ///< came out of the pool (may be stale)
+    /// Release serial, stamped when the connection enters the pool; the
+    /// global LRU eviction closes the smallest stamp first.
+    std::uint64_t released_at = 0;
   };
   /// What one experiment did to the engine's stats; applied in
   /// canonical order so totals are order-independent bit for bit.
@@ -129,8 +142,10 @@ class SocketProbeEngine final : public ProbeEngine {
   MapperOptions options_;
   SocketEngineOptions socket_options_;
 
-  mutable std::mutex mutex_;  ///< pool_, identities_, stats_
+  mutable std::mutex mutex_;  ///< pool_, identities_, stats_, idle/stamp counters
   std::map<std::string, std::vector<std::unique_ptr<AgentConn>>> pool_;
+  std::uint64_t release_serial_ = 0;  ///< monotonic LRU clock
+  std::size_t idle_count_ = 0;        ///< connections across pool_ (== sum of sizes)
   std::map<std::string, HostIdentity> identities_;  ///< HELLO cache
   ProbeStats stats_;
 };

@@ -1,0 +1,305 @@
+#include "monitor/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "nws/clique.hpp"
+
+namespace envnws::monitor {
+
+const char* to_string(MonitorEvent::Kind kind) {
+  switch (kind) {
+    case MonitorEvent::Kind::cycle_finished:
+      return "cycle_finished";
+    case MonitorEvent::Kind::snapshot_published:
+      return "snapshot_published";
+    case MonitorEvent::Kind::probe_failed:
+      return "probe_failed";
+    case MonitorEvent::Kind::drift_detected:
+      return "drift_detected";
+    case MonitorEvent::Kind::remap_started:
+      return "remap_started";
+    case MonitorEvent::Kind::remap_finished:
+      return "remap_finished";
+    case MonitorEvent::Kind::remap_failed:
+      return "remap_failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The drift/re-map unit of a clique: its network label, falling back to
+/// the clique name for cliques without one (inter-network cliques).
+std::string segment_of(const deploy::PlannedClique& clique) {
+  return clique.network_label.empty() ? clique.name : clique.network_label;
+}
+
+}  // namespace
+
+MonitorDaemon::MonitorDaemon(deploy::DeploymentPlan plan, std::unique_ptr<env::ProbeEngine> engine,
+                             MonitorOptions options)
+    : plan_(std::move(plan)),
+      engine_(std::move(engine)),
+      options_(options),
+      clock_(options.period_s > 0 ? options.period_s : 1.0),
+      scheduler_(plan_),
+      store_(options.shards, options.history, options.drift) {
+  for (const deploy::PlannedClique& clique : plan_.cliques) {
+    if (clique.members.size() < 2) continue;
+    const std::string segment = segment_of(clique);
+    for (const std::string& member : clique.members) segment_hosts_[segment].insert(member);
+    for (const auto& [from, to] : nws::ordered_experiment_pairs(clique.members)) {
+      pair_segment_.emplace(nws::SeriesKey{nws::ResourceKind::bandwidth, from, to}, segment);
+    }
+  }
+}
+
+MonitorDaemon::~MonitorDaemon() {
+  stop();
+  if (query_server_ != nullptr) query_server_->stop();
+}
+
+MonitorDaemon& MonitorDaemon::set_observer(std::function<void(const MonitorEvent&)> observer) {
+  observer_ = std::move(observer);
+  return *this;
+}
+
+MonitorDaemon& MonitorDaemon::set_remap_sink(RemapSink sink) {
+  remap_sink_ = std::move(sink);
+  return *this;
+}
+
+Status MonitorDaemon::run_cycles(std::uint64_t n) {
+  {
+    std::lock_guard<std::mutex> lock(run_mutex_);
+    if (running_) {
+      return make_error(ErrorCode::invalid_argument, "monitor daemon is already running");
+    }
+    running_ = true;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) run_one_cycle();
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  running_ = false;
+  return {};
+}
+
+Status MonitorDaemon::start() {
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  if (running_) {
+    return make_error(ErrorCode::invalid_argument, "monitor daemon is already running");
+  }
+  running_ = true;
+  stopping_.store(false);
+  loop_ = std::thread([this] {
+    while (!stopping_.load()) {
+      run_one_cycle();
+      if (!options_.pace) continue;
+      // Paced mode: sleep one period of real time, in slices so stop()
+      // is never more than a slice away.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration<double>(clock_.period_s());
+      while (!stopping_.load() && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+  });
+  return {};
+}
+
+void MonitorDaemon::stop() {
+  stopping_.store(true);
+  if (loop_.joinable()) loop_.join();
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  running_ = false;
+}
+
+bool MonitorDaemon::running() const {
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  return running_;
+}
+
+Status MonitorDaemon::start_query_server(const std::string& address, std::uint16_t port) {
+  if (query_server_ != nullptr && query_server_->running()) {
+    return make_error(ErrorCode::invalid_argument, "query server is already running");
+  }
+  query_server_ = std::make_unique<QueryServer>(board_, store_);
+  return query_server_->start(address, port);
+}
+
+std::uint16_t MonitorDaemon::query_port() const {
+  return query_server_ == nullptr ? 0 : query_server_->port();
+}
+
+std::uint64_t MonitorDaemon::queries_served() const {
+  return query_server_ == nullptr ? 0 : query_server_->requests_served();
+}
+
+std::vector<std::string> MonitorDaemon::decision_log() const {
+  std::lock_guard<std::mutex> lock(decision_mutex_);
+  return decisions_;
+}
+
+void MonitorDaemon::run_one_cycle() {
+  const std::vector<ScheduledProbe> probes = scheduler_.cycle(clock_.cycles());
+  std::vector<env::ProbeExperiment> experiments;
+  experiments.reserve(probes.size());
+  for (const ScheduledProbe& probe : probes) {
+    experiments.push_back(env::ProbeExperiment::single(probe.transfer.from, probe.transfer.to));
+  }
+  const std::vector<env::ProbeExperimentOutcome> outcomes =
+      engine_->run_batch(experiments, std::max<std::size_t>(options_.probe_jobs, 1));
+
+  clock_.tick();
+  const double now = clock_.now();
+  std::uint64_t cycle_failures = 0;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const ScheduledProbe& probe = probes[i];
+    const std::string pair_label = probe.transfer.from + "->" + probe.transfer.to;
+    if (i >= outcomes.size() || outcomes[i].results.empty()) {
+      ++cycle_failures;
+      probe_failures_.fetch_add(1);
+      emit(MonitorEvent::Kind::probe_failed, probe.segment, pair_label + ": no batch outcome");
+      continue;
+    }
+    const Result<double>& measured = outcomes[i].results.front();
+    if (!measured.ok()) {
+      ++cycle_failures;
+      probe_failures_.fetch_add(1);
+      emit(MonitorEvent::Kind::probe_failed, probe.segment,
+           pair_label + ": " + measured.error().message);
+      continue;
+    }
+    store_.record(nws::SeriesKey{nws::ResourceKind::bandwidth, probe.transfer.from,
+                                 probe.transfer.to},
+                  now, measured.value());
+    measurements_.fetch_add(1);
+  }
+  cycles_done_.store(clock_.cycles());
+
+  std::vector<std::string> drifting = drift_pass();
+
+  if (options_.snapshot_every > 0 && clock_.cycles() % options_.snapshot_every == 0) {
+    publish_snapshot(std::move(drifting));
+  }
+
+  std::ostringstream detail;
+  detail << "probes=" << probes.size() << " failures=" << cycle_failures;
+  emit(MonitorEvent::Kind::cycle_finished, {}, detail.str());
+}
+
+std::vector<std::string> MonitorDaemon::drift_pass() {
+  // Group the drifting pairs by segment. std::map keeps segments in
+  // sorted order — decisions (and thus the decision log) are made in a
+  // deterministic order regardless of which shard flagged what first.
+  std::map<std::string, std::size_t> per_segment;
+  for (const nws::SeriesKey& key : store_.drifting()) {
+    const auto segment = pair_segment_.find(key);
+    if (segment != pair_segment_.end()) ++per_segment[segment->second];
+  }
+
+  const std::uint64_t cycle = clock_.cycles();
+  std::vector<std::string> still_drifting;
+  for (const auto& [segment, pairs] : per_segment) {
+    std::ostringstream line;
+    line << "cycle=" << cycle << " segment=" << segment << " pairs=" << pairs;
+    const auto cooldown = segment_cooldown_until_.find(segment);
+    if (cooldown != segment_cooldown_until_.end() && cycle < cooldown->second) {
+      line << " action=cooldown until=" << cooldown->second;
+      log_decision(line.str());
+      still_drifting.push_back(segment);
+      continue;
+    }
+    emit(MonitorEvent::Kind::drift_detected, segment,
+         "pairs=" + std::to_string(pairs));
+    if (!options_.remap_on_drift) {
+      line << " action=observe";
+      log_decision(line.str());
+      segment_cooldown_until_[segment] = cycle + options_.drift.cooldown_cycles;
+      still_drifting.push_back(segment);
+      continue;
+    }
+    line << " action=remap";
+    log_decision(line.str());
+    if (!remap_segment(segment, pairs).ok()) still_drifting.push_back(segment);
+  }
+  return still_drifting;
+}
+
+Status MonitorDaemon::remap_segment(const std::string& segment, std::size_t pairs_drifting) {
+  const auto hosts = segment_hosts_.find(segment);
+  if (hosts == segment_hosts_.end() || hosts->second.size() < 2) {
+    return make_error(ErrorCode::not_found, "segment '" + segment + "' has no host set");
+  }
+  env::ZoneSpec spec;
+  spec.zone_name = segment;
+  spec.hostnames.assign(hosts->second.begin(), hosts->second.end());
+  spec.master = hosts->second.count(plan_.master) > 0 ? plan_.master : spec.hostnames.front();
+  spec.traceroute_target = spec.master;
+
+  emit(MonitorEvent::Kind::remap_started, segment,
+       "hosts=" + std::to_string(spec.hostnames.size()) +
+           " drifting-pairs=" + std::to_string(pairs_drifting));
+
+  // Whatever the incremental re-map probes goes through the daemon's own
+  // engine: the experiment-count diff below is exactly its probe cost,
+  // and recorded/replayed sessions capture it like any other probing.
+  const std::uint64_t experiments_before = engine_->stats().experiments;
+  env::Mapper mapper(*engine_, options_.remap);
+  Result<env::ZoneMapResult> remapped = mapper.map_zone(spec);
+  const std::uint64_t cost = engine_->stats().experiments - experiments_before;
+  remap_experiments_.fetch_add(cost);
+
+  // Cooldown either way: the re-probe itself says nothing about the
+  // forecast, and a failing segment must not retry every cycle.
+  segment_cooldown_until_[segment] = clock_.cycles() + options_.drift.cooldown_cycles;
+
+  if (!remapped.ok()) {
+    emit(MonitorEvent::Kind::remap_failed, segment, remapped.error().message);
+    return remapped.error();
+  }
+
+  // The refreshed platform seeds fresh verdicts: forget the learned
+  // state (forecasters + drift windows) of every pair in the segment.
+  std::vector<nws::SeriesKey> keys;
+  for (const auto& [key, owner] : pair_segment_) {
+    if (owner == segment) keys.push_back(key);
+  }
+  store_.reset_learning(keys);
+
+  remaps_.fetch_add(1);
+  emit(MonitorEvent::Kind::remap_finished, segment,
+       "experiments=" + std::to_string(cost) + " pairs-reset=" + std::to_string(keys.size()));
+  if (remap_sink_) remap_sink_(segment, remapped.value());
+  return {};
+}
+
+void MonitorDaemon::publish_snapshot(std::vector<std::string> drifting_segments) {
+  ++snapshot_version_;
+  auto snapshot = build_snapshot(store_, snapshot_version_, clock_.cycles(), clock_.now(),
+                                 measurements_.load(), probe_failures_.load(), remaps_.load(),
+                                 remap_experiments_.load(), std::move(drifting_segments));
+  const std::string digest = snapshot->digest();
+  board_.publish(std::move(snapshot));
+  emit(MonitorEvent::Kind::snapshot_published, {},
+       "version=" + std::to_string(snapshot_version_) + " digest=" + digest);
+}
+
+void MonitorDaemon::emit(MonitorEvent::Kind kind, std::string segment, std::string detail) {
+  if (!observer_) return;
+  MonitorEvent event;
+  event.kind = kind;
+  event.cycle = clock_.cycles();
+  event.time_s = clock_.now();
+  event.segment = std::move(segment);
+  event.detail = std::move(detail);
+  observer_(event);
+}
+
+void MonitorDaemon::log_decision(std::string line) {
+  std::lock_guard<std::mutex> lock(decision_mutex_);
+  decisions_.push_back(std::move(line));
+}
+
+}  // namespace envnws::monitor

@@ -1,0 +1,28 @@
+#include "monitor/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace envnws::monitor {
+
+void DriftTracker::observe(double predicted, double actual) {
+  // Relative to the observation, floored so a (physically impossible)
+  // zero measurement cannot divide the error away.
+  const double scale = std::max(std::fabs(actual), 1e-12);
+  errors_.push_back(std::fabs(predicted - actual) / scale);
+  while (errors_.size() > window_) errors_.pop_front();
+}
+
+double DriftTracker::relative_mae() const {
+  if (errors_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double error : errors_) sum += error;
+  return sum / static_cast<double>(errors_.size());
+}
+
+bool DriftTracker::drifting(const DriftPolicy& policy) const {
+  if (errors_.size() < policy.min_samples) return false;
+  return relative_mae() > policy.relative_error_threshold;
+}
+
+}  // namespace envnws::monitor

@@ -1,0 +1,55 @@
+// Forecast-drift detection.
+//
+// The monitoring loop closes the ENV->NWS feedback: when the forecaster
+// stops explaining what a pair measures — the platform changed under the
+// map — the affected network segment is re-probed through the ENV
+// mapper. "Stops explaining" is judged per pair by the relative mean
+// absolute error of the one-step forecast over a rolling window:
+// |forecast - observed| / |observed|, averaged over the last `window`
+// observations. A threshold on that number is scale-free (a 100 Mbit/s
+// LAN and a 2 Mbit/s WAN drift at the same 30%), and the window makes
+// one outlier measurement insufficient while a sustained shift trips
+// within `window` cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace envnws::monitor {
+
+struct DriftPolicy {
+  /// Rolling relative MAE above this means the pair drifts.
+  double relative_error_threshold = 0.30;
+  /// Observations in the rolling error window.
+  std::size_t window = 8;
+  /// Errors needed in the window before a verdict (a fresh or re-mapped
+  /// pair is never judged on one or two points).
+  std::size_t min_samples = 4;
+  /// Cycles a re-mapped segment is left alone before it may trigger
+  /// again (the re-probe itself proves nothing about the forecast).
+  std::uint64_t cooldown_cycles = 8;
+};
+
+/// Per-pair rolling forecast-error tracker.
+class DriftTracker {
+ public:
+  explicit DriftTracker(std::size_t window = 8) : window_(window == 0 ? 1 : window) {}
+
+  /// Record one forecast-vs-observation error.
+  void observe(double predicted, double actual);
+  /// Mean relative error over the window (0 when empty).
+  [[nodiscard]] double relative_mae() const;
+  /// Errors currently in the window.
+  [[nodiscard]] std::size_t samples() const { return errors_.size(); }
+  [[nodiscard]] bool drifting(const DriftPolicy& policy) const;
+  /// Forget everything (after an incremental re-map: the refreshed
+  /// platform seeds a fresh verdict).
+  void reset() { errors_.clear(); }
+
+ private:
+  std::size_t window_;
+  std::deque<double> errors_;  ///< relative absolute errors, oldest first
+};
+
+}  // namespace envnws::monitor

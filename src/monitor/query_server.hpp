@@ -1,0 +1,119 @@
+// The monitor's query front-end: SNAPSHOT / QUERY / SERIES over the
+// probe_wire framed protocol (frame grammar in env/probe_wire.hpp,
+// lifecycle in docs/MONITORD.md).
+//
+// Structured like env::ProbeAgent: one acceptor thread polling a
+// TcpListener, one serving thread per connection, stop() waking every
+// blocked thread via shutdown(). The request handlers are where the
+// RCU model pays off: SNAPSHOT and QUERY answer entirely from the
+// currently published MonitorSnapshot — one atomic shared_ptr load,
+// zero locks, no matter how many clients hammer the daemon while the
+// measurement loop runs. Only SERIES (raw history, not part of the
+// snapshot) reads a store shard under that shard's mutex.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "env/probe_wire.hpp"
+#include "monitor/snapshot.hpp"
+#include "monitor/store.hpp"
+#include "nws/series.hpp"
+
+namespace envnws::monitor {
+
+class QueryServer {
+ public:
+  /// Serves `board` (SNAPSHOT/QUERY) and `store` (SERIES); both must
+  /// outlive the server. `max_series_points` caps one SERIES reply so a
+  /// full-history request cannot overflow a control frame.
+  QueryServer(const SnapshotBoard& board, const SeriesShardStore& store,
+              std::size_t max_series_points = 256);
+  ~QueryServer();
+
+  /// Bind and start serving; `port == 0` picks an ephemeral port.
+  Status start(const std::string& address = "127.0.0.1", std::uint16_t port = 0);
+  void stop();
+  [[nodiscard]] bool running() const;
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t requests_served() const;
+
+ private:
+  struct Connection {
+    env::wire::TcpSocket socket;
+    std::thread thread;
+    bool done = false;
+  };
+
+  void accept_loop();
+  void serve_connection(std::size_t slot);
+  /// One request -> one reply payload (never empty).
+  [[nodiscard]] std::string handle(const env::wire::WireMessage& request) const;
+  [[nodiscard]] std::string handle_snapshot() const;
+  [[nodiscard]] std::string handle_query(const env::wire::WireMessage& request) const;
+  [[nodiscard]] std::string handle_series(const env::wire::WireMessage& request) const;
+
+  const SnapshotBoard& board_;
+  const SeriesShardStore& store_;
+  std::size_t max_series_points_;
+  double io_timeout_s_ = 10.0;
+
+  mutable std::mutex mutex_;  ///< conns_, flags, counters
+  bool running_ = false;
+  bool stopping_ = false;
+  std::uint64_t requests_ = 0;
+  env::wire::TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+/// One client connection to a QueryServer (tests, the monitord example,
+/// operator tooling). Not thread-safe; give each thread its own client.
+class QueryClient {
+ public:
+  static Result<QueryClient> connect(const std::string& address, std::uint16_t port,
+                                     double timeout_s = 5.0);
+
+  /// Raw round trip (reply may be any type, ERR already converted).
+  Result<env::wire::WireMessage> request(const env::wire::WireMessage& message,
+                                         std::string_view expected_type);
+
+  struct SnapshotSummary {
+    std::uint64_t version = 0;
+    std::uint64_t cycles = 0;
+    double time_s = 0.0;
+    std::uint64_t pairs = 0;
+    std::uint64_t measurements = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t remaps = 0;
+    std::string drifting;  ///< comma-joined drifting segments
+    std::string digest;
+  };
+  Result<SnapshotSummary> snapshot();
+
+  struct PairAnswer {
+    double latest = 0.0;
+    double latest_time = 0.0;
+    nws::Forecast forecast;
+    bool drifting = false;
+  };
+  Result<PairAnswer> query(const nws::SeriesKey& key);
+
+  Result<std::vector<nws::Measurement>> series(const nws::SeriesKey& key, std::size_t max = 0);
+
+ private:
+  QueryClient(env::wire::TcpSocket socket, double timeout_s)
+      : socket_(std::move(socket)), timeout_s_(timeout_s) {}
+
+  env::wire::TcpSocket socket_;
+  env::wire::FrameBuffer buffer_;
+  double timeout_s_;
+};
+
+}  // namespace envnws::monitor

@@ -1,0 +1,83 @@
+// Monitoring clock and cycle scheduler.
+//
+// The daemon's measurement loop is driven by a VIRTUAL clock: time
+// advances by exactly one period per cycle, so series timestamps — and
+// with them snapshot digests — depend only on the cycle count, never on
+// wall-clock jitter. Live deployments pace the loop in real time on top
+// (MonitorOptions::pace); replayed ones do not, and both produce the
+// bit-identical measurement record.
+//
+// The CycleScheduler turns a validated deploy::DeploymentPlan into the
+// per-cycle experiment list: each clique contributes `parallel_tokens`
+// experiments per cycle, rotating round-robin through its ordered pair
+// list (nws::ordered_experiment_pairs — the same schedule the simulated
+// token ring walks). The resulting list is in plan order, which makes it
+// the canonical batch order for ProbeEngine::run_batch: what runs
+// concurrently may vary with probe_jobs, what is measured never does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deploy/plan.hpp"
+#include "env/probe_engine.hpp"
+
+namespace envnws::monitor {
+
+/// Deterministic monitoring time: now() == period_s * cycles().
+class MonitorClock {
+ public:
+  explicit MonitorClock(double period_s) : period_s_(period_s) {}
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] double period_s() const { return period_s_; }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+  /// End of one cycle: advance exactly one period.
+  void tick() {
+    ++cycles_;
+    now_ = period_s_ * static_cast<double>(cycles_);
+  }
+
+ private:
+  double period_s_;
+  double now_ = 0.0;
+  std::uint64_t cycles_ = 0;
+};
+
+/// One experiment of a monitoring cycle.
+struct ScheduledProbe {
+  std::string clique;   ///< PlannedClique::name
+  std::string segment;  ///< PlannedClique::network_label (drift/re-map unit)
+  env::BandwidthRequest transfer;
+};
+
+class CycleScheduler {
+ public:
+  explicit CycleScheduler(const deploy::DeploymentPlan& plan);
+
+  /// The experiments of cycle `k`, in plan order (the canonical batch
+  /// order). Deterministic: same plan + same k => same list.
+  [[nodiscard]] std::vector<ScheduledProbe> cycle(std::uint64_t k) const;
+
+  /// Experiments every cycle issues (constant across cycles).
+  [[nodiscard]] std::size_t probes_per_cycle() const;
+  /// Distinct ordered pairs across all cliques (with multiplicity).
+  [[nodiscard]] std::uint64_t pairs_total() const;
+  /// Cycles after which every pair of every clique has been visited at
+  /// least once (a "full sweep").
+  [[nodiscard]] std::uint64_t full_sweep_cycles() const;
+
+ private:
+  struct CliqueSchedule {
+    std::string name;
+    std::string segment;
+    std::vector<std::pair<std::string, std::string>> pairs;
+    std::size_t tokens = 1;  ///< experiments per cycle (clamped to pairs)
+  };
+
+  std::vector<CliqueSchedule> cliques_;
+};
+
+}  // namespace envnws::monitor

@@ -1,0 +1,82 @@
+#include "monitor/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/hash.hpp"
+
+namespace envnws::monitor {
+
+namespace {
+
+/// 17 significant digits: enough to round-trip any double, the same
+/// full-precision convention as MapResult::identity_digest().
+std::string f64(double value) {
+  char out[40];
+  std::snprintf(out, sizeof(out), "%.17g", value);
+  return out;
+}
+
+}  // namespace
+
+const PairReading* MonitorSnapshot::find(const nws::SeriesKey& key) const {
+  const auto it = std::lower_bound(
+      pairs.begin(), pairs.end(), key,
+      [](const PairReading& reading, const nws::SeriesKey& wanted) { return reading.key < wanted; });
+  if (it == pairs.end() || !(it->key == key)) return nullptr;
+  return &*it;
+}
+
+std::string MonitorSnapshot::render() const {
+  std::ostringstream out;
+  out << "monitor snapshot v" << version << "\n";
+  out << "cycles " << cycles << " time " << f64(time_s) << "\n";
+  out << "measurements " << measurements << " failures " << probe_failures << "\n";
+  out << "remaps " << remaps << " remap-experiments " << remap_experiments << "\n";
+  out << "drifting";
+  for (const auto& segment : drifting_segments) out << " " << segment;
+  out << "\n";
+  out << "pairs " << pairs.size() << "\n";
+  for (const PairReading& pair : pairs) {
+    out << pair.key.to_string() << " t=" << f64(pair.time) << " v=" << f64(pair.value)
+        << " forecast=" << f64(pair.forecast.value) << " mae=" << f64(pair.forecast.mae)
+        << " rmse=" << f64(pair.forecast.rmse) << " winner=" << pair.forecast.winner
+        << " samples=" << pair.forecast.samples << " drift=" << f64(pair.drift_relative_mae)
+        << (pair.drifting ? " DRIFTING" : "") << "\n";
+  }
+  return out.str();
+}
+
+std::string MonitorSnapshot::digest() const { return hash::hex64(hash::fnv1a64(render())); }
+
+std::shared_ptr<const MonitorSnapshot> build_snapshot(
+    const SeriesShardStore& store, std::uint64_t version, std::uint64_t cycles, double time_s,
+    std::uint64_t measurements, std::uint64_t probe_failures, std::uint64_t remaps,
+    std::uint64_t remap_experiments, std::vector<std::string> drifting_segments) {
+  auto snapshot = std::make_shared<MonitorSnapshot>();
+  snapshot->version = version;
+  snapshot->cycles = cycles;
+  snapshot->time_s = time_s;
+  snapshot->measurements = measurements;
+  snapshot->probe_failures = probe_failures;
+  snapshot->remaps = remaps;
+  snapshot->remap_experiments = remap_experiments;
+  std::sort(drifting_segments.begin(), drifting_segments.end());
+  drifting_segments.erase(std::unique(drifting_segments.begin(), drifting_segments.end()),
+                          drifting_segments.end());
+  snapshot->drifting_segments = std::move(drifting_segments);
+  for (SeriesShardStore::PairState& state : store.collect()) {
+    PairReading reading;
+    reading.key = std::move(state.key);
+    reading.time = state.time;
+    reading.value = state.value;
+    reading.forecast = std::move(state.forecast);
+    reading.drift_relative_mae = state.drift_relative_mae;
+    reading.drifting = state.drifting;
+    snapshot->pairs.push_back(std::move(reading));
+  }
+  return snapshot;
+}
+
+}  // namespace envnws::monitor

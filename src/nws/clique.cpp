@@ -20,11 +20,7 @@ Clique::Clique(simnet::Network& net, CliqueSpec spec, MemoryServer& memory,
   if (!spec_.pairs.empty()) {
     pairs_ = spec_.pairs;
   } else {
-    for (const NodeId a : spec_.members) {
-      for (const NodeId b : spec_.members) {
-        if (a != b) pairs_.emplace_back(a, b);
-      }
-    }
+    pairs_ = ordered_experiment_pairs(spec_.members);
   }
   if (spec_.parallel_tokens < 1) spec_.parallel_tokens = 1;
   // Parallel tokens without host locks would let experiments of this

@@ -24,6 +24,22 @@
 
 namespace envnws::nws {
 
+/// "Given n computers, there is n x (n-1) links to test": every ordered
+/// member pair, in member order. The canonical clique schedule — shared
+/// by the simulated token ring (Clique) and the monitor daemon's cycle
+/// scheduler, which rotates through the same list over real engines.
+template <class Node>
+[[nodiscard]] std::vector<std::pair<Node, Node>> ordered_experiment_pairs(
+    const std::vector<Node>& members) {
+  std::vector<std::pair<Node, Node>> pairs;
+  for (const Node& a : members) {
+    for (const Node& b : members) {
+      if (!(a == b)) pairs.emplace_back(a, b);
+    }
+  }
+  return pairs;
+}
+
 struct CliqueSpec {
   std::string name;
   std::vector<simnet::NodeId> members;

@@ -18,19 +18,6 @@ const TimeSeries* MemoryServer::find(const SeriesKey& key) const {
   return it == series_.end() ? nullptr : &it->second;
 }
 
-namespace {
-
-Result<ResourceKind> resource_from_string(const std::string& text) {
-  for (const ResourceKind kind :
-       {ResourceKind::bandwidth, ResourceKind::latency, ResourceKind::connect_time,
-        ResourceKind::cpu, ResourceKind::memory, ResourceKind::disk}) {
-    if (text == to_string(kind)) return kind;
-  }
-  return make_error(ErrorCode::protocol, "unknown resource '" + text + "'");
-}
-
-}  // namespace
-
 std::string MemoryServer::dump() const {
   std::ostringstream out;
   out << "# nws memory dump: " << name_ << "\n";

@@ -19,6 +19,15 @@ bool is_network_resource(ResourceKind kind) {
          kind == ResourceKind::connect_time;
 }
 
+Result<ResourceKind> resource_from_string(const std::string& text) {
+  for (const ResourceKind kind :
+       {ResourceKind::bandwidth, ResourceKind::latency, ResourceKind::connect_time,
+        ResourceKind::cpu, ResourceKind::memory, ResourceKind::disk}) {
+    if (text == to_string(kind)) return kind;
+  }
+  return make_error(ErrorCode::protocol, "unknown resource '" + text + "'");
+}
+
 std::string SeriesKey::to_string() const {
   std::string out = envnws::nws::to_string(resource);
   out += ':';

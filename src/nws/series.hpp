@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
+
 namespace envnws::nws {
 
 enum class ResourceKind {
@@ -24,6 +26,9 @@ enum class ResourceKind {
 
 [[nodiscard]] const char* to_string(ResourceKind kind);
 [[nodiscard]] bool is_network_resource(ResourceKind kind);
+/// Inverse of to_string(); `protocol` error on unknown resource names
+/// (shared by the memory-dump parser and the monitor wire protocol).
+[[nodiscard]] Result<ResourceKind> resource_from_string(const std::string& text);
 
 /// Identity of one measurement stream. Host resources leave `dst` empty.
 struct SeriesKey {

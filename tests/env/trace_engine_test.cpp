@@ -317,5 +317,46 @@ TEST(GoldenTraces, ReplayIsBitIdenticalToTheLiveRunWithZeroProbes) {
   }
 }
 
+TEST(GoldenTraces, CommittedSocketTraceReplaysDeterministically) {
+  // socket-star-6.envtrace was recorded against a REAL loopback agent
+  // fleet (./examples/record_trace star-switch:6 <path> --fleet), so
+  // there is no live run to compare against here — the contract is that
+  // the committed trace replays at all, replays identically, and does it
+  // fully offline. This is what makes socket-engine behavior testable in
+  // sandboxes without network support.
+  const fs::path path = kTraceDir / "socket-star-6.envtrace";
+  ASSERT_TRUE(fs::exists(path))
+      << "golden socket trace missing: " << path
+      << "\nre-record with: ./build/examples/record_trace star-switch:6 " << path << " --fleet";
+
+  auto scenario = api::ScenarioRegistry::builtin().make("star-switch:6");
+  ASSERT_TRUE(scenario.ok());
+
+  const auto replay_once = [&](int probe_jobs) {
+    simnet::Network net(simnet::Scenario(scenario.value()).topology);
+    api::Session session(net, scenario.value());
+    // The recording ran with loopback tuning; the replay schedule must
+    // match or strict replay rejects the probe stream.
+    session.options().mapper.probe_bytes = 64 * 1024;
+    session.options().mapper.stabilization_gap_s = 0.0;
+    session.options().mapper.probe_jobs = probe_jobs;
+    EXPECT_TRUE(session.set_probe_engine_spec("replay:" + path.string()).ok());
+    auto status = session.map();
+    EXPECT_TRUE(status.ok()) << status.error().to_string()
+                             << "\nThe mapper's probe schedule probably changed; re-record with:"
+                             << "\n  ./build/examples/record_trace star-switch:6 " << path
+                             << " --fleet";
+    // Fully offline: the simulator network never carried a probe.
+    const auto& purposes = net.stats().by_purpose;
+    EXPECT_EQ(purposes.find("env-probe"), purposes.end());
+    return session.map_result().identity_digest();
+  };
+
+  const std::string sequential = replay_once(1);
+  EXPECT_EQ(replay_once(1), sequential);
+  // Batched replay measures the same platform (canonical-order contract).
+  EXPECT_EQ(replay_once(8), sequential);
+}
+
 }  // namespace
 }  // namespace envnws::env

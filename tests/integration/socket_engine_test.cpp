@@ -398,5 +398,41 @@ TEST(SocketEngine, PingTrainsAndAgentStatsWork) {
   fleet.stop_all();
 }
 
+// --- connection pool --------------------------------------------------------
+
+TEST(SocketEngine, IdlePoolHoldsTheGlobalLruBound) {
+  SKIP_WITHOUT_NET();
+  auto scenario = make_scenario("star-switch:6");
+  AgentFleet fleet;
+  fleet.spawn(scenario, 1e9, "socket-pool.cfg");
+  env::MapperOptions options;
+  options.probe_bytes = 64 * 1024;
+  options.stabilization_gap_s = 0.0;
+  env::SocketEngineOptions socket_options;
+  socket_options.max_idle_sockets = 2;  // tiny bound so eviction is forced
+  env::SocketProbeEngine engine(fleet.roster(), options, socket_options);
+
+  EXPECT_EQ(engine.idle_sockets(), 0u);
+  // Probes across 6 hosts open (and release) connections to many agents;
+  // with an unbounded per-host pool this would idle 6+ sockets. The
+  // global LRU bound must hold after EVERY experiment.
+  const std::vector<std::string> hosts = {"h0.lan", "h1.lan", "h2.lan",
+                                          "h3.lan", "h4.lan", "h5.lan"};
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    ASSERT_TRUE(engine.lookup(hosts[i]).ok()) << hosts[i];
+    EXPECT_LE(engine.idle_sockets(), 2u);
+    const auto& from = hosts[i];
+    const auto& to = hosts[(i + 1) % hosts.size()];
+    ASSERT_TRUE(engine.bandwidth(from, to).ok()) << from << " -> " << to;
+    EXPECT_LE(engine.idle_sockets(), 2u);
+  }
+  // And evicted connections really closed: the pool is at the bound, not
+  // above it, yet probing still works (fresh dials replace evictions).
+  EXPECT_EQ(engine.idle_sockets(), 2u);
+  ASSERT_TRUE(engine.bandwidth("h5.lan", "h0.lan").ok());
+  EXPECT_LE(engine.idle_sockets(), 2u);
+  fleet.stop_all();
+}
+
 }  // namespace
 }  // namespace envnws::api

@@ -1,0 +1,349 @@
+// Unit coverage of the monitor building blocks: virtual clock, cycle
+// scheduler, drift tracker, sharded series store, immutable snapshots —
+// everything the daemon composes, tested without any daemon or socket.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "deploy/plan.hpp"
+#include "monitor/drift.hpp"
+#include "monitor/schedule.hpp"
+#include "monitor/snapshot.hpp"
+#include "monitor/store.hpp"
+#include "nws/clique.hpp"
+#include "nws/series.hpp"
+
+namespace envnws::monitor {
+namespace {
+
+nws::SeriesKey bw_key(const std::string& src, const std::string& dst) {
+  return nws::SeriesKey{nws::ResourceKind::bandwidth, src, dst};
+}
+
+// --- clock ------------------------------------------------------------------
+
+TEST(MonitorClock, TimeIsExactlyPeriodTimesCycles) {
+  MonitorClock clock(2.5);
+  EXPECT_EQ(clock.cycles(), 0u);
+  EXPECT_EQ(clock.now(), 0.0);
+  for (int i = 1; i <= 10; ++i) {
+    clock.tick();
+    EXPECT_EQ(clock.cycles(), static_cast<std::uint64_t>(i));
+    // Multiplication, not accumulation: no floating-point drift, so a
+    // snapshot digest depends only on the cycle count.
+    EXPECT_EQ(clock.now(), 2.5 * i);
+  }
+}
+
+// --- scheduler --------------------------------------------------------------
+
+deploy::DeploymentPlan two_clique_plan() {
+  deploy::DeploymentPlan plan;
+  plan.master = "a";
+  plan.hosts = {"a", "b", "c", "x", "y"};
+  deploy::PlannedClique lan;
+  lan.name = "clique-1-lan";
+  lan.role = deploy::CliqueRole::switched_all;
+  lan.members = {"a", "b", "c"};
+  lan.network_label = "lan";
+  deploy::PlannedClique inter;
+  inter.name = "clique-2-inter";
+  inter.role = deploy::CliqueRole::inter;
+  inter.members = {"x", "y"};
+  inter.network_label = "wan";
+  plan.cliques = {lan, inter};
+  return plan;
+}
+
+TEST(CycleScheduler, RotatesRoundRobinThroughOrderedPairs) {
+  const auto plan = two_clique_plan();
+  CycleScheduler scheduler(plan);
+  // 3 members -> 6 ordered pairs; 2 members -> 2 ordered pairs.
+  EXPECT_EQ(scheduler.pairs_total(), 8u);
+  EXPECT_EQ(scheduler.probes_per_cycle(), 2u);  // one token per clique
+  EXPECT_EQ(scheduler.full_sweep_cycles(), 6u);
+
+  // Every pair of every clique is visited exactly once per sweep, and
+  // the schedule is a pure function of the cycle index.
+  std::set<std::string> lan_pairs;
+  std::set<std::string> wan_pairs;
+  for (std::uint64_t k = 0; k < scheduler.full_sweep_cycles(); ++k) {
+    const auto probes = scheduler.cycle(k);
+    ASSERT_EQ(probes.size(), 2u);
+    EXPECT_EQ(probes[0].clique, "clique-1-lan");
+    EXPECT_EQ(probes[0].segment, "lan");
+    EXPECT_EQ(probes[1].segment, "wan");
+    lan_pairs.insert(probes[0].transfer.from + ">" + probes[0].transfer.to);
+    wan_pairs.insert(probes[1].transfer.from + ">" + probes[1].transfer.to);
+    const auto again = scheduler.cycle(k);
+    EXPECT_EQ(again[0].transfer.from, probes[0].transfer.from);
+    EXPECT_EQ(again[0].transfer.to, probes[0].transfer.to);
+  }
+  EXPECT_EQ(lan_pairs.size(), 6u);
+  EXPECT_EQ(wan_pairs.size(), 2u);
+}
+
+TEST(CycleScheduler, ParallelTokensMultiplyTheRefreshRate) {
+  auto plan = two_clique_plan();
+  plan.cliques[0].parallel_tokens = 3;
+  plan.cliques.pop_back();  // lan clique only
+  CycleScheduler scheduler(plan);
+  EXPECT_EQ(scheduler.probes_per_cycle(), 3u);
+  EXPECT_EQ(scheduler.full_sweep_cycles(), 2u);  // ceil(6 / 3)
+  // Tokens are clamped to the pair count: 99 tokens over 6 pairs is 6.
+  plan.cliques[0].parallel_tokens = 99;
+  CycleScheduler clamped(plan);
+  EXPECT_EQ(clamped.probes_per_cycle(), 6u);
+  EXPECT_EQ(clamped.full_sweep_cycles(), 1u);
+}
+
+TEST(CycleScheduler, SingleMemberCliquesScheduleNothing) {
+  deploy::DeploymentPlan plan;
+  plan.master = "solo";
+  deploy::PlannedClique lonely;
+  lonely.name = "clique-1-solo";
+  lonely.members = {"solo"};
+  plan.cliques = {lonely};
+  CycleScheduler scheduler(plan);
+  EXPECT_EQ(scheduler.probes_per_cycle(), 0u);
+  EXPECT_TRUE(scheduler.cycle(0).empty());
+}
+
+TEST(OrderedExperimentPairs, MatchCliqueSemantics) {
+  const std::vector<std::string> members = {"a", "b", "c"};
+  const auto pairs = nws::ordered_experiment_pairs(members);
+  ASSERT_EQ(pairs.size(), 6u);
+  for (const auto& [from, to] : pairs) EXPECT_NE(from, to);
+}
+
+// --- drift ------------------------------------------------------------------
+
+TEST(DriftTracker, NeedsMinSamplesAndSustainedError) {
+  DriftPolicy policy;  // threshold 0.30, window 8, min_samples 4
+  DriftTracker tracker(policy.window);
+  // Perfect forecasts: never drifting.
+  for (int i = 0; i < 10; ++i) tracker.observe(100.0, 100.0);
+  EXPECT_EQ(tracker.relative_mae(), 0.0);
+  EXPECT_FALSE(tracker.drifting(policy));
+
+  // One wild outlier inside a window of good forecasts: 2.0/8 = 0.25,
+  // below threshold — a single bad measurement is not drift.
+  tracker.observe(300.0, 100.0);
+  EXPECT_FALSE(tracker.drifting(policy));
+
+  // A sustained shift is: errors of 1.0 fill the window.
+  for (int i = 0; i < 8; ++i) tracker.observe(200.0, 100.0);
+  EXPECT_NEAR(tracker.relative_mae(), 1.0, 1e-12);
+  EXPECT_TRUE(tracker.drifting(policy));
+
+  tracker.reset();
+  EXPECT_EQ(tracker.samples(), 0u);
+  EXPECT_FALSE(tracker.drifting(policy));
+  // Fresh trackers never drift before min_samples even on huge errors.
+  tracker.observe(500.0, 100.0);
+  tracker.observe(500.0, 100.0);
+  EXPECT_FALSE(tracker.drifting(policy));
+}
+
+TEST(DriftTracker, RelativeErrorIsScaleFree) {
+  DriftTracker lan(4);
+  DriftTracker wan(4);
+  for (int i = 0; i < 4; ++i) {
+    lan.observe(1.3e8, 1.0e8);  // 100 Mbit/s off by 30%
+    wan.observe(2.6e6, 2.0e6);  // 2 Mbit/s off by 30%
+  }
+  EXPECT_NEAR(lan.relative_mae(), wan.relative_mae(), 1e-12);
+}
+
+// --- store ------------------------------------------------------------------
+
+TEST(SeriesShardStore, RecordIsForecastThenObserve) {
+  SeriesShardStore store(4, 64, DriftPolicy{});
+  const auto key = bw_key("a", "b");
+  // First observation: no forecast existed yet.
+  auto first = store.record(key, 1.0, 100.0);
+  EXPECT_FALSE(first.had_forecast);
+  // Second: the forecast (trained on 100) meets the new value.
+  auto second = store.record(key, 2.0, 100.0);
+  EXPECT_TRUE(second.had_forecast);
+  EXPECT_EQ(second.predicted, 100.0);
+  EXPECT_EQ(second.relative_error, 0.0);
+  // A shifted value scores the PRE-observation forecast against it.
+  auto shifted = store.record(key, 3.0, 50.0);
+  EXPECT_TRUE(shifted.had_forecast);
+  EXPECT_EQ(shifted.predicted, 100.0);
+  EXPECT_GT(shifted.relative_error, 0.0);
+}
+
+TEST(SeriesShardStore, ShardAssignmentIsStableAndCollectIsCanonical) {
+  // shard_of is FNV-based, not std::hash: the same key lands on the same
+  // shard on every platform and in every process.
+  const auto key = bw_key("h3.lan", "h1.lan");
+  const std::size_t shard = SeriesShardStore::shard_of(key, 8);
+  EXPECT_LT(shard, 8u);
+  EXPECT_EQ(SeriesShardStore::shard_of(key, 8), shard);
+
+  // collect() is sorted by key no matter how keys spread over shards.
+  SeriesShardStore store(8, 64, DriftPolicy{});
+  const std::vector<std::string> hosts = {"h0", "h1", "h2", "h3", "h4"};
+  for (const auto& src : hosts) {
+    for (const auto& dst : hosts) {
+      if (src != dst) store.record(bw_key(src, dst), 1.0, 5.0e8);
+    }
+  }
+  const auto states = store.collect();
+  ASSERT_EQ(states.size(), 20u);
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    EXPECT_TRUE(states[i - 1].key < states[i].key);
+  }
+  EXPECT_EQ(store.stored(), 20u);
+}
+
+TEST(SeriesShardStore, SeriesReturnsMostRecentPointsBounded) {
+  SeriesShardStore store(2, 128, DriftPolicy{});
+  const auto key = bw_key("a", "b");
+  for (int i = 1; i <= 10; ++i) store.record(key, i, 100.0 + i);
+  const auto all = store.series(key, 0);
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(all.front().time, 1.0);
+  const auto tail = store.series(key, 3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail.front().time, 8.0);
+  EXPECT_EQ(tail.back().time, 10.0);
+  EXPECT_TRUE(store.series(bw_key("no", "pair"), 0).empty());
+}
+
+TEST(SeriesShardStore, DriftingKeysAndResetLearning) {
+  DriftPolicy policy;
+  policy.relative_error_threshold = 0.2;
+  policy.window = 4;
+  policy.min_samples = 2;
+  SeriesShardStore store(4, 64, policy);
+  const auto steady = bw_key("a", "b");
+  const auto shifty = bw_key("c", "d");
+  for (int i = 0; i < 6; ++i) {
+    store.record(steady, i, 100.0);
+    store.record(shifty, i, i % 2 == 0 ? 100.0 : 400.0);  // oscillates
+  }
+  const auto drifting = store.drifting();
+  ASSERT_EQ(drifting.size(), 1u);
+  EXPECT_TRUE(drifting[0] == shifty);
+
+  store.reset_learning({shifty});
+  EXPECT_TRUE(store.drifting().empty());
+  // History survives a learning reset; only the verdict state forgets.
+  EXPECT_EQ(store.series(shifty, 0).size(), 6u);
+}
+
+TEST(SeriesShardStore, DumpRestoreRewarmsForecasters) {
+  SeriesShardStore store(4, 64, DriftPolicy{});
+  for (int i = 1; i <= 8; ++i) {
+    store.record(bw_key("a", "b"), i, 1.0e8 + i * 100.0);
+    store.record(bw_key("b", "a"), i, 2.0e8);
+  }
+  const std::string dump = store.dump();
+  ASSERT_FALSE(dump.empty());
+
+  SeriesShardStore restored(4, 64, DriftPolicy{});
+  ASSERT_TRUE(restored.restore(dump).ok());
+  EXPECT_EQ(restored.stored(), store.stored());
+  // restore() routes every point through record(): the restored
+  // forecasters predict exactly what the live ones do.
+  const auto live = store.collect();
+  const auto warm = restored.collect();
+  ASSERT_EQ(warm.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_TRUE(warm[i].key == live[i].key);
+    EXPECT_EQ(warm[i].forecast.value, live[i].forecast.value);
+    EXPECT_EQ(warm[i].forecast.winner, live[i].forecast.winner);
+    EXPECT_EQ(warm[i].forecast.samples, live[i].forecast.samples);
+  }
+  // And the dump grammar round-trips bit-identically.
+  EXPECT_EQ(restored.dump(), dump);
+}
+
+TEST(SeriesShardStore, RestoreRejectsMalformedDumps) {
+  SeriesShardStore store(2, 16, DriftPolicy{});
+  EXPECT_FALSE(store.restore("series bandwidth a\n").ok());          // short header
+  EXPECT_FALSE(store.restore("series warp a b\n1 2\n").ok());        // unknown resource
+  EXPECT_FALSE(store.restore("1.0 2.0\n").ok());                     // point before header
+  EXPECT_FALSE(store.restore("series cpu a -\nnot numbers\n").ok()); // junk point
+  EXPECT_TRUE(store.restore("# empty dump\n").ok());
+}
+
+// --- snapshots --------------------------------------------------------------
+
+TEST(MonitorSnapshot, DigestIsStableAndCoversEveryObservable) {
+  SeriesShardStore store(4, 64, DriftPolicy{});
+  store.record(bw_key("a", "b"), 1.0, 1.0e8);
+  store.record(bw_key("b", "a"), 1.0, 2.0e8);
+
+  const auto one = build_snapshot(store, 1, 5, 5.0, 10, 1, 0, 0, {"lan"});
+  const auto two = build_snapshot(store, 1, 5, 5.0, 10, 1, 0, 0, {"lan"});
+  EXPECT_EQ(one->digest(), two->digest());
+  EXPECT_EQ(one->render(), two->render());
+
+  // Any observable difference moves the digest.
+  const auto other_version = build_snapshot(store, 2, 5, 5.0, 10, 1, 0, 0, {"lan"});
+  EXPECT_NE(other_version->digest(), one->digest());
+  const auto other_counts = build_snapshot(store, 1, 5, 5.0, 11, 1, 0, 0, {"lan"});
+  EXPECT_NE(other_counts->digest(), one->digest());
+  store.record(bw_key("a", "b"), 2.0, 1.1e8);
+  const auto other_data = build_snapshot(store, 1, 5, 5.0, 10, 1, 0, 0, {"lan"});
+  EXPECT_NE(other_data->digest(), one->digest());
+
+  // Drifting segments are sorted + deduplicated before digesting.
+  const auto messy = build_snapshot(store, 3, 5, 5.0, 10, 1, 0, 0, {"z", "a", "z"});
+  ASSERT_EQ(messy->drifting_segments.size(), 2u);
+  EXPECT_EQ(messy->drifting_segments[0], "a");
+  EXPECT_EQ(messy->drifting_segments[1], "z");
+}
+
+TEST(MonitorSnapshot, FindBinarySearchesByKey) {
+  SeriesShardStore store(4, 64, DriftPolicy{});
+  store.record(bw_key("a", "b"), 1.0, 1.0e8);
+  store.record(bw_key("c", "d"), 1.0, 3.0e8);
+  const auto snapshot = build_snapshot(store, 1, 1, 1.0, 2, 0, 0, 0, {});
+  ASSERT_EQ(snapshot->pairs.size(), 2u);
+  const PairReading* hit = snapshot->find(bw_key("c", "d"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->value, 3.0e8);
+  EXPECT_EQ(snapshot->find(bw_key("x", "y")), nullptr);
+}
+
+TEST(SnapshotBoard, BootsNonNullAndPublishSwapsAtomically) {
+  SnapshotBoard board;
+  const auto boot = board.current();
+  ASSERT_NE(boot, nullptr);
+  EXPECT_EQ(boot->version, 0u);
+
+  SeriesShardStore store(1, 8, DriftPolicy{});
+  store.record(bw_key("a", "b"), 1.0, 5.0e7);
+  board.publish(build_snapshot(store, 1, 1, 1.0, 1, 0, 0, 0, {}));
+  EXPECT_EQ(board.current()->version, 1u);
+  // Old readers keep their snapshot alive through the shared_ptr.
+  EXPECT_EQ(boot->version, 0u);
+  // Null publications are ignored: readers never need a null check.
+  board.publish(nullptr);
+  EXPECT_EQ(board.current()->version, 1u);
+}
+
+// --- naming -----------------------------------------------------------------
+
+TEST(ResourceNames, RoundTripThroughResourceFromString) {
+  for (const auto kind :
+       {nws::ResourceKind::bandwidth, nws::ResourceKind::latency, nws::ResourceKind::connect_time,
+        nws::ResourceKind::cpu, nws::ResourceKind::memory, nws::ResourceKind::disk}) {
+    auto parsed = nws::resource_from_string(nws::to_string(kind));
+    ASSERT_TRUE(parsed.ok()) << nws::to_string(kind);
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  auto bad = nws::resource_from_string("warp-capacity");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::protocol);
+}
+
+}  // namespace
+}  // namespace envnws::monitor

@@ -1,0 +1,253 @@
+// Determinism and drift-response contract of the monitor daemon, fully
+// offline: a recorded monitoring session replays to bit-identical
+// snapshot digests and identical drift decisions, and injected drift
+// (fault: scale rules) triggers an incremental re-map of ONLY the
+// affected segment at a fraction of a full map's probe cost.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/envnws.hpp"
+#include "monitor/daemon.hpp"
+
+namespace envnws {
+namespace {
+
+using api::ScenarioRegistry;
+using api::Session;
+
+simnet::Scenario make_scenario(const std::string& spec) {
+  auto made = ScenarioRegistry::builtin().make(spec);
+  EXPECT_TRUE(made.ok()) << spec;
+  return std::move(made.value());
+}
+
+std::string temp_trace(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// Everything a monitord run leaves behind that the determinism contract
+/// covers: the published snapshot identity and the drift decisions.
+struct MonitordRun {
+  std::string digest;
+  std::string render;
+  std::vector<std::string> decisions;
+  std::uint64_t measurements = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t remaps = 0;
+  std::uint64_t remap_experiments = 0;
+  std::uint64_t map_experiments = 0;  ///< full-map probe cost (comparison baseline)
+  std::vector<monitor::MonitorEvent> events;
+};
+
+/// Plan under "sim" (so the plan derivation never touches the monitoring
+/// engine spec), then monitor `cycles` cycles through `monitor_spec`.
+MonitordRun run_monitord(const std::string& scenario_spec, const std::string& monitor_spec,
+                         std::uint64_t cycles, monitor::MonitorOptions options) {
+  MonitordRun run;
+  const auto scenario = make_scenario(scenario_spec);
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  Session session(net, scenario);
+  EXPECT_TRUE(session.plan().ok());
+  run.map_experiments = session.map_result().stats.experiments;
+  EXPECT_TRUE(session.set_probe_engine_spec(monitor_spec).ok()) << monitor_spec;
+
+  auto made = session.make_monitor(options);
+  EXPECT_TRUE(made.ok()) << (made.ok() ? "" : made.error().to_string());
+  if (!made.ok()) return run;
+  std::unique_ptr<monitor::MonitorDaemon> daemon = std::move(made.value());
+  daemon->set_observer([&run](const monitor::MonitorEvent& event) { run.events.push_back(event); });
+  EXPECT_TRUE(daemon->run_cycles(cycles).ok());
+
+  const auto snapshot = daemon->snapshot();
+  run.digest = snapshot->digest();
+  run.render = snapshot->render();
+  run.decisions = daemon->decision_log();
+  run.measurements = daemon->measurements();
+  run.failures = daemon->probe_failures();
+  run.remaps = daemon->remaps();
+  run.remap_experiments = daemon->remap_experiments();
+  return run;
+}
+
+TEST(MonitordReplay, RecordedRunReplaysToIdenticalSnapshotsAndDecisions) {
+  const std::string trace = temp_trace("monitord-sim.envtrace");
+  std::remove(trace.c_str());
+
+  monitor::MonitorOptions options;
+  options.period_s = 1.0;
+
+  // Record 25 cycles of dumbbell monitoring against the simulator.
+  const auto live = run_monitord("dumbbell:3x3", "record:" + trace, 25, options);
+  ASSERT_FALSE(live.digest.empty());
+  EXPECT_EQ(live.measurements, 75u);  // 3 probes/cycle, none failing
+  EXPECT_EQ(live.failures, 0u);
+  ASSERT_TRUE(std::filesystem::exists(trace));
+
+  // Strict replay, twice: same trace + same config => identical digests,
+  // identical renders, identical decision logs — with zero live probes
+  // (replay: has no base engine to fall through to).
+  const auto first = run_monitord("dumbbell:3x3", "replay:" + trace, 25, options);
+  const auto second = run_monitord("dumbbell:3x3", "replay:" + trace, 25, options);
+  EXPECT_EQ(first.digest, live.digest);
+  EXPECT_EQ(second.digest, live.digest);
+  EXPECT_EQ(first.render, live.render);
+  EXPECT_EQ(first.decisions, live.decisions);
+  EXPECT_EQ(second.decisions, live.decisions);
+  EXPECT_EQ(first.measurements, live.measurements);
+
+  // Digests are invariant under the batch schedule: a replay probing
+  // with 4 workers measures exactly what the sequential one did.
+  monitor::MonitorOptions batched = options;
+  batched.probe_jobs = 4;
+  const auto wide = run_monitord("dumbbell:3x3", "replay:" + trace, 25, batched);
+  EXPECT_EQ(wide.digest, live.digest);
+  EXPECT_EQ(wide.decisions, live.decisions);
+
+  std::remove(trace.c_str());
+}
+
+TEST(MonitordReplay, TruncatedTraceSurfacesAsProbeFailuresNotCrashes) {
+  const std::string trace = temp_trace("monitord-short.envtrace");
+  std::remove(trace.c_str());
+  monitor::MonitorOptions options;
+  const auto live = run_monitord("star-switch:4", "record:" + trace, 6, options);
+  ASSERT_EQ(live.failures, 0u);
+  // Replaying MORE cycles than were recorded must degrade into counted
+  // probe failures (strict replay: unknown experiment => error result).
+  const auto over = run_monitord("star-switch:4", "replay:" + trace, 9, options);
+  EXPECT_EQ(over.measurements, live.measurements);
+  EXPECT_GT(over.failures, 0u);
+  std::remove(trace.c_str());
+}
+
+// The acceptance scenario: a fault: scale rule shifts one pair's
+// bandwidth mid-run; the daemon detects the forecast drift and re-maps
+// only that pair's segment, at a probe cost well under a full re-map.
+//
+// dumbbell:3x3 schedules 3 probes per cycle, one per clique in plan
+// order — index 1 of every cycle is clique-2 (segment router-right.lan).
+// The fault engine counts bandwidth experiments 0-based in canonical
+// order, so bw#61 is exactly cycle 20's right-LAN probe. That pair was
+// visited at cycles 2, 8 and 14 (6-pair rotation), so its drift window
+// holds two zero-error samples when the scaled value lands — with the
+// test policy (threshold 0.2, window 4, min 2) one sustained-shift
+// observation on a warmed-up pair trips the detector at cycle 21.
+monitor::MonitorOptions drift_test_options() {
+  monitor::MonitorOptions options;
+  options.drift.relative_error_threshold = 0.2;
+  options.drift.window = 4;
+  options.drift.min_samples = 2;
+  options.drift.cooldown_cycles = 30;
+  return options;
+}
+
+TEST(MonitordDrift, ScaleFaultTriggersIncrementalRemapOfAffectedSegmentOnly) {
+  const auto run =
+      run_monitord("dumbbell:3x3", "fault:bw#61=scale:0.35@sim", 30, drift_test_options());
+
+  // Exactly one incremental re-map, of the drifting segment only.
+  EXPECT_EQ(run.remaps, 1u);
+  std::vector<std::string> drift_segments;
+  std::vector<std::string> remap_segments;
+  for (const auto& event : run.events) {
+    if (event.kind == monitor::MonitorEvent::Kind::drift_detected) {
+      drift_segments.push_back(event.segment);
+      EXPECT_EQ(event.cycle, 21u);
+    }
+    if (event.kind == monitor::MonitorEvent::Kind::remap_started ||
+        event.kind == monitor::MonitorEvent::Kind::remap_finished) {
+      remap_segments.push_back(event.segment);
+    }
+  }
+  ASSERT_EQ(drift_segments.size(), 1u);
+  EXPECT_EQ(drift_segments[0], "router-right.lan");
+  ASSERT_EQ(remap_segments.size(), 2u);  // started + finished
+  EXPECT_EQ(remap_segments[0], "router-right.lan");
+  EXPECT_EQ(remap_segments[1], "router-right.lan");
+
+  // Decision log: one remap decision, against the right segment, and no
+  // decisions about any other segment ever.
+  ASSERT_FALSE(run.decisions.empty());
+  std::size_t remap_decisions = 0;
+  for (const auto& line : run.decisions) {
+    EXPECT_NE(line.find("segment=router-right.lan"), std::string::npos) << line;
+    if (line.find("action=remap") != std::string::npos) ++remap_decisions;
+  }
+  EXPECT_EQ(remap_decisions, 1u);
+
+  // The point of being incremental: re-probing the 3-host right LAN
+  // costs a fraction of the 8-host full map (23 experiments for this
+  // scenario).
+  EXPECT_GT(run.remap_experiments, 0u);
+  EXPECT_LT(run.remap_experiments, run.map_experiments);
+
+  // The published snapshot carries the re-map accounting, and the
+  // re-mapped segment is no longer drifting (learning was reset).
+  EXPECT_NE(run.render.find("remaps 1"), std::string::npos);
+  EXPECT_NE(run.render.find("drifting\n"), std::string::npos);
+}
+
+TEST(MonitordDrift, DriftDecisionsAreDeterministicAcrossRuns) {
+  const auto one =
+      run_monitord("dumbbell:3x3", "fault:bw#61=scale:0.35@sim", 30, drift_test_options());
+  const auto two =
+      run_monitord("dumbbell:3x3", "fault:bw#61=scale:0.35@sim", 30, drift_test_options());
+  EXPECT_EQ(one.digest, two.digest);
+  EXPECT_EQ(one.render, two.render);
+  EXPECT_EQ(one.decisions, two.decisions);
+  EXPECT_EQ(one.remap_experiments, two.remap_experiments);
+  ASSERT_EQ(one.events.size(), two.events.size());
+  for (std::size_t i = 0; i < one.events.size(); ++i) {
+    EXPECT_EQ(one.events[i].kind, two.events[i].kind);
+    EXPECT_EQ(one.events[i].cycle, two.events[i].cycle);
+    EXPECT_EQ(one.events[i].segment, two.events[i].segment);
+  }
+}
+
+TEST(MonitordDrift, ObserveOnlyModeDetectsButNeverRemaps) {
+  auto options = drift_test_options();
+  options.remap_on_drift = false;
+  const auto run = run_monitord("dumbbell:3x3", "fault:bw#61=scale:0.35@sim", 30, options);
+  EXPECT_EQ(run.remaps, 0u);
+  EXPECT_EQ(run.remap_experiments, 0u);
+  bool detected = false;
+  for (const auto& event : run.events) {
+    EXPECT_NE(event.kind, monitor::MonitorEvent::Kind::remap_started);
+    if (event.kind == monitor::MonitorEvent::Kind::drift_detected) detected = true;
+  }
+  EXPECT_TRUE(detected);
+  // The drifting segment shows up in the published snapshot.
+  EXPECT_NE(run.render.find("drifting router-right.lan"), std::string::npos);
+}
+
+TEST(MonitordPersistence, DumpRestoreRoundTripsAcrossDaemons) {
+  const auto scenario = make_scenario("star-switch:4");
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  Session session(net, scenario);
+  ASSERT_TRUE(session.plan().ok());
+  auto made = session.make_monitor({});
+  ASSERT_TRUE(made.ok());
+  auto daemon = std::move(made.value());
+  ASSERT_TRUE(daemon->run_cycles(10).ok());
+  const std::string dump = daemon->dump_series();
+  ASSERT_FALSE(dump.empty());
+
+  // A fresh daemon restores the history and reports the same store
+  // contents pair for pair.
+  simnet::Network net2(simnet::Scenario(scenario).topology);
+  Session session2(net2, scenario);
+  ASSERT_TRUE(session2.plan().ok());
+  auto made2 = session2.make_monitor({});
+  ASSERT_TRUE(made2.ok());
+  auto restored = std::move(made2.value());
+  ASSERT_TRUE(restored->restore_series(dump).ok());
+  EXPECT_EQ(restored->dump_series(), dump);
+}
+
+}  // namespace
+}  // namespace envnws
