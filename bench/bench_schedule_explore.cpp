@@ -1,0 +1,137 @@
+// Throughput of the schedule-exploration harness (src/testing/): how
+// many complete schedules per second the explorer replays, from the
+// bare scheduler seam (a synthetic decision tree, no probing) up to
+// whole mapping runs with every concurrency decision virtualized. This
+// is the budget the CI explore job spends — exhaustive small-N suites
+// and the seeded random sweep both pay these per-schedule costs.
+#include <chrono>
+#include <cstdio>
+
+#include "api/envnws.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "env/batch_schedule.hpp"
+#include "env/sim_probe_engine.hpp"
+#include "testing/explorer.hpp"
+
+using namespace envnws;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(const Clock::time_point& begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+struct Measured {
+  std::size_t schedules = 0;
+  double elapsed_s = 0.0;
+  bool exhaustive = false;
+  bool ok = false;
+};
+
+Measured measure(const testing::ExploreScenario& scenario, testing::ExploreOptions options,
+                 bool random) {
+  testing::Explorer explorer(options);
+  const auto begin = Clock::now();
+  const auto result =
+      random ? explorer.explore_random(scenario) : explorer.explore_exhaustive(scenario);
+  Measured measured;
+  measured.schedules = result.schedules;
+  measured.elapsed_s = seconds_since(begin);
+  measured.exhaustive = result.exhaustive;
+  measured.ok = result.ok();
+  return measured;
+}
+
+std::string rate(const Measured& measured) {
+  if (measured.elapsed_s <= 0.0) return "-";
+  return strings::format_double(static_cast<double>(measured.schedules) / measured.elapsed_s, 0);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("EXPLORE", "schedule-exploration harness throughput",
+                "per-schedule cost from the bare VirtualScheduler seam to fully"
+                " virtualized mapping runs (what the CI explore job spends)");
+
+  Table table({"workload", "mode", "schedules", "exhaustive", "ok", "elapsed", "schedules/s"});
+  const auto add = [&table](const char* workload, const char* mode, const Measured& measured) {
+    table.add_row({workload, mode, std::to_string(measured.schedules),
+                   measured.exhaustive ? "yes" : "no", measured.ok ? "yes" : "NO",
+                   strings::format_double(measured.elapsed_s, 3) + " s", rate(measured)});
+  };
+
+  // --- bare seam: a synthetic 8-level tree, fanout 4, no probing ---------
+  const testing::ExploreScenario tree = [](testing::VirtualScheduler& scheduler) {
+    for (int depth = 0; depth < 8; ++depth) {
+      testing::DecisionPoint point;
+      point.point = "tree";
+      for (std::size_t i = 0; i < 4; ++i) point.ready.push_back({i, "branch"});
+      (void)scheduler.pick(point);
+    }
+    return scheduler.health();
+  };
+  {
+    testing::ExploreOptions options;
+    options.random_schedules = 20000;
+    options.max_schedules = 20000;
+    add("synthetic tree 4^8", "random", measure(tree, options, true));
+    add("synthetic tree 4^8 (capped)", "exhaustive", measure(tree, options, false));
+  }
+
+  // --- batch executor: the acceptance batch over the simulator ----------
+  auto scenario = api::ScenarioRegistry::builtin().make("star-switch:6");
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario construction failed\n");
+    return 1;
+  }
+  std::vector<std::string> names;
+  for (const simnet::NodeId id : scenario.value().topology.hosts()) {
+    const simnet::Node& node = scenario.value().topology.node(id);
+    names.push_back(node.fqdn.empty() ? node.name : node.fqdn);
+  }
+  env::MapperOptions mapper_options;
+  const std::vector<env::ProbeExperiment> experiments = {
+      env::ProbeExperiment::single(names[0], names[1]),
+      env::ProbeExperiment::concurrent(
+          {env::BandwidthRequest{names[2], names[3]}, env::BandwidthRequest{names[3], names[2]}}),
+      env::ProbeExperiment::single(names[0], names[2]),
+      env::ProbeExperiment::concurrent(
+          {env::BandwidthRequest{names[1], names[3]}, env::BandwidthRequest{names[3], names[1]}}),
+  };
+  const testing::ExploreScenario batch = [&](testing::VirtualScheduler& scheduler) {
+    simnet::Network net(simnet::Scenario(scenario.value()).topology);
+    env::SimProbeEngine engine(net, mapper_options);
+    env::run_batch_virtual(engine, experiments, 3, scheduler);
+    return scheduler.health();
+  };
+  add("4-experiment batch, 3 jobs", "exhaustive", measure(batch, {}, false));
+
+  // --- whole maps: every seam virtualized --------------------------------
+  auto small = api::ScenarioRegistry::builtin().make("star-switch:4");
+  if (!small.ok()) {
+    std::fprintf(stderr, "scenario construction failed\n");
+    return 1;
+  }
+  const testing::ExploreScenario whole_map = [&](testing::VirtualScheduler& scheduler) {
+    simnet::Network net(simnet::Scenario(small.value()).topology);
+    api::Session session(net, small.value());
+    session.options().mapper.probe_jobs = 3;
+    session.options().mapper.virtual_scheduler = &scheduler;
+    if (auto status = session.map(); !status.ok()) return status;
+    return scheduler.health();
+  };
+  add("star-switch:4 full map", "exhaustive", measure(whole_map, {}, false));
+  {
+    testing::ExploreOptions options;
+    options.random_schedules = 50;
+    add("star-switch:4 full map", "random", measure(whole_map, options, true));
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

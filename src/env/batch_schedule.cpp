@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <map>
-#include <string>
+
+#include "testing/virtual_scheduler.hpp"
 
 namespace envnws::env {
 
@@ -16,6 +16,76 @@ std::vector<std::string> experiment_endpoints(const ProbeExperiment& experiment)
     endpoints.push_back(transfer.to);
   }
   return endpoints;
+}
+
+BatchDispatcher::BatchDispatcher(const std::vector<ProbeExperiment>& experiments)
+    : started_(experiments.size(), false),
+      finished_(experiments.size(), false),
+      unstarted_(experiments.size()) {
+  endpoints_.reserve(experiments.size());
+  for (const auto& experiment : experiments) {
+    endpoints_.push_back(experiment_endpoints(experiment));
+  }
+}
+
+std::vector<std::size_t> BatchDispatcher::startable() const {
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (started_[i]) continue;
+    bool blocked = false;
+    for (const auto& endpoint : endpoints_[i]) {
+      const auto it = busy_.find(endpoint);
+      if (it != busy_.end() && it->second > 0) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) ready.push_back(i);
+  }
+  return ready;
+}
+
+void BatchDispatcher::start(std::size_t index) {
+  if (index >= endpoints_.size()) {
+    violate("start of experiment " + std::to_string(index) + " outside the batch");
+    return;
+  }
+  if (started_[index]) {
+    violate("experiment " + std::to_string(index) + " started twice");
+    return;
+  }
+  // An endpoint can only ever be used by one experiment at a time —
+  // judged against OTHER in-flight experiments before this one claims
+  // anything, so an experiment reusing an endpoint across its own
+  // transfers (a bidirectional concurrent pair) is not a conflict.
+  for (const auto& endpoint : endpoints_[index]) {
+    const auto it = busy_.find(endpoint);
+    if (it != busy_.end() && it->second > 0) {
+      violate("experiment " + std::to_string(index) + " started while endpoint '" + endpoint +
+              "' is in flight");
+      break;
+    }
+  }
+  for (const auto& endpoint : endpoints_[index]) ++busy_[endpoint];
+  started_[index] = true;
+  --unstarted_;
+  ++in_flight_;
+}
+
+void BatchDispatcher::finish(std::size_t index) {
+  if (index >= endpoints_.size() || !started_[index] || finished_[index]) {
+    violate("finish of experiment " + std::to_string(index) + " that is not in flight");
+    return;
+  }
+  for (const auto& endpoint : endpoints_[index]) --busy_[endpoint];
+  finished_[index] = true;
+  --in_flight_;
+}
+
+void BatchDispatcher::violate(std::string message) {
+  if (!violation_.has_value()) {
+    violation_ = make_error(ErrorCode::internal, "batch dispatch violation: " + std::move(message));
+  }
 }
 
 double batch_makespan(const std::vector<ProbeExperiment>& experiments,
@@ -32,44 +102,30 @@ double batch_makespan(const std::vector<ProbeExperiment>& experiments,
     double ends_at = 0.0;
     std::size_t index = 0;
   };
-  std::vector<bool> done(experiments.size(), false);
+  BatchDispatcher dispatcher(experiments);
+  std::vector<bool> started(experiments.size(), false);
   std::vector<Running> running;
-  // Endpoint -> number of in-flight experiments using it (an endpoint
-  // can only ever be used by one experiment at a time, but a multiset
-  // keeps the bookkeeping trivially correct for duplicate names inside
-  // one experiment's own transfer list).
-  std::map<std::string, int> busy;
-  std::size_t remaining = experiments.size();
   double now = 0.0;
   double makespan = 0.0;
 
-  const auto is_startable = [&](std::size_t i) {
-    for (const auto& endpoint : experiment_endpoints(experiments[i])) {
-      const auto it = busy.find(endpoint);
-      if (it != busy.end() && it->second > 0) return false;
-    }
-    return true;
-  };
-  const auto start = [&](std::size_t i) {
-    for (const auto& endpoint : experiment_endpoints(experiments[i])) ++busy[endpoint];
-    running.push_back(Running{now + durations[i], i});
-    done[i] = true;
-    --remaining;
-  };
-
-  while (remaining > 0 || !running.empty()) {
-    // Fill free slots with the first startable experiments, in
-    // canonical order (later experiments may overtake a blocked one —
-    // their mutual disjointness is exactly what the batch asserts).
-    for (std::size_t i = 0; i < experiments.size() && running.size() < workers; ++i) {
-      if (!done[i] && is_startable(i)) start(i);
+  while (!dispatcher.all_finished()) {
+    // Fill free slots with the first startable experiment, re-queried
+    // after every start (starting one experiment blocks its endpoint
+    // sharers for this pass).
+    while (running.size() < workers) {
+      const auto ready = dispatcher.startable();
+      if (ready.empty()) break;
+      const std::size_t index = ready.front();
+      dispatcher.start(index);
+      started[index] = true;
+      running.push_back(Running{now + durations[index], index});
     }
     if (running.empty()) {
       // Nothing in flight and nothing startable would be a conflict
       // bookkeeping bug; bail out to the sequential sum of the rest.
       double sum = now;
       for (std::size_t i = 0; i < experiments.size(); ++i) {
-        if (!done[i]) sum += durations[i];
+        if (!started[i]) sum += durations[i];
       }
       return std::max(makespan, sum);
     }
@@ -80,9 +136,7 @@ double batch_makespan(const std::vector<ProbeExperiment>& experiments,
     makespan = std::max(makespan, now);
     for (auto it = running.begin(); it != running.end();) {
       if (it->ends_at <= now) {
-        for (const auto& endpoint : experiment_endpoints(experiments[it->index])) {
-          --busy[endpoint];
-        }
+        dispatcher.finish(it->index);
         it = running.erase(it);
       } else {
         ++it;
@@ -90,6 +144,80 @@ double batch_makespan(const std::vector<ProbeExperiment>& experiments,
     }
   }
   return makespan;
+}
+
+std::vector<ProbeExperimentOutcome> run_batch_virtual(
+    ProbeEngine& engine, const std::vector<ProbeExperiment>& experiments, std::size_t workers,
+    testing::VirtualScheduler& scheduler, const VirtualBatchOptions& options) {
+  // Measure in canonical order first: the engine sees exactly the
+  // sequential experiment stream (trace replays match, digests stay
+  // jobs-invariant) and the dispatch below permutes only the schedule.
+  const std::vector<ProbeExperimentOutcome> measured = engine.run_batch(experiments, 1);
+  if (measured.size() != experiments.size()) {
+    scheduler.report_fault(make_error(
+        ErrorCode::internal, "engine returned " + std::to_string(measured.size()) +
+                                 " outcomes for a batch of " + std::to_string(experiments.size())));
+    return measured;
+  }
+  workers = std::max<std::size_t>(workers, 1);
+
+  const auto label_of = [&](const char* verb, std::size_t i) {
+    std::string label = std::string(verb) + " #" + std::to_string(i);
+    if (!experiments[i].transfers.empty()) {
+      label += " " + experiments[i].transfers.front().from + "->" +
+               experiments[i].transfers.front().to;
+    }
+    return label;
+  };
+
+  BatchDispatcher dispatcher(experiments);
+  std::vector<ProbeExperimentOutcome> outcomes(experiments.size());
+  std::vector<std::size_t> in_flight;
+  std::size_t completion_slot = 0;  // only the injected bug uses this
+
+  while (!dispatcher.all_finished()) {
+    // The ready events: dispatch a startable experiment onto a free
+    // worker, or complete an in-flight one. `id` encodes start (index)
+    // vs finish (size + index).
+    testing::DecisionPoint point;
+    point.point = "batch";
+    if (in_flight.size() < workers) {
+      for (const std::size_t i : dispatcher.startable()) {
+        point.ready.push_back(testing::ReadyTask{i, label_of("start", i)});
+      }
+    }
+    for (const std::size_t i : in_flight) {
+      point.ready.push_back(testing::ReadyTask{experiments.size() + i, label_of("finish", i)});
+    }
+    if (point.ready.empty()) {
+      scheduler.report_fault(make_error(
+          ErrorCode::internal,
+          "batch dispatch deadlock: nothing startable and nothing in flight with " +
+              std::to_string(experiments.size() - completion_slot) + " experiments unfinished"));
+      break;
+    }
+    const testing::ReadyTask& event = point.ready[scheduler.pick(point)];
+    if (event.id < experiments.size()) {
+      dispatcher.start(event.id);
+      in_flight.push_back(event.id);
+    } else {
+      const std::size_t index = event.id - experiments.size();
+      dispatcher.finish(index);
+      in_flight.erase(std::find(in_flight.begin(), in_flight.end(), index));
+      // Canonical reassembly: the outcome lands in the experiment's own
+      // slot no matter when it completed — the contract every concurrent
+      // engine must honour. The injected bug is its classic violation.
+      const std::size_t slot =
+          options.inject_completion_order_bug ? completion_slot : index;
+      ++completion_slot;
+      outcomes[slot] = measured[index];
+    }
+    if (!dispatcher.health().ok()) {
+      scheduler.report_fault(dispatcher.health().error());
+      break;
+    }
+  }
+  return outcomes;
 }
 
 }  // namespace envnws::env

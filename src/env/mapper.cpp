@@ -180,7 +180,10 @@ std::vector<ProbeExperimentOutcome> Mapper::run_phase_batch(
   progress.workers = workers;
   if (announce) report(progress);
 
-  auto outcomes = engine.run_batch(experiments, workers);
+  auto outcomes =
+      options_.virtual_scheduler != nullptr
+          ? run_batch_virtual(engine, experiments, workers, *options_.virtual_scheduler)
+          : engine.run_batch(experiments, workers);
   std::vector<double> durations;
   durations.reserve(outcomes.size());
   double sequential_s = 0.0;
@@ -726,7 +729,7 @@ std::vector<Result<ZoneMapResult>> Mapper::map_zones(const std::vector<ZoneSpec>
           ? 1
           : std::min<std::size_t>(std::max(options_.map_threads, 1), specs.size());
   if (workers > 1) {
-    ThreadPool pool(workers);
+    ThreadPool pool(workers, options_.virtual_scheduler);
     pool.parallel_for(specs.size(), [&](std::size_t i) { slots[i] = run_indexed(i); });
   } else {
     for (std::size_t i = 0; i < specs.size(); ++i) slots[i] = run_indexed(i);

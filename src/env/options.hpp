@@ -12,6 +12,10 @@
 
 #include "common/units.hpp"
 
+namespace envnws::testing {
+class VirtualScheduler;
+}  // namespace envnws::testing
+
 namespace envnws::env {
 
 struct MapperOptions {
@@ -73,6 +77,15 @@ struct MapperOptions {
   /// value — only the modeled schedule makespan (MapResult::batch)
   /// and, for batch-capable engines, the real wall-clock.
   int probe_jobs = 1;
+
+  // --- extension: deterministic schedule exploration (src/testing/) ---
+  /// When set, every concurrency decision the mapper would leave to the
+  /// OS — which zone's task a pool worker runs next, which experiment of
+  /// a batch dispatches or completes first — is asked of this scheduler
+  /// instead, so a test can replay or enumerate interleavings. The
+  /// scheduler must outlive the mapping run. Null (the default) means
+  /// real threads and real dispatch; production code never sets this.
+  testing::VirtualScheduler* virtual_scheduler = nullptr;
 };
 
 }  // namespace envnws::env

@@ -8,6 +8,7 @@
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "env/batch_schedule.hpp"
+#include "testing/virtual_scheduler.hpp"
 
 namespace envnws::env {
 
@@ -333,56 +334,52 @@ std::vector<ProbeExperimentOutcome> SocketProbeEngine::run_batch(
   }
 
   // The realized batch schedule: the same greedy rule batch_makespan
-  // models — whenever a worker is free, the first not-yet-started
-  // experiment none of whose endpoints is in flight starts (later
-  // experiments may overtake a blocked one; their disjointness is what
-  // the batch asserts). Stats are folded canonically afterwards, so the
-  // cumulative counters — and with them MapStats and the identity
-  // digest — cannot depend on completion order.
+  // models, on the same bookkeeping (BatchDispatcher) — whenever a
+  // worker is free, the first not-yet-started experiment none of whose
+  // endpoints is in flight starts (later experiments may overtake a
+  // blocked one; their disjointness is what the batch asserts). Stats
+  // are folded canonically afterwards, so the cumulative counters — and
+  // with them MapStats and the identity digest — cannot depend on
+  // completion order. With a virtual scheduler attached, "which
+  // startable experiment does this free worker take" becomes the
+  // scheduler's decision instead of canonical-first — the seam the
+  // exploration harness and the agent-death tests drive. pick() runs
+  // under schedule_mutex, so the scheduler sees a serialized decision
+  // stream even with real worker threads.
   std::mutex schedule_mutex;
   std::condition_variable schedule_cv;
-  std::vector<bool> started(experiments.size(), false);
-  std::map<std::string, int> busy;
-  std::size_t unstarted = experiments.size();
-  // The shared disjointness rule (see batch_schedule.hpp), computed
-  // once per experiment: the eligibility scan runs under the mutex.
-  std::vector<std::vector<std::string>> endpoints;
-  endpoints.reserve(experiments.size());
-  for (const auto& experiment : experiments) {
-    endpoints.push_back(experiment_endpoints(experiment));
-  }
-
-  const auto eligible = [&](std::size_t i) {
-    for (const auto& endpoint : endpoints[i]) {
-      const auto it = busy.find(endpoint);
-      if (it != busy.end() && it->second > 0) return false;
-    }
-    return true;
-  };
+  BatchDispatcher dispatcher(experiments);
 
   const auto worker_loop = [&] {
     std::unique_lock<std::mutex> lock(schedule_mutex);
-    while (unstarted > 0) {
-      std::size_t picked = experiments.size();
-      for (std::size_t i = 0; i < experiments.size(); ++i) {
-        if (!started[i] && eligible(i)) {
-          picked = i;
-          break;
-        }
-      }
-      if (picked == experiments.size()) {
+    while (!dispatcher.all_started()) {
+      const auto ready = dispatcher.startable();
+      if (ready.empty()) {
         // Everything pending conflicts with something in flight; wait
         // for a completion to free its endpoints.
         schedule_cv.wait(lock);
         continue;
       }
-      started[picked] = true;
-      --unstarted;
-      for (const auto& endpoint : endpoints[picked]) ++busy[endpoint];
+      std::size_t picked = ready.front();
+      if (scheduler_ != nullptr) {
+        testing::DecisionPoint point;
+        point.point = "socket";
+        point.ready.reserve(ready.size());
+        for (const std::size_t i : ready) {
+          std::string label = "experiment #" + std::to_string(i);
+          if (!experiments[i].transfers.empty()) {
+            label += " " + experiments[i].transfers.front().from + "->" +
+                     experiments[i].transfers.front().to;
+          }
+          point.ready.push_back(testing::ReadyTask{i, std::move(label)});
+        }
+        picked = ready[scheduler_->pick(point)];
+      }
+      dispatcher.start(picked);
       lock.unlock();
       run_experiment(experiments[picked], outcomes[picked], deltas[picked]);
       lock.lock();
-      for (const auto& endpoint : endpoints[picked]) --busy[endpoint];
+      dispatcher.finish(picked);
       schedule_cv.notify_all();
     }
   };

@@ -87,6 +87,15 @@ class SocketProbeEngine final : public ProbeEngine {
   /// The agent's own cumulative counters (STATS frame).
   Result<ProbeStats> agent_stats(const std::string& host);
 
+  /// Schedule-exploration seam: when set, each free batch worker asks
+  /// the scheduler which startable experiment to take ("socket"
+  /// decision point, serialized under the batch mutex) instead of
+  /// canonical-first. The engine never permutes RESULT order — outcomes
+  /// and stats stay canonical regardless — which is exactly what the
+  /// harness asserts. The scheduler must outlive every run_batch call;
+  /// null restores the production greedy rule.
+  void set_virtual_scheduler(testing::VirtualScheduler* scheduler) { scheduler_ = scheduler; }
+
   [[nodiscard]] const wire::AgentRoster& roster() const { return roster_; }
   /// Idle pooled connections right now, across every host — always
   /// <= SocketEngineOptions::max_idle_sockets (the LRU bound).
@@ -141,6 +150,7 @@ class SocketProbeEngine final : public ProbeEngine {
   wire::AgentRoster roster_;
   MapperOptions options_;
   SocketEngineOptions socket_options_;
+  testing::VirtualScheduler* scheduler_ = nullptr;  ///< batch-dispatch seam
 
   mutable std::mutex mutex_;  ///< pool_, identities_, stats_, idle/stamp counters
   std::map<std::string, std::vector<std::unique_ptr<AgentConn>>> pool_;

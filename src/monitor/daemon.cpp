@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
 #include <sstream>
 
+#include "env/batch_schedule.hpp"
 #include "nws/clique.hpp"
+#include "testing/virtual_scheduler.hpp"
 
 namespace envnws::monitor {
 
@@ -148,13 +151,40 @@ void MonitorDaemon::run_one_cycle() {
   for (const ScheduledProbe& probe : probes) {
     experiments.push_back(env::ProbeExperiment::single(probe.transfer.from, probe.transfer.to));
   }
+  const std::size_t probe_jobs = std::max<std::size_t>(options_.probe_jobs, 1);
   const std::vector<env::ProbeExperimentOutcome> outcomes =
-      engine_->run_batch(experiments, std::max<std::size_t>(options_.probe_jobs, 1));
+      options_.virtual_scheduler != nullptr
+          ? env::run_batch_virtual(*engine_, experiments, probe_jobs,
+                                   *options_.virtual_scheduler)
+          : engine_->run_batch(experiments, probe_jobs);
 
   clock_.tick();
   const double now = clock_.now();
+  // Store writes are per-key independent, so the order this loop folds
+  // outcomes into the store must not matter: with a virtual scheduler
+  // attached, the order itself becomes a decision ("monitor-record"),
+  // and the replay suite asserts that every permutation yields the same
+  // snapshot digests, drift decisions and counters.
+  std::vector<std::size_t> record_order(probes.size());
+  std::iota(record_order.begin(), record_order.end(), 0);
+  if (options_.virtual_scheduler != nullptr) {
+    std::vector<std::size_t> remaining = record_order;
+    record_order.clear();
+    while (!remaining.empty()) {
+      testing::DecisionPoint point;
+      point.point = "monitor-record";
+      point.ready.reserve(remaining.size());
+      for (const std::size_t i : remaining) {
+        point.ready.push_back(testing::ReadyTask{
+            i, "record " + probes[i].transfer.from + "->" + probes[i].transfer.to});
+      }
+      const std::size_t slot = options_.virtual_scheduler->pick(point);
+      record_order.push_back(remaining[slot]);
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(slot));
+    }
+  }
   std::uint64_t cycle_failures = 0;
-  for (std::size_t i = 0; i < probes.size(); ++i) {
+  for (const std::size_t i : record_order) {
     const ScheduledProbe& probe = probes[i];
     const std::string pair_label = probe.transfer.from + "->" + probe.transfer.to;
     if (i >= outcomes.size() || outcomes[i].results.empty()) {

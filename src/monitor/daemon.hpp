@@ -67,6 +67,13 @@ struct MonitorOptions {
   bool pace = true;
   /// Mapper tunables for incremental re-maps.
   env::MapperOptions remap;
+  /// Schedule-exploration seam (src/testing/): when set, the cycle's
+  /// batch dispatch AND the order outcomes are folded into the store
+  /// become scheduler decisions, so tests can permute them and assert
+  /// the determinism contract holds. Must outlive the daemon; null (the
+  /// default) is production behavior. Only meaningful for run_cycles()
+  /// — the seam is not wired into the background start() loop.
+  testing::VirtualScheduler* virtual_scheduler = nullptr;
 };
 
 struct MonitorEvent {

@@ -1,0 +1,199 @@
+#include "testing/explorer.hpp"
+
+#include <algorithm>
+
+namespace envnws::testing {
+
+Explorer::RunOutcome Explorer::run_with(const std::vector<std::size_t>& prefix) {
+  ReplayScheduler scheduler(prefix);
+  scheduler.set_max_decisions(options_.max_decisions);
+  RunOutcome outcome;
+  outcome.status = (*scenario_)(scheduler);
+  if (outcome.status.ok() && !scheduler.health().ok()) {
+    outcome.status = scheduler.health();
+  }
+  outcome.choices = scheduler.choices();
+  outcome.fanouts = scheduler.fanouts();
+  return outcome;
+}
+
+ExploreFailure Explorer::make_failure(const RunOutcome& outcome, std::size_t schedules_before) {
+  ExploreFailure failure;
+  failure.schedule = outcome.choices;
+  failure.schedules_before = schedules_before;
+  if (options_.shrink) failure.schedule = shrink(*scenario_, failure.schedule);
+  failure.message = outcome.status.error().to_string() + " (reproduce with " +
+                    format_schedule(failure.schedule) + ")";
+  return failure;
+}
+
+ExploreResult Explorer::explore_exhaustive(const ExploreScenario& scenario) {
+  scenario_ = &scenario;
+  ExploreResult result;
+  std::vector<std::size_t> prefix;
+  while (true) {
+    const RunOutcome outcome = run_with(prefix);
+    ++result.schedules;
+    result.max_decisions = std::max(result.max_decisions, outcome.choices.size());
+    if (!outcome.status.ok()) {
+      result.failure = make_failure(outcome, result.schedules - 1);
+      break;
+    }
+    // Advance the DFS frontier: bump the deepest choice with siblings
+    // left, truncate everything below it. No such choice = the whole
+    // tree is enumerated.
+    std::size_t depth = outcome.choices.size();
+    while (depth > 0 && outcome.choices[depth - 1] + 1 >= outcome.fanouts[depth - 1]) --depth;
+    if (depth == 0) {
+      result.exhaustive = true;
+      break;
+    }
+    if (result.schedules >= options_.max_schedules) break;  // capped, not exhaustive
+    prefix.assign(outcome.choices.begin(), outcome.choices.begin() + depth);
+    ++prefix.back();
+  }
+  scenario_ = nullptr;
+  return result;
+}
+
+ExploreResult Explorer::explore_random(const ExploreScenario& scenario) {
+  scenario_ = &scenario;
+  ExploreResult result;
+  for (std::size_t round = 0; round < options_.random_schedules; ++round) {
+    RandomScheduler scheduler(options_.seed + round);
+    scheduler.set_max_decisions(options_.max_decisions);
+    Status status = scenario(scheduler);
+    if (status.ok() && !scheduler.health().ok()) status = scheduler.health();
+    ++result.schedules;
+    result.max_decisions = std::max(result.max_decisions, scheduler.choices().size());
+    if (!status.ok()) {
+      RunOutcome outcome;
+      outcome.status = std::move(status);
+      outcome.choices = scheduler.choices();
+      outcome.fanouts = scheduler.fanouts();
+      result.failure = make_failure(outcome, result.schedules - 1);
+      break;
+    }
+  }
+  scenario_ = nullptr;
+  return result;
+}
+
+ExploreResult Explorer::replay(const ExploreScenario& scenario,
+                               const std::vector<std::size_t>& schedule) {
+  scenario_ = &scenario;
+  ExploreResult result;
+  const RunOutcome outcome = run_with(schedule);
+  result.schedules = 1;
+  result.max_decisions = outcome.choices.size();
+  if (!outcome.status.ok()) {
+    ExploreFailure failure;
+    failure.schedule = outcome.choices;
+    failure.message = outcome.status.error().to_string() + " (schedule " +
+                      format_schedule(outcome.choices) + ")";
+    result.failure = std::move(failure);
+  }
+  scenario_ = nullptr;
+  return result;
+}
+
+std::vector<std::size_t> Explorer::shrink(const ExploreScenario& scenario,
+                                          std::vector<std::size_t> schedule) {
+  const ExploreScenario* saved = scenario_;
+  scenario_ = &scenario;
+  std::size_t budget = options_.shrink_budget;
+  const auto fails = [&](const std::vector<std::size_t>& candidate) {
+    if (budget == 0) return false;
+    --budget;
+    return !run_with(candidate).status.ok();
+  };
+
+  // 1. Shortest failing prefix: past a prefix, replay degrades to FIFO,
+  //    so every prefix is itself a complete schedule. Scan from the
+  //    empty schedule up; the first failing prefix is length-minimal.
+  for (std::size_t length = 0; length < schedule.size(); ++length) {
+    std::vector<std::size_t> prefix(schedule.begin(),
+                                    schedule.begin() + static_cast<std::ptrdiff_t>(length));
+    if (fails(prefix)) {
+      schedule = std::move(prefix);
+      break;
+    }
+  }
+
+  // 2. Breadth-first search of the decision tree for an even shorter
+  //    failing prefix. Stage 1 only scans prefixes of the schedule the
+  //    exploration happened to find first (DFS visits lexicographic
+  //    order, so that schedule can sit deep on an all-FIFO spine while a
+  //    two-step reproducer lives on a sibling branch). Levels are prefix
+  //    lengths, so the first failure found here is length-minimal among
+  //    everything the remaining budget reaches. A prefix ending in 0
+  //    replays identically to its parent (FIFO past the end), so those
+  //    children are carried forward without spending budget.
+  if (schedule.size() > 1) {
+    struct Node {
+      std::vector<std::size_t> prefix;
+      std::vector<std::size_t> fanouts;  ///< of the prefix's FIFO-completed run
+    };
+    std::vector<Node> level;
+    level.push_back(Node{{}, run_with({}).fanouts});
+    bool found = false;
+    for (std::size_t length = 1; !found && length < schedule.size() && budget > 0; ++length) {
+      std::vector<Node> next;
+      for (const Node& node : level) {
+        if (found || budget == 0) break;
+        const std::size_t depth = node.prefix.size();
+        const std::size_t fanout = depth < node.fanouts.size() ? node.fanouts[depth] : 0;
+        for (std::size_t value = 0; value < fanout; ++value) {
+          std::vector<std::size_t> child = node.prefix;
+          child.push_back(value);
+          if (value == 0) {
+            next.push_back(Node{std::move(child), node.fanouts});
+            continue;
+          }
+          if (budget == 0) break;
+          --budget;
+          const RunOutcome outcome = run_with(child);
+          if (!outcome.status.ok()) {
+            schedule = std::move(child);
+            found = true;
+            break;
+          }
+          next.push_back(Node{std::move(child), outcome.fanouts});
+        }
+      }
+      level = std::move(next);
+    }
+  }
+
+  // 3. Delete middle steps until no single deletion still fails.
+  bool changed = true;
+  while (changed && budget > 0) {
+    changed = false;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      std::vector<std::size_t> candidate = schedule;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (fails(candidate)) {
+        schedule = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // 4. Minimize each choice value (smallest failing value per step).
+  for (std::size_t i = 0; i < schedule.size() && budget > 0; ++i) {
+    for (std::size_t value = 0; value < schedule[i]; ++value) {
+      std::vector<std::size_t> candidate = schedule;
+      candidate[i] = value;
+      if (fails(candidate)) {
+        schedule = std::move(candidate);
+        break;
+      }
+    }
+  }
+
+  scenario_ = saved;
+  return schedule;
+}
+
+}  // namespace envnws::testing

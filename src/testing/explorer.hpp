@@ -1,0 +1,116 @@
+// Schedule-space exploration over the VirtualScheduler seam.
+//
+// A "scenario" is any deterministic function of a scheduler: build the
+// system under test, run it with the scheduler injected at the seams,
+// check the invariance contract (canonical result order, digest
+// identity, no lost or duplicated work), and return a Status — plus
+// whatever the scheduler itself noticed (watchdog, dispatch-invariant
+// faults) via `health()`. The explorer then walks schedules:
+//
+//  - `explore_exhaustive` enumerates EVERY schedule by depth-first
+//    search over the recorded (choice, fanout) tree — the CHESS-style
+//    stateless enumeration: rerun the scenario with a choice prefix,
+//    extend greedily with 0s, advance the deepest incrementable choice,
+//    repeat until no frontier remains (or the schedule cap trips, in
+//    which case `exhaustive` stays false). Feasible when decision
+//    points stay small (the ISSUE's N <= ~6 regime); the recorded
+//    fanouts make the bound checkable instead of guessed.
+//  - `explore_random` samples `random_schedules` seeded schedules
+//    (seed+k for round k) — the large-N regime. Every sampled schedule
+//    is replayable: the failure carries the recorded choices, not the
+//    seed, so one CI line reproduces locally.
+//
+// A failing schedule is shrunk to a minimal reproducer before it is
+// reported: shortest failing prefix first (everything past a prefix
+// replays as FIFO), then a budget-bounded breadth-first search of the
+// decision tree for a shorter failing prefix on a sibling branch, then
+// middle-step deletion to a fixpoint, then per-position choice
+// minimization. The result is the `sched:` string a human actually
+// wants to stare at — "1 decision" instead of "214".
+//
+// Modeled in spirit on SimGrid's UnfoldingChecker (exhaustive
+// interleaving exploration with replayable traces); the unfolding
+// machinery is replaced by brute schedule enumeration, which the seam's
+// singleton-skipping keeps tractable for the batch sizes under test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "testing/virtual_scheduler.hpp"
+
+namespace envnws::testing {
+
+struct ExploreOptions {
+  /// Exhaustive mode: stop (non-exhaustively) after this many schedules.
+  std::size_t max_schedules = 20000;
+  /// Random mode: schedules sampled, seeded seed+k.
+  std::size_t random_schedules = 100;
+  std::uint64_t seed = 1;
+  /// Progress watchdog forwarded to every scheduler (decisions/run).
+  std::size_t max_decisions = 100000;
+  /// Shrink failing schedules to a minimal reproducer.
+  bool shrink = true;
+  /// Replay budget the shrinker may spend.
+  std::size_t shrink_budget = 2000;
+};
+
+/// A run of the system under test against one scheduler. Must be
+/// deterministic (same schedule => same behavior) and self-contained
+/// (fresh state every call): the explorer reruns it freely.
+using ExploreScenario = std::function<Status(VirtualScheduler&)>;
+
+struct ExploreFailure {
+  std::vector<std::size_t> schedule;  ///< minimal reproducer (shrunk)
+  std::string message;                ///< scenario/scheduler error + reproducer
+  std::size_t schedules_before = 0;   ///< passing schedules before the failure
+};
+
+struct ExploreResult {
+  std::size_t schedules = 0;      ///< schedules that ran (passing + failing)
+  bool exhaustive = false;        ///< every schedule was covered
+  std::size_t max_decisions = 0;  ///< deepest decision sequence observed
+  std::optional<ExploreFailure> failure;
+
+  [[nodiscard]] bool ok() const { return !failure.has_value(); }
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExploreOptions options = {}) : options_(options) {}
+
+  /// DFS over every schedule; `result.exhaustive` is true iff the whole
+  /// space fit under `max_schedules`.
+  ExploreResult explore_exhaustive(const ExploreScenario& scenario);
+
+  /// `random_schedules` seeded samples.
+  ExploreResult explore_random(const ExploreScenario& scenario);
+
+  /// Run one schedule (a parsed `sched:` string). The returned failure,
+  /// if any, is NOT shrunk — this is the replay/debugging entry point.
+  ExploreResult replay(const ExploreScenario& scenario, const std::vector<std::size_t>& schedule);
+
+  /// Shrink a known-failing schedule to a minimal one that still fails.
+  /// Returns the input if no smaller reproducer is found in budget.
+  std::vector<std::size_t> shrink(const ExploreScenario& scenario,
+                                  std::vector<std::size_t> schedule);
+
+ private:
+  struct RunOutcome {
+    Status status;
+    std::vector<std::size_t> choices;
+    std::vector<std::size_t> fanouts;
+  };
+  /// One scenario run under a replayed prefix (FIFO past the end).
+  RunOutcome run_with(const std::vector<std::size_t>& prefix);
+  ExploreFailure make_failure(const RunOutcome& outcome, std::size_t schedules_before);
+
+  ExploreOptions options_;
+  const ExploreScenario* scenario_ = nullptr;  ///< active scenario during a walk
+};
+
+}  // namespace envnws::testing

@@ -1,0 +1,108 @@
+#include "testing/virtual_scheduler.hpp"
+
+#include <sstream>
+
+#include "common/parse.hpp"
+#include "common/strings.hpp"
+
+namespace envnws::testing {
+
+std::size_t VirtualScheduler::pick(const DecisionPoint& point) {
+  if (point.ready.empty()) {
+    report_fault(make_error(ErrorCode::internal,
+                            "decision point '" + point.point + "' offered no ready tasks"));
+    return 0;
+  }
+  if (point.ready.size() == 1) return 0;  // not a decision: nothing to permute
+  if (fault_.has_value()) return 0;       // degraded: deterministic FIFO
+  if (choices_.size() >= max_decisions_) {
+    report_fault(make_error(
+        ErrorCode::timeout,
+        "progress watchdog: more than " + std::to_string(max_decisions_) +
+            " decisions without finishing (suspected deadlock/livelock at '" + point.point +
+            "', schedule so far " + schedule_string() + ")"));
+    return 0;
+  }
+  std::size_t choice = choose(point);
+  if (choice >= point.ready.size()) {
+    report_fault(make_error(ErrorCode::invalid_argument,
+                            "decision " + std::to_string(choices_.size()) + " at '" + point.point +
+                                "' chose " + std::to_string(choice) + " of only " +
+                                std::to_string(point.ready.size()) + " ready tasks"));
+    choice = 0;
+  }
+  choices_.push_back(choice);
+  fanouts_.push_back(point.ready.size());
+  return choice;
+}
+
+void VirtualScheduler::report_fault(Error error) {
+  if (!fault_.has_value()) fault_ = std::move(error);
+}
+
+std::string VirtualScheduler::schedule_string() const { return format_schedule(choices_); }
+
+std::size_t ReplayScheduler::choose(const DecisionPoint&) {
+  if (cursor_ >= schedule_.size()) return 0;  // past the schedule: FIFO
+  return schedule_[cursor_++];
+}
+
+std::size_t RandomScheduler::choose(const DecisionPoint& point) {
+  return static_cast<std::size_t>(rng_.next_below(point.ready.size()));
+}
+
+std::string format_schedule(const std::vector<std::size_t>& choices) {
+  std::ostringstream out;
+  out << "sched:";
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i > 0) out << ',';
+    out << choices[i];
+  }
+  return out.str();
+}
+
+Result<std::vector<std::size_t>> parse_schedule(const std::string& text) {
+  const std::string prefix = "sched:";
+  if (text.rfind(prefix, 0) != 0) {
+    return make_error(ErrorCode::invalid_argument,
+                      "schedule string must start with 'sched:' (got '" + text + "')");
+  }
+  const std::string body = text.substr(prefix.size());
+  std::vector<std::size_t> choices;
+  if (body.empty()) return choices;  // "sched:" = the all-FIFO schedule
+  // split() keeps empty tokens, so "sched:1,,2" and trailing commas are
+  // rejected instead of silently skipped.
+  const auto tokens = strings::split(body, ',');
+  if (tokens.size() > kMaxScheduleSteps) {
+    return make_error(ErrorCode::invalid_argument,
+                      "schedule has " + std::to_string(tokens.size()) + " steps (limit " +
+                          std::to_string(kMaxScheduleSteps) + ")");
+  }
+  choices.reserve(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    // Canonical digits only — stricter than parse::to_u64, which lets
+    // "+1" and "01" through; accepted schedules must round-trip through
+    // format_schedule bit for bit.
+    const std::string& token = tokens[i];
+    bool canonical = !token.empty() && (token.size() == 1 || token[0] != '0');
+    for (const char c : token) {
+      if (c < '0' || c > '9') canonical = false;
+    }
+    const auto value = canonical ? parse::to_u64(token) : std::optional<std::uint64_t>();
+    if (!value.has_value()) {
+      return make_error(ErrorCode::invalid_argument,
+                        "schedule step " + std::to_string(i) + " is not a valid index: '" +
+                            tokens[i] + "'");
+    }
+    if (*value > kMaxScheduleChoice) {
+      return make_error(ErrorCode::invalid_argument,
+                        "schedule step " + std::to_string(i) + " chooses " +
+                            std::to_string(*value) + " (limit " +
+                            std::to_string(kMaxScheduleChoice) + ")");
+    }
+    choices.push_back(static_cast<std::size_t>(*value));
+  }
+  return choices;
+}
+
+}  // namespace envnws::testing

@@ -1,0 +1,154 @@
+// The schedule seam of the concurrent core.
+//
+// Every concurrency mechanism in this repository — the zone thread pool
+// (common/thread_pool), the batched within-zone probe dispatch
+// (env/batch_schedule + Mapper phase loops + SocketProbeEngine::
+// run_batch workers), and the monitor daemon's cycle loop — promises
+// the same contract: the RESULT is bit-identical no matter how the OS
+// interleaves the work. That promise is only testable if a test can
+// decide the interleaving. A `VirtualScheduler` is that seam: wherever
+// the production code would let "whichever thread gets there first"
+// pick the next task, it instead (when a scheduler is injected; never
+// by default) asks the scheduler to choose among the ready tasks.
+//
+// A schedule is then just the sequence of choices made — serialized as
+// `sched:3,0,1,...` (one zero-based index per decision point, counting
+// only points with 2+ ready tasks) — and any run is replayable bit for
+// bit from its schedule string. testing/explorer.hpp walks the space of
+// schedules exhaustively (small N) or randomly (seeded), asserting the
+// invariance contract on every one; this header is deliberately tiny so
+// production code can depend on it without dragging the explorer in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace envnws::testing {
+
+/// One task a decision point offers. `id` is the caller's stable handle
+/// (experiment index, queue slot, ...); `label` is for humans debugging
+/// a failing schedule.
+struct ReadyTask {
+  std::size_t id = 0;
+  std::string label;
+};
+
+/// One decision point: a named seam location and the tasks ready there.
+struct DecisionPoint {
+  std::string point;  ///< seam name: "batch", "pool", "monitor-record", ...
+  std::vector<ReadyTask> ready;
+};
+
+/// Base of every scheduler. `pick()` is the only call production seams
+/// make; it centralizes the bookkeeping every strategy shares:
+///
+///  - choices and fanouts are recorded (the replayable schedule — and
+///    the DFS frontier the explorer advances);
+///  - decision points with exactly one ready task are NOT decisions:
+///    they return 0 without recording, so schedule strings stay minimal
+///    and exhaustive exploration only branches where behavior can;
+///  - a progress watchdog bounds the decision count: a seam stuck in a
+///    wait loop (deadlock, livelock) exceeds the bound and the run
+///    fails with a diagnosable error instead of hanging the suite;
+///  - faults are sticky and never thrown: after the first fault the
+///    scheduler degrades to FIFO picks and `health()` reports the
+///    error. Seam code stays exception-free (common/result.hpp rules).
+class VirtualScheduler {
+ public:
+  virtual ~VirtualScheduler() = default;
+
+  /// Choose among `point.ready` (must not be empty); returns an index
+  /// INTO the ready list, always in range even after a fault.
+  [[nodiscard]] std::size_t pick(const DecisionPoint& point);
+
+  /// OK until a fault: watchdog exceeded, empty ready list, or a
+  /// strategy-reported problem (replay choice out of range, dispatch
+  /// invariant violation). Sticky; the first fault wins.
+  [[nodiscard]] Status health() const {
+    return fault_.has_value() ? Status(*fault_) : Status();
+  }
+  /// Report a seam-detected invariant violation (lost task, endpoint
+  /// conflict, deadlock) against this schedule. First fault wins.
+  void report_fault(Error error);
+
+  /// Decisions recorded so far — the replayable schedule.
+  [[nodiscard]] const std::vector<std::size_t>& choices() const { return choices_; }
+  /// Ready-list size at each recorded decision (the DFS branching).
+  [[nodiscard]] const std::vector<std::size_t>& fanouts() const { return fanouts_; }
+  /// This run's schedule as a `sched:` string.
+  [[nodiscard]] std::string schedule_string() const;
+
+  /// Progress watchdog bound (decisions per run). The default is far
+  /// above any legitimate schedule in the suite.
+  void set_max_decisions(std::size_t bound) { max_decisions_ = bound; }
+
+ protected:
+  /// Strategy hook: choose among `point.ready` (size >= 2 guaranteed).
+  /// Out-of-range returns are treated as a strategy fault.
+  [[nodiscard]] virtual std::size_t choose(const DecisionPoint& point) = 0;
+
+ private:
+  std::vector<std::size_t> choices_;
+  std::vector<std::size_t> fanouts_;
+  std::size_t max_decisions_ = 100000;
+  std::optional<Error> fault_;
+};
+
+/// Production semantics: always the first ready task (the canonical
+/// greedy pick every seam uses when no scheduler is injected).
+class FifoScheduler final : public VirtualScheduler {
+ protected:
+  std::size_t choose(const DecisionPoint&) override { return 0; }
+};
+
+/// Replays a recorded schedule: decision k takes `schedule[k]`; past
+/// the end of the schedule it picks 0 (FIFO) — which is what makes
+/// shrunk prefixes valid schedules. A choice that does not fit the
+/// decision's fanout is a fault (the schedule belongs to a different
+/// scenario or the scenario is nondeterministic).
+class ReplayScheduler final : public VirtualScheduler {
+ public:
+  explicit ReplayScheduler(std::vector<std::size_t> schedule)
+      : schedule_(std::move(schedule)) {}
+
+ protected:
+  std::size_t choose(const DecisionPoint& point) override;
+
+ private:
+  std::vector<std::size_t> schedule_;
+  std::size_t cursor_ = 0;
+};
+
+/// Seeded uniform choices (xoshiro via common/rng): one seed = one
+/// schedule, and the recorded choices replay it exactly — which is how
+/// a failing seed from a CI sweep turns into a `sched:` reproducer.
+class RandomScheduler final : public VirtualScheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+
+ protected:
+  std::size_t choose(const DecisionPoint& point) override;
+
+ private:
+  Rng rng_;
+};
+
+/// `sched:` string codec. `format_schedule({})` is "sched:";
+/// `parse_schedule` accepts exactly what format_schedule emits:
+/// the prefix plus comma-separated zero-based indices, each a strict
+/// u64 (common/parse rules — no signs, no junk, no overflow wrap),
+/// bounded in count and magnitude. Malformed input is a Result error,
+/// never a throw.
+[[nodiscard]] std::string format_schedule(const std::vector<std::size_t>& choices);
+[[nodiscard]] Result<std::vector<std::size_t>> parse_schedule(const std::string& text);
+
+/// Bounds enforced by parse_schedule (exposed for the fuzz tests).
+inline constexpr std::size_t kMaxScheduleSteps = 100000;
+inline constexpr std::uint64_t kMaxScheduleChoice = 1000000;
+
+}  // namespace envnws::testing

@@ -4,7 +4,11 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "testing/virtual_scheduler.hpp"
 
 namespace envnws {
 namespace {
@@ -42,6 +46,96 @@ TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
 TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryTaskEvenWhenOneThrows) {
+  // The regression this pins: parallel_for used to rethrow from the
+  // FIRST failing future while later tasks still referenced `fn` — a
+  // dangling reference once the exception unwound the caller. Every
+  // task must complete before the exception propagates.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  try {
+    pool.parallel_for(64, [&hits](std::size_t i) {
+      hits[i].fetch_add(1);
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    });
+    FAIL() << "the task exception must propagate";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task 3 failed");
+  }
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesTheFirstExceptionInSubmissionOrder) {
+  // Deterministic propagation: not whichever worker loses the race, but
+  // the failure of the LOWEST index — the same exception a sequential
+  // run would have surfaced first.
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    try {
+      pool.parallel_for(32, [](std::size_t i) {
+        if (i == 5 || i == 20 || i == 31) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "the task exceptions must propagate";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "task 5");
+    }
+  }
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterAThrowingParallelFor) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolVirtual, RunsTasksInSchedulerPickedOrder) {
+  // sched:2,1 over 3 queued tasks: pick task #2 first, then (of the
+  // remaining {0, 1}) index 1 = task #1, then the singleton task #0.
+  testing::ReplayScheduler scheduler({2, 1});
+  ThreadPool pool(2, &scheduler);
+  EXPECT_TRUE(pool.virtual_mode());
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  pool.drain();
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+  EXPECT_TRUE(scheduler.health().ok());
+  EXPECT_EQ(scheduler.schedule_string(), "sched:2,1");
+}
+
+TEST(ThreadPoolVirtual, ParallelForDrainsCooperatively) {
+  testing::FifoScheduler scheduler;
+  ThreadPool pool(4, &scheduler);
+  std::vector<int> hits(20, 0);
+  pool.parallel_for(20, [&hits](std::size_t i) { ++hits[i]; });  // no OS threads: plain ints
+  for (const int hit : hits) EXPECT_EQ(hit, 1);
+}
+
+TEST(ThreadPoolVirtual, DestructorRunsUndrainedTasks) {
+  testing::FifoScheduler scheduler;
+  int runs = 0;
+  {
+    ThreadPool pool(2, &scheduler);
+    for (int i = 0; i < 3; ++i) pool.submit([&runs] { ++runs; });
+  }
+  EXPECT_EQ(runs, 3);
+}
+
+TEST(ThreadPoolVirtual, NullSchedulerDegradesToARealPool) {
+  ThreadPool pool(2, nullptr);
+  EXPECT_FALSE(pool.virtual_mode());
+  auto future = pool.submit([] { return 7; });
+  EXPECT_EQ(future.get(), 7);  // real workers: no drain() needed
 }
 
 }  // namespace

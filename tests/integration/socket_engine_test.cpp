@@ -27,6 +27,7 @@
 #include "api/envnws.hpp"
 #include "env/probe_agent.hpp"
 #include "env/socket_probe_engine.hpp"
+#include "testing/virtual_scheduler.hpp"
 
 namespace envnws::api {
 namespace {
@@ -365,6 +366,99 @@ TEST(SocketEngine, MappingDegradesWithWarningsWhenAnAgentDiesMidFleet) {
   EXPECT_TRUE(dead_agent_warned) << "no warning names the dead agent";
   // The surviving hosts still got mapped.
   EXPECT_GT(session.map_result().stats.experiments, 0u);
+  fleet.stop_all();
+}
+
+/// Kills one fleet host's agent at the first worker-dispatch decision of
+/// run_batch — i.e. AFTER the batch was submitted but BEFORE any of its
+/// experiments completed — then schedules FIFO. The schedule-exploration
+/// seam (engine.set_virtual_scheduler) is what makes "mid-batch" a
+/// deterministic instant instead of a sleep-and-hope race.
+class AgentKillingScheduler final : public testing::VirtualScheduler {
+ public:
+  AgentKillingScheduler(AgentFleet& fleet, std::string victim)
+      : fleet_(fleet), victim_(std::move(victim)) {}
+  [[nodiscard]] bool killed() const { return killed_; }
+
+ protected:
+  std::size_t choose(const testing::DecisionPoint& point) override {
+    if (!killed_ && point.point == "socket") {
+      killed_ = true;
+      fleet_.stop_host(victim_);
+    }
+    return 0;  // FIFO from here: the victim's experiments dispatch later
+  }
+
+ private:
+  AgentFleet& fleet_;
+  std::string victim_;
+  bool killed_ = false;
+};
+
+TEST(SocketEngine, AgentDeathDuringRunBatchKeepsErrorsInCanonicalOrder) {
+  SKIP_WITHOUT_NET();
+  auto scenario = make_scenario("star-switch:6");
+  AgentFleet fleet;
+  fleet.spawn(scenario, 1e9, "socket-midbatch-death.cfg");
+  env::MapperOptions options;
+  options.probe_bytes = 64 * 1024;
+  options.stabilization_gap_s = 0.0;
+  env::SocketEngineOptions socket_options;
+  socket_options.connect_timeout_s = 1.0;
+  socket_options.frame_timeout_s = 1.0;
+  socket_options.transfer_timeout_s = 1.5;
+
+  // Experiments 3 and 4 touch h5.lan — the host whose agent dies at the
+  // first dispatch decision, before anything has completed.
+  const std::vector<env::ProbeExperiment> experiments = {
+      env::ProbeExperiment::single("h0.lan", "h1.lan"),
+      env::ProbeExperiment::single("h2.lan", "h3.lan"),
+      env::ProbeExperiment::single("h0.lan", "h2.lan"),  // conflicts with [0] and [1]
+      env::ProbeExperiment::single("h4.lan", "h5.lan"),
+      env::ProbeExperiment::concurrent({env::BandwidthRequest{"h5.lan", "h4.lan"},
+                                        env::BandwidthRequest{"h1.lan", "h3.lan"}}),
+  };
+
+  // Reference run while the whole fleet is alive (fixed-rate agents:
+  // values are bit-reproducible across engines and worker counts).
+  env::SocketProbeEngine reference(fleet.roster(), options, socket_options);
+  const auto healthy = reference.run_batch(experiments, 1);
+  ASSERT_EQ(healthy.size(), experiments.size());
+  for (const auto& outcome : healthy) {
+    for (const auto& result : outcome.results) ASSERT_TRUE(result.ok());
+  }
+
+  AgentKillingScheduler killer(fleet, "h5.lan");
+  env::SocketProbeEngine engine(fleet.roster(), options, socket_options);
+  engine.set_virtual_scheduler(&killer);
+  const auto begin = Clock::now();
+  const auto outcomes = engine.run_batch(experiments, 3);
+  const double elapsed = std::chrono::duration<double>(Clock::now() - begin).count();
+  EXPECT_LT(elapsed, 30.0) << "a dead agent must not stall the batch";
+  EXPECT_TRUE(killer.killed());
+  EXPECT_TRUE(killer.health().ok());
+
+  // Per-experiment results stay in CANONICAL batch order: slot i is
+  // experiment i, whether it measured or failed. Experiments that never
+  // touch the dead host carry exactly the healthy run's values.
+  ASSERT_EQ(outcomes.size(), experiments.size());
+  for (const std::size_t i : {0u, 1u, 2u}) {
+    ASSERT_EQ(outcomes[i].results.size(), healthy[i].results.size()) << i;
+    for (std::size_t r = 0; r < outcomes[i].results.size(); ++r) {
+      ASSERT_TRUE(outcomes[i].results[r].ok()) << "experiment " << i;
+      EXPECT_EQ(outcomes[i].results[r].value(), healthy[i].results[r].value())
+          << "experiment " << i << " transfer " << r;
+    }
+  }
+  // The victim's experiments fail in place — h4->h5 entirely, and only
+  // the dead-host transfer of the mixed concurrent experiment.
+  ASSERT_EQ(outcomes[3].results.size(), 1u);
+  ASSERT_FALSE(outcomes[3].results[0].ok());
+  EXPECT_EQ(outcomes[3].results[0].error().code, ErrorCode::unreachable)
+      << outcomes[3].results[0].error().to_string();
+  ASSERT_EQ(outcomes[4].results.size(), 2u);
+  EXPECT_FALSE(outcomes[4].results[0].ok());
+
   fleet.stop_all();
 }
 
