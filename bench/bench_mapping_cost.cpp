@@ -114,6 +114,80 @@ void sweep_section(const std::string& spec_template, bench::JsonWriter* json) {
               env::naive_full_mapping_cost(20).days(30.0));
 }
 
+/// Hierarchical sampled interrogation (MapperOptions::max_pairwise):
+/// push the same scenario family far past the full-interrogation wall
+/// and show the experiment count flattening from O(n^2) to ~O(n + k^2)
+/// while the digest stays a pure function of (spec, sample_seed).
+void sampled_section(const std::string& spec_template, bench::JsonWriter* json) {
+  constexpr int kMaxPairwise = 64;
+  std::printf("--- hierarchical sampled interrogation (--max-pairwise model: %d) ---\n",
+              kMaxPairwise);
+  Table table({"hosts", "full pairwise", "experiments", "reps", "inferred", "escalated",
+               "digest", "real seconds"});
+  if (json != nullptr) {
+    json->begin_object("sampled")
+        .field("max_pairwise", kMaxPairwise)
+        .begin_array("sweep");
+  }
+  std::vector<int> sizes{256, 1024, 4096, 10000};
+  if (!bench::is_spec_template(spec_template)) sizes = {0};  // single fixed scenario
+  for (const int n : sizes) {
+    const std::string spec =
+        n == 0 ? spec_template : bench::instantiate_spec(spec_template, n);
+    simnet::Scenario scenario = bench::make_scenario_or_exit(spec);
+    const auto hosts = static_cast<unsigned long long>(scenario.topology.hosts().size());
+    simnet::Network net(simnet::Scenario(scenario).topology);
+    api::Session session(net, scenario);
+    session.options().mapper.max_pairwise = kMaxPairwise;
+    const auto begin = std::chrono::steady_clock::now();
+    if (auto status = session.map(); !status.ok()) {
+      std::fprintf(stderr, "sampled map of '%s' failed: %s\n", spec.c_str(),
+                   status.error().to_string().c_str());
+      std::exit(1);
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+    const env::MapResult& result = session.map_result();
+    const env::SampleStats& sampling = result.sampling;
+    // C(n-1, 2) concurrent-pair experiments the paper's full phase 2b
+    // would have scheduled against the master (n-1 zone members).
+    const unsigned long long full_pairwise =
+        hosts < 3 ? 0 : (hosts - 1) * (hosts - 2) / 2;
+    // The whole point: total cost must stay linear-ish in n, never
+    // quadratic. 8n + a generous fixed allowance covers phases 1-2d.
+    if (result.stats.experiments > 8 * hosts + 4096) {
+      std::fprintf(stderr, "BUG: sampled mapping of '%s' ran %llu experiments (> O(n*k))\n",
+                   spec.c_str(),
+                   static_cast<unsigned long long>(result.stats.experiments));
+      std::exit(1);
+    }
+    const std::string digest = short_digest(result.identity_digest());
+    table.add_row({std::to_string(hosts), std::to_string(full_pairwise),
+                   std::to_string(result.stats.experiments),
+                   std::to_string(sampling.representatives),
+                   std::to_string(sampling.inferred_members),
+                   std::to_string(sampling.escalated_members), digest,
+                   strings::format_double(wall, 2)});
+    if (json != nullptr) {
+      json->begin_object()
+          .field("scenario", spec)
+          .field("hosts", static_cast<std::uint64_t>(hosts))
+          .field("full_pairwise_experiments", static_cast<std::uint64_t>(full_pairwise))
+          .field("experiments", result.stats.experiments)
+          .field("representatives", sampling.representatives)
+          .field("inferred_members", sampling.inferred_members)
+          .field("escalated_members", sampling.escalated_members)
+          .field("sim_minutes", result.stats.duration_s / 60.0)
+          .field("real_seconds", wall)
+          .field("digest", digest)
+          .end_object();
+    }
+  }
+  if (json != nullptr) json->end_array().end_object();
+  std::printf("%s", table.to_string().c_str());
+  std::printf("sampled interrogation keeps experiments ~O(n + k^2): yes\n\n");
+}
+
 /// Map `scenario` through a Session with the given zone-worker count;
 /// returns the elapsed real time in seconds.
 double timed_map(api::Session& session, int threads) {
@@ -499,6 +573,7 @@ int main(int argc, char** argv) {
   }
 
   sweep_section(cli.scenario_spec, json);
+  sampled_section(cli.scenario_spec, json);
 
   // The zone fan-out needs a genuinely multi-zone platform: use the
   // given scenario when it is one concrete spec, the default firewall

@@ -6,6 +6,7 @@
 // and the seeded random sweep both pay these per-schedule costs.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "api/envnws.hpp"
 #include "bench_util.hpp"
@@ -53,16 +54,34 @@ std::string rate(const Measured& measured) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::bench_cli(argc, argv, "star-switch:6");
   bench::banner("EXPLORE", "schedule-exploration harness throughput",
                 "per-schedule cost from the bare VirtualScheduler seam to fully"
                 " virtualized mapping runs (what the CI explore job spends)");
 
+  // --json: the same rows as the table, machine-readable, so CI can
+  // archive per-workload throughput and diff runs (scripts/bench_diff.py).
+  bench::JsonWriter writer;
+  bench::JsonWriter* json = cli.json_path.empty() ? nullptr : &writer;
+  if (json != nullptr) json->field("bench", "schedule_explore").begin_array("workloads");
+
   Table table({"workload", "mode", "schedules", "exhaustive", "ok", "elapsed", "schedules/s"});
-  const auto add = [&table](const char* workload, const char* mode, const Measured& measured) {
+  const auto add = [&table, json](const char* workload, const char* mode,
+                                  const Measured& measured) {
     table.add_row({workload, mode, std::to_string(measured.schedules),
                    measured.exhaustive ? "yes" : "no", measured.ok ? "yes" : "NO",
                    strings::format_double(measured.elapsed_s, 3) + " s", rate(measured)});
+    if (json != nullptr) {
+      json->begin_object()
+          .field("workload", workload)
+          .field("mode", mode)
+          .field("schedules", static_cast<std::uint64_t>(measured.schedules))
+          .field("exhaustive", measured.exhaustive)
+          .field("ok", measured.ok)
+          .field("elapsed_seconds", measured.elapsed_s)
+          .end_object();
+    }
   };
 
   // --- bare seam: a synthetic 8-level tree, fanout 4, no probing ---------
@@ -133,5 +152,15 @@ int main() {
   }
 
   std::printf("%s", table.to_string().c_str());
+  if (json != nullptr) {
+    json->end_array();
+    std::ofstream out(cli.json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --json report to '%s'\n", cli.json_path.c_str());
+      return 1;
+    }
+    out << json->finish();
+    std::printf("JSON report written to %s\n", cli.json_path.c_str());
+  }
   return 0;
 }

@@ -8,6 +8,8 @@
 // of randomized LANs. The paper's choices should sit on the accuracy
 // plateau; extreme values should mis-cluster.
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -98,47 +100,62 @@ int main(int argc, char** argv) {
                 " degrades at the extremes of each sweep");
   std::printf("scenario family: %s (the placeholder receives each seed)\n\n", spec.c_str());
 
-  {
-    Table table({"bw_split_ratio", "accuracy %"});
-    for (const double v : {1.02, 1.5, 2.0, 3.0, 6.0, 20.0}) {
-      env::MapperOptions options;
-      options.bw_split_ratio = v;
-      table.add_row({strings::format_double(v, 2) + (v == 3.0 ? " (paper)" : ""),
-                     strings::format_double(score_options(spec, options).percent(), 1)});
-    }
-    std::printf("--- host-bandwidth split threshold ---\n%s\n", table.to_string().c_str());
+  // --json: one array per swept threshold with (value, accuracy) pairs
+  // — what scripts/bench_diff.py compares across CI runs.
+  bench::JsonWriter writer;
+  bench::JsonWriter* json = cli.json_path.empty() ? nullptr : &writer;
+  if (json != nullptr) {
+    json->field("bench", "threshold_ablation").field("scenario_spec", spec);
   }
-  {
-    Table table({"pairwise_independence", "accuracy %"});
-    for (const double v : {1.01, 1.1, 1.25, 1.6, 1.95, 4.0}) {
+
+  const auto sweep = [&](const char* key, const char* title, double paper,
+                         const std::vector<double>& values,
+                         const std::function<void(env::MapperOptions&, double)>& apply) {
+    Table table({key, "accuracy %"});
+    if (json != nullptr) json->begin_array(key);
+    for (const double v : values) {
       env::MapperOptions options;
-      options.pairwise_independence_ratio = v;
-      table.add_row({strings::format_double(v, 2) + (v == 1.25 ? " (paper)" : ""),
-                     strings::format_double(score_options(spec, options).percent(), 1)});
+      apply(options, v);
+      const double percent = score_options(spec, options).percent();
+      table.add_row({strings::format_double(v, 2) + (v == paper ? " (paper)" : ""),
+                     strings::format_double(percent, 1)});
+      if (json != nullptr) {
+        json->begin_object()
+            .field("value", v)
+            .field("paper", v == paper)
+            .field("accuracy_percent", percent)
+            .end_object();
+      }
     }
-    std::printf("--- pairwise independence threshold ---\n%s\n", table.to_string().c_str());
-  }
-  {
-    Table table({"jam_shared_max", "accuracy %"});
-    for (const double v : {0.1, 0.3, 0.5, 0.7, 0.85, 0.99}) {
-      env::MapperOptions options;
-      options.jam_shared_max = v;
-      options.jam_switched_min = std::max(v, options.jam_switched_min);
-      table.add_row({strings::format_double(v, 2) + (v == 0.7 ? " (paper)" : ""),
-                     strings::format_double(score_options(spec, options).percent(), 1)});
+    if (json != nullptr) json->end_array();
+    std::printf("--- %s ---\n%s\n", title, table.to_string().c_str());
+  };
+
+  sweep("bw_split_ratio", "host-bandwidth split threshold", 3.0,
+        {1.02, 1.5, 2.0, 3.0, 6.0, 20.0},
+        [](env::MapperOptions& options, double v) { options.bw_split_ratio = v; });
+  sweep("pairwise_independence", "pairwise independence threshold", 1.25,
+        {1.01, 1.1, 1.25, 1.6, 1.95, 4.0},
+        [](env::MapperOptions& options, double v) { options.pairwise_independence_ratio = v; });
+  sweep("jam_shared_max", "jammed 'shared' threshold", 0.7, {0.1, 0.3, 0.5, 0.7, 0.85, 0.99},
+        [](env::MapperOptions& options, double v) {
+          options.jam_shared_max = v;
+          options.jam_switched_min = std::max(v, options.jam_switched_min);
+        });
+  sweep("jam_switched_min", "jammed 'switched' threshold", 0.9,
+        {0.55, 0.7, 0.8, 0.9, 0.97, 1.0}, [](env::MapperOptions& options, double v) {
+          options.jam_switched_min = v;
+          options.jam_shared_max = std::min(v, options.jam_shared_max);
+        });
+
+  if (json != nullptr) {
+    std::ofstream out(cli.json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --json report to '%s'\n", cli.json_path.c_str());
+      return 1;
     }
-    std::printf("--- jammed 'shared' threshold ---\n%s\n", table.to_string().c_str());
-  }
-  {
-    Table table({"jam_switched_min", "accuracy %"});
-    for (const double v : {0.55, 0.7, 0.8, 0.9, 0.97, 1.0}) {
-      env::MapperOptions options;
-      options.jam_switched_min = v;
-      options.jam_shared_max = std::min(v, options.jam_shared_max);
-      table.add_row({strings::format_double(v, 2) + (v == 0.9 ? " (paper)" : ""),
-                     strings::format_double(score_options(spec, options).percent(), 1)});
-    }
-    std::printf("--- jammed 'switched' threshold ---\n%s\n", table.to_string().c_str());
+    out << json->finish();
+    std::printf("JSON report written to %s\n", cli.json_path.c_str());
   }
   return 0;
 }

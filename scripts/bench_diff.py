@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two bench --json reports and fail on metric regressions.
+
+Usage:
+    python3 scripts/bench_diff.py BASELINE.json CURRENT.json \
+        [--threshold 0.15] [--ignore PATTERN ...]
+
+Both files are the output of any bench's --json flag (bench_mapping_cost,
+bench_schedule_explore, bench_threshold_ablation, ...). The two trees are
+walked in parallel; every numeric leaf present in both is compared and the
+script exits non-zero when any relative change exceeds the threshold
+(default 15%).
+
+Wall-clock leaves are noise on shared CI runners, so paths matching the
+default ignore list (elapsed/real/wall seconds) are reported but never
+fatal. Pass --ignore to extend the list with regexes matched against the
+dotted leaf path (e.g. 'sampled\\.sweep\\[3\\]\\..*').
+
+Structural drift — a leaf present on one side only, or a type change — is
+reported as informational: benches grow sections across PRs and a diff
+tool that blocks adding a metric would just get deleted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+# Wall-clock and machine-load metrics: meaningful locally, pure noise
+# across CI runners of different generations.
+DEFAULT_IGNORES = [
+    r".*elapsed_seconds$",
+    r".*real_seconds$",
+    r".*wall_seconds$",
+    r".*_ms$",
+]
+
+
+def walk(node, path, leaves):
+    """Flatten `node` into {dotted_path: leaf_value}."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            walk(value, f"{path}.{key}" if path else key, leaves)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            walk(value, f"{path}[{index}]", leaves)
+    else:
+        leaves[path] = node
+
+
+def relative_change(old, new):
+    if old == new:
+        return 0.0
+    if old == 0:
+        return float("inf")
+    return abs(new - old) / abs(old)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="max allowed relative change per numeric leaf (default 0.15)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="extra leaf-path regex to report without failing on",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(args.current, encoding="utf-8") as fh:
+        current = json.load(fh)
+
+    ignores = [re.compile(p) for p in DEFAULT_IGNORES + args.ignore]
+
+    old_leaves, new_leaves = {}, {}
+    walk(baseline, "", old_leaves)
+    walk(current, "", new_leaves)
+
+    regressions = []
+    notes = []
+    for path in sorted(set(old_leaves) | set(new_leaves)):
+        if path not in old_leaves:
+            notes.append(f"new leaf: {path} = {new_leaves[path]!r}")
+            continue
+        if path not in new_leaves:
+            notes.append(f"removed leaf: {path} (was {old_leaves[path]!r})")
+            continue
+        old, new = old_leaves[path], new_leaves[path]
+        numeric = (
+            isinstance(old, (int, float))
+            and isinstance(new, (int, float))
+            and not isinstance(old, bool)
+            and not isinstance(new, bool)
+        )
+        if not numeric:
+            if old != new:
+                notes.append(f"changed: {path}: {old!r} -> {new!r}")
+            continue
+        change = relative_change(old, new)
+        if change <= args.threshold:
+            continue
+        line = f"{path}: {old} -> {new} ({change * 100.0:.1f}% change)"
+        if any(p.match(path) for p in ignores):
+            notes.append(f"ignored (noisy): {line}")
+        else:
+            regressions.append(line)
+
+    for note in notes:
+        print(f"  note: {note}")
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} leaf metric(s) moved more than "
+            f"{args.threshold * 100.0:.0f}% vs {args.baseline}:"
+        )
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(
+        f"OK: {len(set(old_leaves) & set(new_leaves))} shared leaves within "
+        f"{args.threshold * 100.0:.0f}% ({len(notes)} informational note(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -181,7 +181,8 @@ std::string MapCache::key_for(const std::string& scenario_label,
          << options.jam_repetitions << '|' << options.probe_bytes << '|'
          << full(options.stabilization_gap_s) << '|' << options.site_domain_labels << '|'
          << options.purpose << '|' << (options.bidirectional_probes ? 1 : 0) << '|'
-         << full(options.asymmetry_ratio);
+         << full(options.asymmetry_ratio) << '|' << options.max_pairwise << '|'
+         << options.sample_seed << '|' << full(options.sample_confidence_ratio);
   char hash[17];
   std::snprintf(hash, sizeof(hash), "%016" PRIx64, fnv1a(fields.str()));
   return label + "-" + hash;

@@ -187,6 +187,13 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
         if (auto st = check_arity(spec, 1, 1); !st.ok()) return st.error();
         auto n = positive_dim(spec, 0, 8);
         if (!n.ok()) return n.error();
+        // The host addressing plan packs 254 hosts per /24 inside 10/8;
+        // 65534 keeps every generated address unique with room to spare
+        // and bounds a typoed spec before it tries to allocate the moon.
+        if (n.value() > 65534) {
+          return make_error(ErrorCode::invalid_argument,
+                            "scenario '" + spec.name + "': at most 65534 hosts");
+        }
         const double bw = rate_bps_or(spec, 0, 100.0);
         return hub ? simnet::star_hub(n.value(), bw) : simnet::star_switch(n.value(), bw);
       };

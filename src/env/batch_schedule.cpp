@@ -12,7 +12,14 @@ std::vector<std::string> experiment_endpoints(const ProbeExperiment& experiment)
   std::vector<std::string> endpoints;
   endpoints.reserve(experiment.transfers.size() * 2);
   for (const auto& transfer : experiment.transfers) {
-    endpoints.push_back(transfer.from);
+    // A `via`-qualified source occupies one specific adapter of a
+    // multi-homed host, not the whole host: "master%140.77.12.51" and
+    // "master%192.168.81.51" are distinct endpoints, which is what lets
+    // phase 2b overlap pairwise experiments of different groups when the
+    // master has a NIC per group. '%' cannot occur in a hostname, so the
+    // qualified name can never collide with a real endpoint.
+    endpoints.push_back(transfer.via.empty() ? transfer.from
+                                             : transfer.from + '%' + transfer.via);
     endpoints.push_back(transfer.to);
   }
   return endpoints;

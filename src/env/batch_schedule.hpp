@@ -33,7 +33,10 @@ namespace envnws::env {
 /// adapters the experiment occupies. This is THE definition of "shares
 /// an endpoint" for the disjointness rule: the schedule model below and
 /// the realized schedule in SocketProbeEngine::run_batch must agree on
-/// it, so both use this one helper.
+/// it, so both use this one helper. A transfer with a non-empty `via`
+/// occupies only that adapter of its source ("host%addr"), so two
+/// transfers leaving a multi-homed master through different NICs count
+/// as disjoint and may overlap.
 [[nodiscard]] std::vector<std::string> experiment_endpoints(const ProbeExperiment& experiment);
 
 /// The endpoint-constrained dispatch bookkeeping of one batch: which

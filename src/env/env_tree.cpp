@@ -1,11 +1,11 @@
 #include "env/env_tree.hpp"
 
 #include <algorithm>
-#include <sstream>
 
 #include "common/parse.hpp"
 #include "common/strings.hpp"
 #include "common/units.hpp"
+#include "env/env_tree_arena.hpp"
 
 namespace envnws::env {
 
@@ -157,50 +157,12 @@ void canonicalize(EnvNetwork& network,
   for (auto& child : network.children) canonicalize(child, canon);
 }
 
-namespace {
-
-void render_node(const EnvNetwork& network, const std::string& indent, std::ostringstream& out) {
-  out << indent;
-  switch (network.kind) {
-    case NetKind::structural:
-      out << "* " << (network.label.empty() ? "(net)" : network.label);
-      if (!network.label_ip.empty() && network.label_ip != network.label) {
-        out << " [" << network.label_ip << "]";
-      }
-      break;
-    default:
-      out << "+ " << (network.label.empty() ? "(lan)" : network.label) << " <"
-          << to_string(network.kind) << ">";
-      if (network.base_bw_bps > 0.0) {
-        out << " base=" << strings::format_double(units::to_mbps(network.base_bw_bps), 2)
-            << "Mbps";
-      }
-      if (network.base_local_bw_bps > 0.0) {
-        out << " local="
-            << strings::format_double(units::to_mbps(network.base_local_bw_bps), 2) << "Mbps";
-      }
-      if (network.base_reverse_bw_bps > 0.0) {
-        out << " reverse="
-            << strings::format_double(units::to_mbps(network.base_reverse_bw_bps), 2)
-            << "Mbps";
-      }
-      if (network.route_asymmetric) out << " [ASYMMETRIC ROUTE]";
-      break;
-  }
-  if (!network.gateway.empty()) out << " via " << network.gateway;
-  out << "\n";
-  if (!network.machines.empty()) {
-    out << indent << "    machines: " << strings::join(network.machines, ", ") << "\n";
-  }
-  for (const auto& child : network.children) render_node(child, indent + "  ", out);
-}
-
-}  // namespace
-
 std::string render_effective(const EnvNetwork& root) {
-  std::ostringstream out;
-  render_node(root, "", out);
-  return out.str();
+  // Flatten first, render the flat columns: one sequential pass instead
+  // of a recursive descent re-allocating an indent string per level —
+  // the rendering is digested for every zone, so at 10k machines this
+  // sits on the mapping hot path.
+  return render_effective(EnvTreeArena::from_tree(root));
 }
 
 }  // namespace envnws::env

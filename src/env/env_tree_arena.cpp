@@ -1,0 +1,149 @@
+#include "env/env_tree_arena.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace envnws::env {
+
+std::size_t EnvTreeArena::add_node(const EnvNetwork& node, std::size_t parent) {
+  const std::size_t index = kind_.size();
+  kind_.push_back(node.kind);
+  label_.push_back(node.label);
+  label_ip_.push_back(node.label_ip);
+  gateway_.push_back(node.gateway);
+  base_bw_bps_.push_back(node.base_bw_bps);
+  base_local_bw_bps_.push_back(node.base_local_bw_bps);
+  base_reverse_bw_bps_.push_back(node.base_reverse_bw_bps);
+  route_asymmetric_.push_back(node.route_asymmetric ? 1 : 0);
+  parent_.push_back(parent);
+  first_child_.push_back(npos);
+  next_sibling_.push_back(npos);
+  machines_begin_.push_back(machine_pool_.size());
+  machine_pool_.insert(machine_pool_.end(), node.machines.begin(), node.machines.end());
+  machines_end_.push_back(machine_pool_.size());
+  return index;
+}
+
+EnvTreeArena EnvTreeArena::from_tree(const EnvNetwork& root) {
+  EnvTreeArena arena;
+  // Explicit stack, children pushed in reverse, so pop order is exactly
+  // preorder — no recursion no matter how deep the structural chain is.
+  struct Pending {
+    const EnvNetwork* node;
+    std::size_t parent;
+  };
+  std::vector<Pending> stack{{&root, npos}};
+  std::vector<std::size_t> last_child;  // per arena node: its newest child
+  while (!stack.empty()) {
+    const Pending item = stack.back();
+    stack.pop_back();
+    const std::size_t index = arena.add_node(*item.node, item.parent);
+    last_child.push_back(npos);
+    if (item.parent != npos) {
+      if (arena.first_child_[item.parent] == npos) {
+        arena.first_child_[item.parent] = index;
+      } else {
+        arena.next_sibling_[last_child[item.parent]] = index;
+      }
+      last_child[item.parent] = index;
+    }
+    for (auto it = item.node->children.rbegin(); it != item.node->children.rend(); ++it) {
+      stack.push_back({&*it, index});
+    }
+  }
+  return arena;
+}
+
+EnvNetwork EnvTreeArena::to_tree() const {
+  EnvNetwork root;
+  if (empty()) return root;
+  // Nodes arrive in preorder, so a node's parent is always materialized
+  // before the node itself; track where each arena node landed.
+  std::vector<EnvNetwork*> placed(size(), nullptr);
+  for (std::size_t i = 0; i < size(); ++i) {
+    EnvNetwork* target;
+    if (parent_[i] == npos) {
+      target = &root;
+    } else {
+      placed[parent_[i]]->children.emplace_back();
+      target = &placed[parent_[i]]->children.back();
+    }
+    target->kind = kind_[i];
+    target->label = label_[i];
+    target->label_ip = label_ip_[i];
+    target->gateway = gateway_[i];
+    target->base_bw_bps = base_bw_bps_[i];
+    target->base_local_bw_bps = base_local_bw_bps_[i];
+    target->base_reverse_bw_bps = base_reverse_bw_bps_[i];
+    target->route_asymmetric = route_asymmetric_[i] != 0;
+    target->machines.assign(machines_begin(i), machines_end(i));
+    placed[i] = target;
+  }
+  return root;
+}
+
+std::size_t EnvTreeArena::depth(std::size_t i) const {
+  std::size_t d = 0;
+  while (parent_[i] != npos) {
+    i = parent_[i];
+    ++d;
+  }
+  return d;
+}
+
+std::vector<std::size_t> EnvTreeArena::preorder() const {
+  std::vector<std::size_t> order(size());
+  for (std::size_t i = 0; i < size(); ++i) order[i] = i;
+  return order;
+}
+
+std::string render_effective(const EnvTreeArena& arena) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    const std::string indent(2 * arena.depth(i), ' ');
+    out << indent;
+    switch (arena.kind(i)) {
+      case NetKind::structural:
+        out << "* " << (arena.label(i).empty() ? "(net)" : arena.label(i));
+        if (!arena.label_ip(i).empty() && arena.label_ip(i) != arena.label(i)) {
+          out << " [" << arena.label_ip(i) << "]";
+        }
+        break;
+      default:
+        out << "+ " << (arena.label(i).empty() ? "(lan)" : arena.label(i)) << " <"
+            << to_string(arena.kind(i)) << ">";
+        if (arena.base_bw_bps(i) > 0.0) {
+          out << " base=" << strings::format_double(units::to_mbps(arena.base_bw_bps(i)), 2)
+              << "Mbps";
+        }
+        if (arena.base_local_bw_bps(i) > 0.0) {
+          out << " local="
+              << strings::format_double(units::to_mbps(arena.base_local_bw_bps(i)), 2)
+              << "Mbps";
+        }
+        if (arena.base_reverse_bw_bps(i) > 0.0) {
+          out << " reverse="
+              << strings::format_double(units::to_mbps(arena.base_reverse_bw_bps(i)), 2)
+              << "Mbps";
+        }
+        if (arena.route_asymmetric(i)) out << " [ASYMMETRIC ROUTE]";
+        break;
+    }
+    if (!arena.gateway(i).empty()) out << " via " << arena.gateway(i);
+    out << "\n";
+    if (arena.machine_count(i) > 0) {
+      out << indent << "    machines: ";
+      for (const std::string* m = arena.machines_begin(i); m != arena.machines_end(i); ++m) {
+        if (m != arena.machines_begin(i)) out << ", ";
+        out << *m;
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace envnws::env

@@ -1,0 +1,100 @@
+// Flat structure-of-arrays representation of the Effective Network View.
+//
+// `EnvNetwork` is the ergonomic pointer-chasing tree the mapper builds
+// and the planner consumes. At paper scale (tens of hosts) that is
+// fine; at the star-switch:10000 scale every whole-tree pass (render,
+// machine census) walks thousands of heap-allocated child vectors. The
+// arena stores the same tree as parallel columns indexed by a plain
+// `std::size_t` handle in preorder, with first-child/next-sibling links
+// and one shared machine-name pool, so traversals are sequential array
+// scans and need no recursion.
+//
+// The arena is a *view-building* representation: convert with
+// `EnvTreeArena::from_tree`, read it, and (when a mutable tree is
+// needed again) convert back with `to_tree`. Round-tripping is
+// lossless and order-preserving.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "env/env_tree.hpp"
+
+namespace envnws::env {
+
+class EnvTreeArena {
+ public:
+  /// Handle value meaning "no node" (no parent / no sibling / ...).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Flatten `root` (and its whole subtree) in preorder. Index 0 is
+  /// always the root of a non-empty arena.
+  [[nodiscard]] static EnvTreeArena from_tree(const EnvNetwork& root);
+  /// Rebuild the pointer tree; inverse of from_tree.
+  [[nodiscard]] EnvNetwork to_tree() const;
+
+  [[nodiscard]] std::size_t size() const { return kind_.size(); }
+  [[nodiscard]] bool empty() const { return kind_.empty(); }
+  /// Total machine names across all nodes (pool size).
+  [[nodiscard]] std::size_t machine_count() const { return machine_pool_.size(); }
+
+  // --- per-node columns ---
+  [[nodiscard]] NetKind kind(std::size_t i) const { return kind_[i]; }
+  [[nodiscard]] const std::string& label(std::size_t i) const { return label_[i]; }
+  [[nodiscard]] const std::string& label_ip(std::size_t i) const { return label_ip_[i]; }
+  [[nodiscard]] const std::string& gateway(std::size_t i) const { return gateway_[i]; }
+  [[nodiscard]] double base_bw_bps(std::size_t i) const { return base_bw_bps_[i]; }
+  [[nodiscard]] double base_local_bw_bps(std::size_t i) const { return base_local_bw_bps_[i]; }
+  [[nodiscard]] double base_reverse_bw_bps(std::size_t i) const {
+    return base_reverse_bw_bps_[i];
+  }
+  [[nodiscard]] bool route_asymmetric(std::size_t i) const { return route_asymmetric_[i] != 0; }
+  [[nodiscard]] std::size_t parent(std::size_t i) const { return parent_[i]; }
+  [[nodiscard]] std::size_t first_child(std::size_t i) const { return first_child_[i]; }
+  [[nodiscard]] std::size_t next_sibling(std::size_t i) const { return next_sibling_[i]; }
+  /// Depth of node `i` (root = 0); O(depth), follows parent links.
+  [[nodiscard]] std::size_t depth(std::size_t i) const;
+
+  /// Machine names of node `i` as a contiguous [begin, end) span into
+  /// the shared pool.
+  [[nodiscard]] const std::string* machines_begin(std::size_t i) const {
+    return machine_pool_.data() + machines_begin_[i];
+  }
+  [[nodiscard]] const std::string* machines_end(std::size_t i) const {
+    return machine_pool_.data() + machines_end_[i];
+  }
+  [[nodiscard]] std::size_t machine_count(std::size_t i) const {
+    return machines_end_[i] - machines_begin_[i];
+  }
+
+  /// Preorder node indices — because from_tree emits preorder, this is
+  /// simply 0..size(); kept explicit so callers don't depend on the
+  /// construction order by accident.
+  [[nodiscard]] std::vector<std::size_t> preorder() const;
+
+ private:
+  std::size_t add_node(const EnvNetwork& node, std::size_t parent);
+
+  std::vector<NetKind> kind_;
+  std::vector<std::string> label_;
+  std::vector<std::string> label_ip_;
+  std::vector<std::string> gateway_;
+  std::vector<double> base_bw_bps_;
+  std::vector<double> base_local_bw_bps_;
+  std::vector<double> base_reverse_bw_bps_;
+  std::vector<char> route_asymmetric_;  // vector<bool> has no data()
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> first_child_;
+  std::vector<std::size_t> next_sibling_;
+  std::vector<std::size_t> machines_begin_;
+  std::vector<std::size_t> machines_end_;
+  std::vector<std::string> machine_pool_;
+};
+
+/// ASCII rendering in the style of paper Fig. 1(b); byte-identical to
+/// `render_effective(EnvNetwork)` on the equivalent tree, but iterative
+/// over the flat columns.
+[[nodiscard]] std::string render_effective(const EnvTreeArena& arena);
+
+}  // namespace envnws::env

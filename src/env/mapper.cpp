@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 #include <future>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <optional>
@@ -11,6 +12,7 @@
 #include <sstream>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
@@ -73,6 +75,18 @@ class UnionFind {
 
 double median_of(std::vector<double> values) {
   return stats::median(values);
+}
+
+/// FNV-1a of a label: stable per-node seed material for the sampling
+/// Rng, so the sampled experiment stream depends only on (sample_seed,
+/// node label) — never on zone order or thread timing.
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
 }
 
 Error null_engine_error(const ZoneSpec& spec) {
@@ -287,50 +301,206 @@ std::vector<EnvNetwork> Mapper::refine(ProbeEngine& engine, const BatchContext& 
   if (groups.empty()) groups.push_back({});  // master-only node
 
   // ---- phase 2b: pairwise host bandwidth ------------------------------
-  // Every pairwise experiment sends two concurrent transfers from the
-  // master, so — like 2a — the batch cannot overlap anything; it is
-  // issued through the batch path for uniformity only.
-  std::vector<std::vector<std::size_t>> clusters;
-  for (const auto& group : groups) {
-    if (group.size() < 2) {
-      clusters.push_back(group);
+  // All groups' experiments are issued as ONE batch in canonical order —
+  // group by group, i<j within each group, exactly the sequence the
+  // sequential schedule uses, so the experiment stream and every
+  // recorded trace stay bit-identical. Every experiment sends two
+  // concurrent transfers from the master, so WITHIN a group nothing can
+  // overlap; ACROSS groups a multi-homed master serves each group
+  // through the adapter facing it, and tagging the transfers with that
+  // adapter (`via`) is what lets the merged batch credit the overlap.
+  // On a single-homed master all tags collapse and the batch degenerates
+  // to the sequential schedule exactly as before.
+
+  // The master's adapter addresses, primary first.
+  std::vector<std::string> master_adapters;
+  if (!master.identity.ip.empty()) master_adapters.push_back(master.identity.ip);
+  for (const auto& extra : master.identity.extra_ips) master_adapters.push_back(extra);
+  const auto group_via = [&](const std::vector<std::size_t>& group) -> std::string {
+    if (master_adapters.size() < 2 || group.empty()) return "";
+    // The adapter facing the group: the master address on the classful
+    // network of the group's members; unknown -> the primary adapter,
+    // so unmatched groups still serialize against each other.
+    const auto member_net = simnet::Ipv4::parse(all[group.front()].identity.ip);
+    if (member_net.ok()) {
+      for (const auto& addr : master_adapters) {
+        const auto parsed = simnet::Ipv4::parse(addr);
+        if (parsed.ok() && parsed.value().same_classful_network(member_net.value())) return addr;
+      }
+    }
+    return master_adapters.front();
+  };
+
+  // When a group's full pairwise count exceeds MapperOptions::
+  // max_pairwise, only per-bucket representatives run the full protocol
+  // (see options.hpp): the group is bucketed by its 2a bandwidth
+  // signature, confident members inherit their nearest representative's
+  // placement transitively, and the rest escalate to one direct
+  // member-vs-representative probe each. An escalation IS an ordinary
+  // pairwise experiment, so verdict processing below is uniform.
+  struct PairProbe {
+    std::size_t group;  ///< index into `groups`
+    std::size_t i, j;   ///< member positions within the group
+  };
+  std::vector<ProbeExperiment> experiments;
+  std::vector<PairProbe> probes;
+  std::vector<UnionFind> components;
+  components.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const auto& group = groups[g];
+    components.emplace_back(group.size());
+    if (group.size() < 2) continue;
+    const std::string via = group_via(group);
+    const auto pair_experiment = [&](std::size_t i, std::size_t j) {
+      experiments.push_back(ProbeExperiment::concurrent(
+          {BandwidthRequest{master.given_name, all[group[i]].given_name, via},
+           BandwidthRequest{master.given_name, all[group[j]].given_name, via}}));
+      probes.push_back(PairProbe{g, i, j});
+    };
+    const std::uint64_t full_pairs =
+        static_cast<std::uint64_t>(group.size()) * (group.size() - 1) / 2;
+    if (options_.max_pairwise <= 0 ||
+        full_pairs <= static_cast<std::uint64_t>(options_.max_pairwise)) {
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        for (std::size_t j = i + 1; j < group.size(); ++j) pair_experiment(i, j);
+      }
       continue;
     }
-    std::vector<ProbeExperiment> experiments;
-    std::vector<std::pair<std::size_t, std::size_t>> pairs;  ///< (i, j) per experiment
+
+    // --- sampled interrogation of this group ---
+    // Signature buckets: the group is ordered by descending 2a
+    // bandwidth, so buckets are runs within the square of the
+    // confidence ratio of their leader. A zero-bandwidth member can
+    // neither be inferred nor usefully probed: it stays a singleton,
+    // exactly the verdict the full protocol reaches (a 0-bandwidth
+    // member never measures as dependent).
+    const double confidence = std::max(1.0, options_.sample_confidence_ratio);
+    const double bucket_ratio = confidence * confidence;
+    std::vector<std::vector<std::size_t>> buckets;
+    std::size_t zero_members = 0;
     for (std::size_t i = 0; i < group.size(); ++i) {
-      for (std::size_t j = i + 1; j < group.size(); ++j) {
-        experiments.push_back(ProbeExperiment::concurrent(
-            {BandwidthRequest{master.given_name, all[group[i]].given_name},
-             BandwidthRequest{master.given_name, all[group[j]].given_name}}));
-        pairs.emplace_back(i, j);
-      }
-    }
-    const auto outcomes = run_phase_batch(engine, ctx, "pairwise", label, experiments,
-                                          /*credit_makespan=*/true, nullptr);
-    UnionFind components(group.size());
-    for (std::size_t p = 0; p < pairs.size(); ++p) {
-      const auto [i, j] = pairs[p];
-      const auto& paired = outcomes[p].results;
-      if (!paired[0].ok() || !paired[1].ok()) {
-        warnings.push_back("pairwise test " + all[group[i]].fqdn + "/" +
-                           all[group[j]].fqdn + " failed");
+      const double value = bw[group[i]];
+      if (value <= 0.0) {
+        ++zero_members;
         continue;
       }
-      const double ratio_i =
-          paired[0].value() > 0.0 ? bw[group[i]] / paired[0].value() : 0.0;
-      const double ratio_j =
-          paired[1].value() > 0.0 ? bw[group[j]] / paired[1].value() : 0.0;
-      // Dependent (keep together) when either transfer slowed down by
-      // at least the threshold factor while paired.
-      if (ratio_i >= options_.pairwise_independence_ratio ||
-          ratio_j >= options_.pairwise_independence_ratio) {
-        components.unite(i, j);
+      if (!buckets.empty() && bw[group[buckets.back().front()]] / value <= bucket_ratio) {
+        buckets.back().push_back(i);
+      } else {
+        buckets.push_back({i});
       }
+    }
+
+    // Representative budget: the largest k with k*(k-1)/2 experiments
+    // inside max_pairwise, floored at one representative per bucket
+    // (the bucket count is bounded by the signature geometry — the
+    // group spans at most bw_split_ratio — never by the group size).
+    std::size_t rep_budget = 2;
+    while ((rep_budget + 1) * rep_budget / 2 <=
+           static_cast<std::uint64_t>(options_.max_pairwise)) {
+      ++rep_budget;
+    }
+    std::vector<char> is_rep(group.size(), 0);
+    for (const auto& bucket : buckets) is_rep[bucket.front()] = 1;  // bucket leaders
+    std::size_t rep_count = buckets.size();
+    // Extra representative slots go round-robin over the buckets, each
+    // picked deterministically from the sampling seed.
+    Rng rng(options_.sample_seed ^ fnv1a64(label));
+    while (rep_count < rep_budget) {
+      bool placed = false;
+      for (const auto& bucket : buckets) {
+        if (rep_count >= rep_budget) break;
+        std::vector<std::size_t> candidates;
+        for (const std::size_t i : bucket) {
+          if (!is_rep[i]) candidates.push_back(i);
+        }
+        if (candidates.empty()) continue;
+        is_rep[candidates[rng.next_below(candidates.size())]] = 1;
+        ++rep_count;
+        placed = true;
+      }
+      if (!placed) break;
+    }
+
+    // Full pairwise protocol among the representatives, canonical order.
+    std::vector<std::size_t> reps;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (is_rep[i]) reps.push_back(i);
+    }
+    for (std::size_t a = 0; a < reps.size(); ++a) {
+      for (std::size_t b = a + 1; b < reps.size(); ++b) pair_experiment(reps[a], reps[b]);
+    }
+
+    // Transitive inference + escalation for everyone else: a member
+    // whose bandwidth sits within the confidence ratio of its bucket's
+    // nearest representative inherits that representative's placement
+    // without a probe; the rest get one direct pairwise check each.
+    std::size_t inferred = 0;
+    std::size_t escalated = 0;
+    for (const auto& bucket : buckets) {
+      for (const std::size_t m : bucket) {
+        if (is_rep[m]) continue;
+        std::size_t nearest = bucket.front();
+        double nearest_ratio = std::numeric_limits<double>::infinity();
+        for (const std::size_t r : bucket) {
+          if (!is_rep[r]) continue;
+          const double lo = std::min(bw[group[m]], bw[group[r]]);
+          const double hi = std::max(bw[group[m]], bw[group[r]]);
+          const double ratio = lo > 0.0 ? hi / lo : std::numeric_limits<double>::infinity();
+          if (ratio < nearest_ratio) {
+            nearest_ratio = ratio;
+            nearest = r;
+          }
+        }
+        if (nearest_ratio <= confidence) {
+          components[g].unite(m, nearest);
+          ++inferred;
+        } else {
+          pair_experiment(std::min(m, nearest), std::max(m, nearest));
+          ++escalated;
+        }
+      }
+    }
+    if (ctx.sampling != nullptr) {
+      ++ctx.sampling->sampled_groups;
+      ctx.sampling->representatives += reps.size();
+      ctx.sampling->inferred_members += inferred + zero_members;
+      ctx.sampling->escalated_members += escalated;
+    }
+  }
+
+  const auto outcomes = run_phase_batch(engine, ctx, "pairwise", label, experiments,
+                                        /*credit_makespan=*/true, nullptr);
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    const auto& [g, i, j] = probes[p];
+    const auto& group = groups[g];
+    const auto& paired = outcomes[p].results;
+    if (!paired[0].ok() || !paired[1].ok()) {
+      warnings.push_back("pairwise test " + all[group[i]].fqdn + "/" +
+                         all[group[j]].fqdn + " failed");
+      continue;
+    }
+    const double ratio_i =
+        paired[0].value() > 0.0 ? bw[group[i]] / paired[0].value() : 0.0;
+    const double ratio_j =
+        paired[1].value() > 0.0 ? bw[group[j]] / paired[1].value() : 0.0;
+    // Dependent (keep together) when either transfer slowed down by
+    // at least the threshold factor while paired.
+    if (ratio_i >= options_.pairwise_independence_ratio ||
+        ratio_j >= options_.pairwise_independence_ratio) {
+      components[g].unite(i, j);
+    }
+  }
+  std::vector<std::vector<std::size_t>> clusters;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const auto& group = groups[g];
+    if (group.empty()) {
+      clusters.push_back({});
+      continue;
     }
     std::map<std::size_t, std::vector<std::size_t>> by_root;
     for (std::size_t i = 0; i < group.size(); ++i) {
-      by_root[components.find(i)].push_back(group[i]);
+      by_root[components[g].find(i)].push_back(group[i]);
     }
     for (auto& [root, cluster_members] : by_root) clusters.push_back(cluster_members);
   }
@@ -384,10 +554,42 @@ std::vector<EnvNetwork> Mapper::refine(ProbeEngine& engine, const BatchContext& 
     // Whether the segment IS switched is only established by phase 2d
     // below, so the makespan credit is deferred until that verdict.
     std::vector<ProbeExperiment> experiments;
-    for (std::size_t i = 0; i < cluster.size(); ++i) {
-      for (std::size_t j = i + 1; j < cluster.size(); ++j) {
+    const std::uint64_t full_internal =
+        static_cast<std::uint64_t>(cluster.size()) * (cluster.size() - 1) / 2;
+    if (options_.max_pairwise <= 0 ||
+        full_internal <= static_cast<std::uint64_t>(options_.max_pairwise)) {
+      for (std::size_t i = 0; i < cluster.size(); ++i) {
+        for (std::size_t j = i + 1; j < cluster.size(); ++j) {
+          experiments.push_back(
+              ProbeExperiment::single(all[cluster[i]].given_name, all[cluster[j]].given_name));
+        }
+      }
+    } else {
+      // Sampled internal interrogation: max_pairwise distinct member
+      // pairs, drawn deterministically from the sampling seed (pair
+      // count >> sample size, so rejection sampling converges fast) and
+      // issued in ascending pair-index order — a canonical-order
+      // subsequence of the full enumeration. The median below is then
+      // over the sample instead of every pair.
+      Rng rng(options_.sample_seed ^ fnv1a64(net.label) ^ 0x9e3779b97f4a7c15ULL);
+      std::set<std::uint64_t> picked;
+      while (picked.size() < static_cast<std::size_t>(options_.max_pairwise)) {
+        picked.insert(rng.next_below(full_internal));
+      }
+      for (const std::uint64_t pair_index : picked) {
+        std::uint64_t remaining = pair_index;
+        std::size_t i = 0;
+        while (remaining >= cluster.size() - 1 - i) {
+          remaining -= cluster.size() - 1 - i;
+          ++i;
+        }
+        const std::size_t j = i + 1 + static_cast<std::size_t>(remaining);
         experiments.push_back(
             ProbeExperiment::single(all[cluster[i]].given_name, all[cluster[j]].given_name));
+      }
+      if (ctx.sampling != nullptr) {
+        ++ctx.sampling->sampled_clusters;
+        ctx.sampling->sampled_internal_pairs += picked.size();
       }
     }
     double internal_makespan_s = 0.0;
@@ -432,8 +634,8 @@ std::vector<EnvNetwork> Mapper::refine(ProbeEngine& engine, const BatchContext& 
         break;  // single machine: no jam experiment possible
       }
       const auto outcome = engine.concurrent_bandwidth(
-          {BandwidthRequest{master.given_name, all[a].given_name},
-           BandwidthRequest{jam_from, jam_to}});
+          {BandwidthRequest{master.given_name, all[a].given_name, {}},
+           BandwidthRequest{jam_from, jam_to, {}}});
       if (!outcome[0].ok()) {
         warnings.push_back("jam test on " + net.label + " failed");
         continue;
@@ -606,6 +808,7 @@ Result<ZoneMapResult> Mapper::map_zone_with(ProbeEngine& engine, const ZoneSpec&
   ctx.zone_index = zone_index;
   ctx.zone_name = &spec.zone_name;
   ctx.stats = &result.batch;
+  ctx.sampling = &result.sampling;
   result.root = convert(engine, ctx, result.structural, machines, master, result.warnings, true);
 
   result.grid.networks.push_back(result.root.to_gridml());
@@ -758,6 +961,7 @@ Result<MapResult> Mapper::map(const std::vector<ZoneSpec>& specs,
     result.stats.experiments += zone.value().stats.experiments;
     result.stats.bytes_sent += zone.value().stats.bytes_sent;
     result.batch += zone.value().batch;
+    result.sampling += zone.value().sampling;
     zone_durations.push_back(zone.value().stats.duration_s);
     for (const auto& warning : zone.value().warnings) result.warnings.push_back(warning);
     docs.push_back(zone.value().grid);

@@ -97,6 +97,36 @@ struct BatchStats {
   }
 };
 
+/// Bookkeeping of the hierarchical sampled interrogation
+/// (MapperOptions::max_pairwise > 0). Like BatchStats this is
+/// deliberately NOT part of identity_digest(): for a fixed sample_seed
+/// the sampled result itself is deterministic and digested; these
+/// counters only describe how much probing the sampling avoided.
+struct SampleStats {
+  /// Phase-2b groups that exceeded the budget and were sampled.
+  std::uint64_t sampled_groups = 0;
+  /// Representatives that ran the full pairwise protocol.
+  std::uint64_t representatives = 0;
+  /// Members placed transitively without a probe of their own.
+  std::uint64_t inferred_members = 0;
+  /// Members whose inference confidence was too low: one direct probe each.
+  std::uint64_t escalated_members = 0;
+  /// Phase-2c clusters whose internal pairs were subsampled.
+  std::uint64_t sampled_clusters = 0;
+  /// Internal pairs actually measured in those clusters.
+  std::uint64_t sampled_internal_pairs = 0;
+
+  SampleStats& operator+=(const SampleStats& other) {
+    sampled_groups += other.sampled_groups;
+    representatives += other.representatives;
+    inferred_members += other.inferred_members;
+    escalated_members += other.escalated_members;
+    sampled_clusters += other.sampled_clusters;
+    sampled_internal_pairs += other.sampled_internal_pairs;
+    return *this;
+  }
+};
+
 struct ZoneMapResult {
   ZoneSpec spec;
   std::string master_fqdn;
@@ -105,6 +135,7 @@ struct ZoneMapResult {
   EnvNetwork root;
   MapStats stats;
   BatchStats batch;
+  SampleStats sampling;
   std::vector<std::string> warnings;
 
   /// Zone probe time under the batched schedule (== stats.duration_s
@@ -117,7 +148,8 @@ struct MapResult {
   gridml::GridDoc grid;     ///< merged sites + effective NETWORK tree
   EnvNetwork root;          ///< merged effective view
   MapStats stats;
-  BatchStats batch;  ///< aggregated over zones (see BatchStats: not digested)
+  BatchStats batch;      ///< aggregated over zones (see BatchStats: not digested)
+  SampleStats sampling;  ///< aggregated over zones (see SampleStats: not digested)
   std::vector<ZoneMapResult> zones;
   std::vector<std::string> warnings;
 
@@ -228,6 +260,7 @@ class Mapper {
     std::size_t zone_index = 0;
     const std::string* zone_name = nullptr;
     BatchStats* stats = nullptr;
+    SampleStats* sampling = nullptr;
   };
 
   /// Issue one phase's experiments as a probe batch in canonical order

@@ -78,6 +78,35 @@ struct MapperOptions {
   /// and, for batch-capable engines, the real wall-clock.
   int probe_jobs = 1;
 
+  // --- extension: hierarchical sampled interrogation (the O(n²) wall:
+  // phase 2b runs one experiment per member pair and 2c one per internal
+  // pair, so a 10,000-host segment would need ~5x10^7 experiments; the
+  // paper stops at tens of hosts for exactly this reason) ---
+  /// Per-group / per-cluster pairwise experiment budget. 0 (the default)
+  /// is the paper's full interrogation — bit-identical experiment
+  /// stream and digest to every committed golden trace. When > 0, any
+  /// phase-2b group (or 2c cluster) whose full pairwise count exceeds
+  /// the budget switches to the sampled pipeline: members are bucketed
+  /// by their phase-2a bandwidth signature (already measured — no extra
+  /// probes), the full pairwise protocol runs only between per-bucket
+  /// representatives, the remaining members inherit their nearest
+  /// representative's placement transitively, and only members whose
+  /// signature sits too far from every representative of their bucket
+  /// escalate to one direct probe each. Experiment counts then grow
+  /// ~O(n + k²) per segment instead of O(n²).
+  int max_pairwise = 0;
+  /// Seed of the deterministic representative / internal-pair sampling.
+  /// Same zone + same seed ⇒ same representatives, same experiment
+  /// stream, same identity_digest() — the sampled-mode stability
+  /// contract tests and the map cache key on.
+  std::uint64_t sample_seed = 1;
+  /// Confidence threshold of the transitive inference: a member's
+  /// placement is trusted when its 2a bandwidth is within this factor
+  /// of its assigned representative's; signature buckets span at most
+  /// the square of it. Members beyond the factor escalate to a direct
+  /// pairwise probe against the representative.
+  double sample_confidence_ratio = 1.25;
+
   // --- extension: deterministic schedule exploration (src/testing/) ---
   /// When set, every concurrency decision the mapper would leave to the
   /// OS — which zone's task a pool worker runs next, which experiment of

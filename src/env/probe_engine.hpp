@@ -21,6 +21,14 @@ struct HostIdentity {
   std::string fqdn;  ///< empty when reverse DNS fails
   std::string ip;
   std::map<std::string, std::string> properties;
+  /// Addresses of the host's OTHER network adapters (a dual-homed
+  /// firewall gateway answers with the identity it was asked about and
+  /// lists the rest here). Purely schedule-model information: it feeds
+  /// the multi-homed-master overlap credit in env/batch_schedule and is
+  /// deliberately NOT part of the trace format — a replayed engine
+  /// reports none, which only forfeits makespan credit, never changes
+  /// the experiment stream or the digest.
+  std::vector<std::string> extra_ips;
 };
 
 struct TraceHop {
@@ -32,6 +40,14 @@ struct TraceHop {
 struct BandwidthRequest {
   std::string from;
   std::string to;
+  /// Source-NIC qualifier for the endpoint-disjointness rule ("" = the
+  /// host's only adapter). Two transfers leaving one multi-homed host
+  /// through DIFFERENT adapters do not share a network interface, so
+  /// tagging them with distinct `via` addresses lets the batch schedule
+  /// overlap them. Engines ignore it when measuring (the route is the
+  /// platform's business), and it is never serialized into traces —
+  /// it exists only for env/batch_schedule's bookkeeping.
+  std::string via;
 };
 
 /// One experiment of a probe batch: either a single timed transfer
@@ -44,7 +60,8 @@ struct ProbeExperiment {
   std::vector<BandwidthRequest> transfers;
 
   static ProbeExperiment single(std::string from, std::string to) {
-    return ProbeExperiment{Kind::bandwidth, {BandwidthRequest{std::move(from), std::move(to)}}};
+    return ProbeExperiment{Kind::bandwidth,
+                           {BandwidthRequest{std::move(from), std::move(to), {}}}};
   }
   static ProbeExperiment concurrent(std::vector<BandwidthRequest> transfers) {
     return ProbeExperiment{Kind::concurrent, std::move(transfers)};

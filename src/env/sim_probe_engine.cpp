@@ -35,6 +35,17 @@ Result<HostIdentity> SimProbeEngine::lookup(const std::string& hostname) {
       break;
     }
   }
+  // The other adapters of a multi-homed host (primary first, then the
+  // aliases, minus whichever identity answered) — the schedule model's
+  // multi-homing signal, see HostIdentity::extra_ips.
+  if (!node.aliases.empty()) {
+    const std::string primary = node.ip.is_zero() ? "" : node.ip.to_string();
+    if (!primary.empty() && primary != identity.ip) identity.extra_ips.push_back(primary);
+    for (const auto& alias : node.aliases) {
+      const std::string addr = alias.ip.to_string();
+      if (addr != identity.ip) identity.extra_ips.push_back(addr);
+    }
+  }
   return identity;
 }
 

@@ -34,7 +34,7 @@ std::vector<ScheduledProbe> CycleScheduler::cycle(std::uint64_t k) const {
       ScheduledProbe probe;
       probe.clique = clique.name;
       probe.segment = clique.segment;
-      probe.transfer = env::BandwidthRequest{pair.first, pair.second};
+      probe.transfer = env::BandwidthRequest{pair.first, pair.second, {}};
       probes.push_back(std::move(probe));
     }
   }

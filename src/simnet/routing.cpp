@@ -33,14 +33,31 @@ RouteTable::RouteTable(const Topology& topo)
     : topo_(topo),
       built_(topo.node_count(), false),
       pred_(topo.node_count()),
-      dist_(topo.node_count()) {}
+      last_used_(topo.node_count(), 0) {}
 
 void RouteTable::build_from(NodeId src) const {
+  if (built_count_ >= kMaxCachedSources) {
+    // Evict the least-recently-used tree so the cache stays bounded.
+    std::size_t victim = topo_.node_count();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < built_.size(); ++i) {
+      if (built_[i] && i != src.index() && last_used_[i] < oldest) {
+        oldest = last_used_[i];
+        victim = i;
+      }
+    }
+    if (victim < topo_.node_count()) {
+      built_[victim] = false;
+      std::vector<Hop>().swap(pred_[victim]);  // actually release the memory
+      --built_count_;
+    }
+  }
   const std::size_t n = topo_.node_count();
   auto& pred = pred_[src.index()];
-  auto& dist = dist_[src.index()];
   pred.assign(n, Hop{LinkId::invalid(), NodeId::invalid(), NodeId::invalid()});
-  dist.assign(n, std::numeric_limits<double>::infinity());
+  // Distances are only needed while relaxing; keeping them per source
+  // would double the cache footprint for no post-build benefit.
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
   dist[src.index()] = 0.0;
 
   // (distance, node id) min-heap; the id component makes ties deterministic.
@@ -69,6 +86,7 @@ void RouteTable::build_from(NodeId src) const {
     }
   }
   built_[src.index()] = true;
+  ++built_count_;
 }
 
 Result<Path> RouteTable::path(NodeId src, NodeId dst) const {
@@ -77,6 +95,7 @@ Result<Path> RouteTable::path(NodeId src, NodeId dst) const {
   if (it != overrides_.end()) return it->second;
 
   if (!built_[src.index()]) build_from(src);
+  last_used_[src.index()] = ++use_clock_;
   const auto& pred = pred_[src.index()];
   if (!pred[dst.index()].link.valid()) {
     return make_error(ErrorCode::unreachable,

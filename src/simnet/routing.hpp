@@ -53,11 +53,21 @@ class RouteTable {
   void build_from(NodeId src) const;
 
   const Topology& topo_;
+  /// Cached predecessor trees the table may hold at once. Trees are
+  /// built lazily per source and evicted least-recently-used beyond
+  /// this bound: a 10k-node topology where every host traceroutes once
+  /// (ENV phase 1c) would otherwise accumulate O(V²) predecessor
+  /// entries — gigabytes — while each tree is typically consulted for
+  /// a handful of paths right after it is built.
+  static constexpr std::size_t kMaxCachedSources = 128;
   // Lazily-built Dijkstra predecessor trees, one per source.
   mutable std::vector<bool> built_;
   // pred_[src][node] = hop taken to reach `node` from `src`.
   mutable std::vector<std::vector<Hop>> pred_;
-  mutable std::vector<std::vector<double>> dist_;
+  // LRU bookkeeping of the built trees.
+  mutable std::vector<std::uint64_t> last_used_;
+  mutable std::uint64_t use_clock_ = 0;
+  mutable std::size_t built_count_ = 0;
   std::map<std::pair<NodeId, NodeId>, Path> overrides_;
 };
 

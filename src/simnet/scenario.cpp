@@ -26,6 +26,17 @@ void decorate_host(Topology& topo, NodeId id, const std::string& cpu_model, doub
   topo.set_property(id, "kflops", std::to_string(kflops));
 }
 
+/// Address of star host `i` inside 10.0.0.0/8. The first 254 hosts keep
+/// the historical 10.0.0.(1+i) addresses (committed golden traces depend
+/// on them); beyond that the index spills into the higher octets /24 by
+/// /24 — the old uint8_t cast silently wrapped at i == 255 and handed
+/// out duplicate addresses, which is UB-adjacent for a 10,000-host star.
+Ipv4 star_host_ip(int i) {
+  const int block = i / 254;
+  return Ipv4(10, static_cast<std::uint8_t>(block / 256), static_cast<std::uint8_t>(block % 256),
+              static_cast<std::uint8_t>(1 + i % 254));
+}
+
 }  // namespace
 
 Scenario ens_lyon() {
@@ -167,8 +178,7 @@ Scenario star_hub(int n, double hub_bw_bps, double latency_s) {
   truth.local_bw_bps = hub_bw_bps;
   for (int i = 0; i < n; ++i) {
     const std::string name = "h" + std::to_string(i);
-    const NodeId host =
-        topo.add_host(name, name + ".lan", Ipv4(10, 0, 0, static_cast<std::uint8_t>(1 + i)));
+    const NodeId host = topo.add_host(name, name + ".lan", star_host_ip(i));
     topo.connect(host, hub, hub_bw_bps, latency_s);
     truth.member_names.push_back(name);
   }
@@ -188,8 +198,7 @@ Scenario star_switch(int n, double port_bw_bps, double latency_s) {
   truth.local_bw_bps = port_bw_bps;
   for (int i = 0; i < n; ++i) {
     const std::string name = "h" + std::to_string(i);
-    const NodeId host =
-        topo.add_host(name, name + ".lan", Ipv4(10, 0, 0, static_cast<std::uint8_t>(1 + i)));
+    const NodeId host = topo.add_host(name, name + ".lan", star_host_ip(i));
     topo.connect(host, sw, port_bw_bps, latency_s);
     truth.member_names.push_back(name);
   }

@@ -48,6 +48,7 @@ NodeId Topology::add_node(NodeKind kind, const std::string& name, const std::str
   node.ip = ip;
   if (kind != NodeKind::host) node.zones.clear();
   by_name_.emplace(name, node.id);
+  if (kind == NodeKind::host && !fqdn.empty()) host_by_fqdn_.emplace(fqdn, node.id);
   nodes_.push_back(std::move(node));
   return nodes_.back().id;
 }
@@ -104,6 +105,7 @@ void Topology::set_zones(NodeId host, std::set<std::string> zones) {
 void Topology::add_alias(NodeId host, HostAlias alias) {
   auto& node = nodes_.at(host.index());
   node.zones.insert(alias.zone);
+  if (!alias.fqdn.empty()) host_by_fqdn_.emplace(alias.fqdn, host);
   node.aliases.push_back(std::move(alias));
 }
 
@@ -131,14 +133,11 @@ Result<NodeId> Topology::find_by_name(const std::string& name) const {
 }
 
 Result<NodeId> Topology::find_host_by_fqdn(const std::string& fqdn) const {
-  for (const auto& node : nodes_) {
-    if (!node.is_host()) continue;
-    if (node.fqdn == fqdn) return node.id;
-    for (const auto& alias : node.aliases) {
-      if (alias.fqdn == fqdn) return node.id;
-    }
+  const auto it = host_by_fqdn_.find(fqdn);
+  if (it == host_by_fqdn_.end()) {
+    return make_error(ErrorCode::not_found, "no host with fqdn '" + fqdn + "'");
   }
-  return make_error(ErrorCode::not_found, "no host with fqdn '" + fqdn + "'");
+  return it->second;
 }
 
 std::vector<NodeId> Topology::hosts() const {

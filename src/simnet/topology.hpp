@@ -168,6 +168,12 @@ class Topology {
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::map<std::string, NodeId> by_name_;
+  /// Host lookup by primary or alias fqdn. Maintained by add_host /
+  /// add_alias; first registration wins, matching the old linear scan's
+  /// node-order tie-break. Without it every zone-local name resolution
+  /// (the names ARE fqdns) walked all nodes — O(n²) string compares for
+  /// one 10k-host mapping pass.
+  std::map<std::string, NodeId> host_by_fqdn_;
   NodeId edge_router_ = NodeId::invalid();
 };
 

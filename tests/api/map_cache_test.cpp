@@ -115,6 +115,27 @@ TEST(MapCache, KeyDependsOnProbeOptionsButNotOnThreads) {
   EXPECT_NE(MapCache::key_for("star:4@100", base), MapCache::key_for("star:8@100", base));
 }
 
+TEST(MapCache, KeyDependsOnEverySamplingKnob) {
+  // A cached full-interrogation result must never satisfy a sampled
+  // request (or vice versa), and two sampled runs only share an entry
+  // when budget, seed AND confidence all agree — each knob changes what
+  // the probes would have measured.
+  const env::MapperOptions base;
+
+  env::MapperOptions budget = base;
+  budget.max_pairwise = 64;
+  EXPECT_NE(MapCache::key_for("star:4@100", base), MapCache::key_for("star:4@100", budget));
+
+  env::MapperOptions seed = base;
+  seed.sample_seed = 2;
+  EXPECT_NE(MapCache::key_for("star:4@100", base), MapCache::key_for("star:4@100", seed));
+
+  env::MapperOptions confidence = base;
+  confidence.sample_confidence_ratio = 1.5;
+  EXPECT_NE(MapCache::key_for("star:4@100", base),
+            MapCache::key_for("star:4@100", confidence));
+}
+
 TEST(MapCache, DifferentPlatformsUnderTheSameNameDoNotCollide) {
   // The bare simnet builders stamp one name for every size:
   // multi_firewall(2,2) and (3,5) are both "multi-firewall". The

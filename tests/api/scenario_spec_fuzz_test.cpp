@@ -6,6 +6,7 @@
 // as Result errors, never crash, and never half-apply.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -121,6 +122,40 @@ TEST(ScenarioSpecFuzz, RandomDimsAndRatesOnRealFamiliesNeverCrash) {
     EXPECT_FALSE(made.value().topology.nodes().empty());
   }
   EXPECT_GT(built, 20);  // the generator hits plenty of buildable specs
+}
+
+TEST(ScenarioSpecFuzz, LargeSpecsEitherBuildOrFailAsResults) {
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+
+  // The 10k acceptance platform constructs, every host address unique —
+  // the old star builders truncated host indices into one octet, so
+  // anything past 254 hosts silently reused addresses.
+  auto big = registry.make("star-switch:10000@100");
+  ASSERT_TRUE(big.ok()) << big.error().to_string();
+  std::set<std::string> ips;
+  std::size_t hosts = 0;
+  for (const auto& node : big.value().topology.nodes()) {
+    if (!node.is_host()) continue;
+    ++hosts;
+    EXPECT_TRUE(ips.insert(node.ip.to_string()).second)
+        << "duplicate host address " << node.ip.to_string();
+  }
+  EXPECT_EQ(hosts, 10000u);
+
+  // Past the addressing plan: a Result error, not an allocation storm.
+  auto too_big = registry.make("star-switch:70000");
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.error().code, ErrorCode::invalid_argument);
+
+  // Oversized or overflowing dimensions (stoi range, dimension
+  // products) all surface as Result errors, never UB or a crash.
+  for (const char* spec : {"torus:9999999999", "star-switch:99999999999999",
+                           "torus:16x16x16", "fat-tree:100", "star:2147483648"}) {
+    SCOPED_TRACE(spec);
+    auto made = registry.make(spec);
+    ASSERT_FALSE(made.ok());
+    EXPECT_EQ(made.error().code, ErrorCode::invalid_argument) << made.error().to_string();
+  }
 }
 
 }  // namespace

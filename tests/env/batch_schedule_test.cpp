@@ -54,6 +54,27 @@ TEST(BatchMakespan, SharedEndpointSerializesRegardlessOfWorkers) {
   EXPECT_DOUBLE_EQ(batch_makespan(pairs, {2.0, 2.0}, 8), 4.0);
 }
 
+TEST(BatchMakespan, DistinctViaAdaptersOverlapOnAMultiHomedHost) {
+  // Satellite regression for the multi-homed-master serialization: two
+  // transfers leaving one host through DIFFERENT adapters (`via` tags)
+  // do not share a NIC, so the endpoint-disjointness rule must let them
+  // overlap; the same adapter — or no tag at all — still serializes.
+  const auto tagged = [](const char* via, const char* a, const char* b) {
+    return ProbeExperiment::concurrent(
+        {BandwidthRequest{"m", a, via}, BandwidthRequest{"m", b, via}});
+  };
+  const std::vector<ProbeExperiment> cross_adapter{tagged("10.0.0.1", "a", "b"),
+                                                   tagged("192.168.0.1", "c", "d")};
+  EXPECT_DOUBLE_EQ(batch_makespan(cross_adapter, {2.0, 2.0}, 8), 2.0);
+
+  const std::vector<ProbeExperiment> same_adapter{tagged("10.0.0.1", "a", "b"),
+                                                  tagged("10.0.0.1", "c", "d")};
+  EXPECT_DOUBLE_EQ(batch_makespan(same_adapter, {2.0, 2.0}, 8), 4.0);
+
+  const std::vector<ProbeExperiment> untagged{tagged("", "a", "b"), tagged("", "c", "d")};
+  EXPECT_DOUBLE_EQ(batch_makespan(untagged, {2.0, 2.0}, 8), 4.0);
+}
+
 TEST(BatchMakespan, CompleteGraphPairsScheduleLikeATournament) {
   // All C(4,2) member pairs of one segment, unit duration. A perfect
   // round-robin needs n-1 = 3 rounds; the greedy canonical-order
@@ -156,6 +177,76 @@ TEST(BatchedMapping, SwitchedSegmentEarnsTheMakespanCredit) {
   EXPECT_LT(batched.batch.makespan_s, batched.batch.sequential_s);
   EXPECT_LT(batched.batched_duration_s(), batched.stats.duration_s);
   EXPECT_DOUBLE_EQ(sequential.batched_duration_s(), sequential.stats.duration_s);
+}
+
+/// Master on two subnets behind two switches: the 100 Mbps group and the
+/// 10 Mbps group split at phase 2a, and their phase-2b pair experiments
+/// share no NIC — only the via tags derived from the master's alias let
+/// the schedule know that.
+simnet::Scenario multi_homed_master(bool aliased) {
+  simnet::Scenario scenario;
+  scenario.name = aliased ? "mh-aliased" : "mh-plain";
+  simnet::Topology& topo = scenario.topology;
+  const auto m = topo.add_host("m", "m.lan", simnet::Ipv4(10, 0, 0, 1));
+  if (aliased) {
+    // The alias lives in its own zone: in `default` the primary identity
+    // stays authoritative (traceroute keeps answering m.lan), while
+    // lookup() still surfaces 192.168.0.1 through extra_ips.
+    topo.add_alias(m, simnet::HostAlias{"m2.lan", simnet::Ipv4(192, 168, 0, 1), "backnet"});
+  }
+  const auto fast = topo.add_switch("fast-sw");
+  const auto slow = topo.add_switch("slow-sw");
+  topo.connect(m, fast, units::mbps(100), 1e-4);
+  topo.connect(m, slow, units::mbps(10), 1e-4);
+  const char* names[] = {"a1", "a2", "b1", "b2"};
+  for (int i = 0; i < 4; ++i) {
+    const bool is_fast = i < 2;
+    const auto host = topo.add_host(
+        names[i], std::string(names[i]) + ".lan",
+        is_fast ? simnet::Ipv4(10, 0, 0, static_cast<std::uint8_t>(2 + i))
+                : simnet::Ipv4(192, 168, 0, static_cast<std::uint8_t>(i)));
+    topo.connect(host, is_fast ? fast : slow, units::mbps(is_fast ? 100 : 10), 1e-4);
+  }
+  scenario.master = "m";
+  return scenario;
+}
+
+ZoneMapResult map_multi_homed(bool aliased, int probe_jobs) {
+  const simnet::Scenario scenario = multi_homed_master(aliased);
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  MapperOptions options;
+  options.probe_jobs = probe_jobs;
+  SimProbeEngine engine(net, options);
+  Mapper mapper(engine, options);
+  ZoneSpec spec;
+  spec.zone_name = "default";
+  spec.hostnames = {"m.lan", "a1.lan", "a2.lan", "b1.lan", "b2.lan"};
+  spec.master = "m.lan";
+  spec.traceroute_target = "m.lan";
+  auto result = mapper.map_zone(spec);
+  EXPECT_TRUE(result.ok()) << result.error().to_string();
+  return std::move(result.value());
+}
+
+TEST(BatchedMapping, MultiHomedMasterOverlapsCrossGroupPairwise) {
+  const auto plain = map_multi_homed(false, 4);
+  const auto aliased = map_multi_homed(true, 4);
+  // The alias changes NOTHING about what is measured — only the
+  // schedule model learns the two adapters exist.
+  EXPECT_EQ(render_effective(plain.root), render_effective(aliased.root));
+  EXPECT_EQ(plain.stats.experiments, aliased.stats.experiments);
+  EXPECT_DOUBLE_EQ(plain.stats.duration_s, aliased.stats.duration_s);
+  EXPECT_EQ(plain.batch.batches, aliased.batch.batches);
+  // ...but the aliased master's cross-group 2b pairs overlap, so its
+  // modeled makespan is strictly shorter.
+  EXPECT_LT(aliased.batch.makespan_s, plain.batch.makespan_s);
+
+  // Worker count never changes the result, with or without the tags.
+  const auto aliased_seq = map_multi_homed(true, 1);
+  EXPECT_EQ(render_effective(aliased_seq.root), render_effective(aliased.root));
+  EXPECT_EQ(aliased_seq.stats.experiments, aliased.stats.experiments);
+  EXPECT_DOUBLE_EQ(aliased_seq.batch.sequential_s, aliased.batch.sequential_s);
+  EXPECT_DOUBLE_EQ(aliased_seq.batch.makespan_s, aliased_seq.batch.sequential_s);
 }
 
 TEST(BatchedMapping, SharedSegmentGetsNoCredit) {

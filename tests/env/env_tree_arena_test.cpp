@@ -1,0 +1,139 @@
+// The flat SoA EnvTree arena: lossless round-trips with the pointer
+// tree, preorder layout invariants, and render parity with the
+// recursive representation (render_effective(EnvNetwork) routes through
+// the arena, so the literal expectations here pin the format itself).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/envnws.hpp"
+#include "common/units.hpp"
+#include "env/env_tree.hpp"
+#include "env/env_tree_arena.hpp"
+#include "env/mapper.hpp"
+#include "env/scenario_zones.hpp"
+#include "env/sim_probe_engine.hpp"
+#include "simnet/network.hpp"
+#include "simnet/scenario.hpp"
+
+namespace envnws::env {
+namespace {
+
+/// A tree exercising every column: nested structure, every NetKind,
+/// machines, gateways, reverse bandwidth and the asymmetry flag.
+EnvNetwork sample_tree() {
+  EnvNetwork root;
+  root.kind = NetKind::structural;
+  root.label = "edge.example.org";
+  root.label_ip = "192.0.2.1";
+
+  EnvNetwork lan;
+  lan.kind = NetKind::switched;
+  lan.label = "lan0";
+  lan.base_bw_bps = units::mbps(100);
+  lan.base_local_bw_bps = units::mbps(94.5);
+  lan.machines = {"a.example.org", "b.example.org"};
+
+  EnvNetwork hub;
+  hub.kind = NetKind::shared;
+  hub.label = "hub0";
+  hub.base_bw_bps = units::mbps(10);
+  hub.gateway = "gw.example.org";
+  hub.machines = {"gw.example.org", "c.example.org"};
+
+  EnvNetwork weird;
+  weird.kind = NetKind::inconclusive;
+  weird.label = "dmz";
+  weird.base_bw_bps = units::mbps(42);
+  weird.base_reverse_bw_bps = units::mbps(7);
+  weird.route_asymmetric = true;
+  weird.machines = {"d.example.org"};
+  hub.children.push_back(weird);
+
+  root.children.push_back(lan);
+  root.children.push_back(hub);
+  return root;
+}
+
+TEST(EnvTreeArena, RoundTripIsLossless) {
+  const EnvNetwork original = sample_tree();
+  const EnvTreeArena arena = EnvTreeArena::from_tree(original);
+  EXPECT_EQ(arena.size(), 4u);
+  EXPECT_EQ(arena.machine_count(), 5u);
+
+  const EnvNetwork back = arena.to_tree();
+  EXPECT_EQ(render_effective(back), render_effective(original));
+  EXPECT_EQ(back.all_machines(), original.all_machines());
+  EXPECT_EQ(back.gateways(), original.gateways());
+  // Column-level equality for the fields render doesn't show.
+  ASSERT_EQ(back.children.size(), 2u);
+  EXPECT_EQ(back.children[0].base_local_bw_bps, original.children[0].base_local_bw_bps);
+  EXPECT_EQ(back.children[1].children[0].base_reverse_bw_bps,
+            original.children[1].children[0].base_reverse_bw_bps);
+  EXPECT_TRUE(back.children[1].children[0].route_asymmetric);
+}
+
+TEST(EnvTreeArena, PreorderLayoutAndLinks) {
+  const EnvTreeArena arena = EnvTreeArena::from_tree(sample_tree());
+  // Preorder: root(0), lan(1), hub(2), dmz(3).
+  EXPECT_EQ(arena.label(0), "edge.example.org");
+  EXPECT_EQ(arena.label(1), "lan0");
+  EXPECT_EQ(arena.label(2), "hub0");
+  EXPECT_EQ(arena.label(3), "dmz");
+
+  EXPECT_EQ(arena.parent(0), EnvTreeArena::npos);
+  EXPECT_EQ(arena.parent(1), 0u);
+  EXPECT_EQ(arena.parent(2), 0u);
+  EXPECT_EQ(arena.parent(3), 2u);
+
+  EXPECT_EQ(arena.first_child(0), 1u);
+  EXPECT_EQ(arena.next_sibling(1), 2u);
+  EXPECT_EQ(arena.next_sibling(2), EnvTreeArena::npos);
+  EXPECT_EQ(arena.first_child(2), 3u);
+  EXPECT_EQ(arena.first_child(1), EnvTreeArena::npos);
+
+  EXPECT_EQ(arena.depth(0), 0u);
+  EXPECT_EQ(arena.depth(1), 1u);
+  EXPECT_EQ(arena.depth(3), 2u);
+
+  EXPECT_EQ(arena.machine_count(0), 0u);
+  EXPECT_EQ(arena.machine_count(1), 2u);
+  EXPECT_EQ(*arena.machines_begin(1), "a.example.org");
+  EXPECT_TRUE(arena.route_asymmetric(3));
+  EXPECT_DOUBLE_EQ(arena.base_reverse_bw_bps(3), units::mbps(7));
+}
+
+TEST(EnvTreeArena, RenderMatchesTheCommittedFormat) {
+  const std::string rendered = render_effective(EnvTreeArena::from_tree(sample_tree()));
+  EXPECT_EQ(rendered,
+            "* edge.example.org [192.0.2.1]\n"
+            "  + lan0 <switched> base=100.00Mbps local=94.50Mbps\n"
+            "      machines: a.example.org, b.example.org\n"
+            "  + hub0 <shared> base=10.00Mbps via gw.example.org\n"
+            "      machines: gw.example.org, c.example.org\n"
+            "    + dmz <inconclusive> base=42.00Mbps reverse=7.00Mbps [ASYMMETRIC ROUTE]\n"
+            "        machines: d.example.org\n");
+}
+
+TEST(EnvTreeArena, RealMappedViewRoundTrips) {
+  auto made = api::ScenarioRegistry::builtin().make("multi-firewall:2x3@100/100");
+  ASSERT_TRUE(made.ok());
+  const simnet::Scenario scenario = std::move(made.value());
+  simnet::Network net(simnet::Scenario(scenario).topology);
+  MapperOptions options;
+  SimProbeEngine engine(net, options);
+  Mapper mapper(engine, options);
+  const auto zones = zones_from_scenario(scenario);
+  ASSERT_TRUE(zones.ok());
+  auto result = mapper.map(zones.value());
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+
+  const EnvTreeArena arena = EnvTreeArena::from_tree(result.value().root);
+  EXPECT_GT(arena.size(), 1u);
+  EXPECT_EQ(render_effective(arena.to_tree()), render_effective(result.value().root));
+  EXPECT_EQ(arena.to_tree().all_machines(), result.value().root.all_machines());
+}
+
+}  // namespace
+}  // namespace envnws::env

@@ -190,6 +190,51 @@ TEST(ExploreBatch, ExhaustiveStarSwitchMapDigestIsScheduleInvariant) {
   EXPECT_TRUE(result.exhaustive);
 }
 
+TEST(ExploreBatch, SampledModeMapDigestIsScheduleInvariant) {
+  // Hierarchical sampled interrogation adds new batch decision points
+  // (representative clique, escalation probes, sampled 2c pairs); every
+  // interleaving of them must still produce the seed-determined digest.
+  const auto scenario = make_scenario("star-switch:8");
+  const auto sampled_digest = [&](VirtualScheduler* scheduler) -> Result<std::string> {
+    simnet::Network net(simnet::Scenario(scenario).topology);
+    api::Session session(net, scenario);
+    session.options().mapper.probe_jobs = 3;
+    session.options().mapper.max_pairwise = 3;
+    session.options().mapper.sample_seed = 42;
+    session.options().mapper.virtual_scheduler = scheduler;
+    if (auto status = session.map(); !status.ok()) return status.error();
+    return session.map_result().identity_digest();
+  };
+
+  auto baseline = sampled_digest(nullptr);
+  ASSERT_TRUE(baseline.ok()) << baseline.error().to_string();
+  // Sampling really engaged (7 members -> C(7,2)=21 pairs > budget 3).
+  {
+    simnet::Network net(simnet::Scenario(scenario).topology);
+    api::Session session(net, scenario);
+    session.options().mapper.max_pairwise = 3;
+    session.options().mapper.sample_seed = 42;
+    ASSERT_TRUE(session.map().ok());
+    ASSERT_GT(session.map_result().sampling.sampled_groups, 0u);
+  }
+
+  const ExploreScenario run = [&](VirtualScheduler& scheduler) {
+    auto digest = sampled_digest(&scheduler);
+    if (!digest.ok()) return Status(digest.error());
+    if (digest.value() != baseline.value()) {
+      return Status(make_error(ErrorCode::internal, "sampled-mode digest diverged"));
+    }
+    return scheduler.health();
+  };
+
+  ExploreOptions options;
+  options.max_schedules = 400;  // bound the DFS; the seams branch a lot
+  Explorer explorer(options);
+  const auto result = explorer.explore_exhaustive(run);
+  EXPECT_TRUE(result.ok()) << result.failure->message;
+  EXPECT_GT(result.schedules, 1u) << "sampled batches must actually branch";
+}
+
 TEST(ExploreBatch, ThreadedMultiZoneMapIsScheduleInvariant) {
   // map_threads=2 routes the per-zone tasks through the cooperative
   // ThreadPool ("pool" decisions) on top of the batch decisions.
