@@ -5,7 +5,11 @@
 //
 // Same 10 Mbps hub, two monitoring schemes: uncoordinated periodic probes
 // (always overlapping) vs a token-ring clique (serialized).
+// `--json=<path>` writes both schemes' numbers for bench_diff baselines.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
@@ -78,11 +82,22 @@ SchemeResult run_clique(double hub_mbps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("CLAIM-COLLIDE",
                 "§2.3 colliding measurements report ~half the real availability",
                 "uncoordinated probes on one hub under-report by ~50%;"
                 " the NWS measurement clique keeps every reading at the true rate");
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0 && arg.size() > std::strlen("--json=")) {
+      json_path = arg.substr(std::strlen("--json="));
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=<path>]\n", argv[0]);
+      return 2;
+    }
+  }
 
   const double hub_mbps = 10.0;
   const SchemeResult uncoordinated = run_uncoordinated(hub_mbps);
@@ -98,5 +113,27 @@ int main() {
   row("token-ring clique", clique);
   std::printf("ground truth: %.1f Mbps shared hub\n\n%s", hub_mbps,
               table.to_string().c_str());
+
+  if (!json_path.empty()) {
+    bench::JsonWriter json;
+    json.field("bench", "collision_error").field("ground_truth_mbps", hub_mbps);
+    const auto scheme = [&](const char* key, const SchemeResult& r) {
+      json.begin_object(key)
+          .field("samples", static_cast<std::uint64_t>(r.samples))
+          .field("mean_mbps", r.mean_mbps)
+          .field("min_mbps", r.min_mbps)
+          .field("error_vs_truth_pct", (1.0 - r.mean_mbps / hub_mbps) * 100.0)
+          .end_object();
+    };
+    scheme("uncoordinated", uncoordinated);
+    scheme("clique", clique);
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --json report to '%s'\n", json_path.c_str());
+      return 1;
+    }
+    out << json.finish();
+    std::printf("JSON report written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,7 +1,10 @@
 // FIG1B: the effective topology from the-doors' point of view (paper
 // Fig. 1b), including the firewall merge (CLAIM-MERGE) and the GridML
 // output with the paper's ENV_base_BW / ENV_base_local_BW properties.
+// `--json=<path>` writes the measured segment bandwidths and mapping
+// cost for scripts/bench_diff.py baselines.
 #include <cstdio>
+#include <fstream>
 
 #include "api/envnws.hpp"
 #include "bench_util.hpp"
@@ -16,7 +19,8 @@ int main(int argc, char** argv) {
       " bottleneck; Hub3 shared {myri1, myri2}; sci cluster switched {sci1..sci6}"
       " ~33 Mbps (paper GridML: base 32.65 / local 32.29)");
 
-  simnet::Scenario scenario = bench::scenario_from_cli(argc, argv, "ens-lyon");
+  const bench::BenchCli cli = bench::bench_cli(argc, argv, "ens-lyon", /*parallel_flags=*/false);
+  simnet::Scenario scenario = bench::make_scenario_or_exit(cli.scenario_spec);
   simnet::Network net(simnet::Scenario(scenario).topology);
 
   // Only the map stage of the pipeline runs here.
@@ -54,5 +58,37 @@ int main(int argc, char** argv) {
 
   std::printf("\n--- merged GridML (CLAIM-MERGE: both sites, gateways cross-aliased) ---\n%s",
               result.grid.to_string().c_str());
+
+  if (!cli.json_path.empty()) {
+    bench::JsonWriter json;
+    json.field("bench", "fig1b_effective").field("scenario_spec", cli.scenario_spec);
+    json.begin_array("segments");
+    const auto segment = [&](const char* label, const char* member) {
+      const env::EnvNetwork* found = result.root.find_containing(member);
+      if (found == nullptr) return;
+      json.begin_object()
+          .field("label", label)
+          .field("kind", env::to_string(found->kind))
+          .field("base_mbps", units::to_mbps(found->base_bw_bps))
+          .field("local_mbps", units::to_mbps(found->base_local_bw_bps))
+          .end_object();
+    };
+    segment("hub1", "canaria.ens-lyon.fr");
+    segment("hub2", "popc.ens-lyon.fr");
+    segment("hub3-myri", "myri1.popc.private");
+    segment("sci", "sci3.popc.private");
+    json.end_array();
+    json.begin_object("cost")
+        .field("experiments", result.stats.experiments)
+        .field("bytes_sent", static_cast<std::uint64_t>(result.stats.bytes_sent))
+        .end_object();
+    std::ofstream out(cli.json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --json report to '%s'\n", cli.json_path.c_str());
+      return 1;
+    }
+    out << json.finish();
+    std::printf("JSON report written to %s\n", cli.json_path.c_str());
+  }
   return 0;
 }

@@ -1,12 +1,24 @@
 // FIG2: the structural topology tree (paper Fig. 2) — traceroutes from
 // every mapped host towards the external target, folded into a tree.
+// `--json=<path>` writes per-zone tree shapes for bench_diff baselines.
 #include <cstdio>
+#include <fstream>
 
 #include "bench_util.hpp"
 #include "env/mapper.hpp"
 #include "env/scenario_zones.hpp"
 #include "env/sim_probe_engine.hpp"
 #include "simnet/scenario.hpp"
+
+namespace {
+
+std::size_t tree_nodes(const envnws::env::StructuralNode& node) {
+  std::size_t count = 1;
+  for (const auto& child : node.children) count += tree_nodes(child);
+  return count;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace envnws;
@@ -16,7 +28,8 @@ int main(int argc, char** argv) {
                 " branch routeur-backbone -> routlhpc -> {myri, popc, sci};"
                 " the silent giga-router is invisible (dropped traceroute)");
 
-  simnet::Scenario scenario = bench::scenario_from_cli(argc, argv, "ens-lyon");
+  const bench::BenchCli cli = bench::bench_cli(argc, argv, "ens-lyon", /*parallel_flags=*/false);
+  simnet::Scenario scenario = bench::make_scenario_or_exit(cli.scenario_spec);
   simnet::Network net(simnet::Scenario(scenario).topology);
   env::MapperOptions options;
   env::SimProbeEngine engine(net, options);
@@ -26,6 +39,12 @@ int main(int argc, char** argv) {
   if (!zones.ok()) {
     std::fprintf(stderr, "%s\n", zones.error().to_string().c_str());
     return 1;
+  }
+  bench::JsonWriter writer;
+  bench::JsonWriter* json = cli.json_path.empty() ? nullptr : &writer;
+  if (json != nullptr) {
+    json->field("bench", "fig2_structural").field("scenario_spec", cli.scenario_spec);
+    json->begin_array("zones");
   }
   for (const auto& zone : zones.value()) {
     auto result = mapper.map_zone(zone);
@@ -37,6 +56,25 @@ int main(int argc, char** argv) {
     std::printf("--- structural tree, zone %s (traceroute target: %s) ---\n%s\n",
                 zone.zone_name.c_str(), zone.traceroute_target.c_str(),
                 env::render_structural(result.value().structural).c_str());
+    if (json != nullptr) {
+      const env::StructuralNode& tree = result.value().structural;
+      json->begin_object()
+          .field("zone", zone.zone_name)
+          .field("tree_nodes", static_cast<std::uint64_t>(tree_nodes(tree)))
+          .field("machines", static_cast<std::uint64_t>(tree.machine_count()))
+          .field("experiments", result.value().stats.experiments)
+          .end_object();
+    }
+  }
+  if (json != nullptr) {
+    json->end_array();
+    std::ofstream out(cli.json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --json report to '%s'\n", cli.json_path.c_str());
+      return 1;
+    }
+    out << json->finish();
+    std::printf("JSON report written to %s\n", cli.json_path.c_str());
   }
   return 0;
 }

@@ -1,8 +1,10 @@
 // FIG3: the NWS deployment plan for ENS-Lyon (paper Fig. 3) plus the
 // §2.3 constraint validation of the resulting deployment, produced stage
 // by stage through the api::Session pipeline. `--scenario=<spec>` plans
-// any registry platform instead.
+// any registry platform instead; `--json=<path>` writes the plan and
+// validation numbers for scripts/bench_diff.py baselines.
 #include <cstdio>
+#include <fstream>
 
 #include "api/envnws.hpp"
 #include "bench_util.hpp"
@@ -16,7 +18,8 @@ int main(int argc, char** argv) {
       " {sci0, sci1..sci6}; inter-hub clique {canaria, popc0};"
       " NS/forecaster on the-doors, one memory per site");
 
-  simnet::Scenario scenario = bench::scenario_from_cli(argc, argv, "ens-lyon");
+  const bench::BenchCli cli = bench::bench_cli(argc, argv, "ens-lyon", /*parallel_flags=*/false);
+  simnet::Scenario scenario = bench::make_scenario_or_exit(cli.scenario_spec);
   simnet::Network net(simnet::Scenario(scenario).topology);
   api::Session session(net, scenario);
   if (auto status = session.run_all(); !status.ok()) {
@@ -27,6 +30,49 @@ int main(int argc, char** argv) {
   std::printf("%s\n", session.plan_result().render().c_str());
   std::printf("--- constraint validation (§2.3) ---\n%s\n", session.validation().render().c_str());
   std::printf("--- shared manager configuration (§5.2) ---\n%s", session.config_text().c_str());
+
+  if (!cli.json_path.empty()) {
+    const deploy::DeploymentPlan& plan = session.plan_result();
+    const deploy::ValidationReport& validation = session.validation();
+    bench::JsonWriter json;
+    json.field("bench", "fig3_deployment").field("scenario_spec", cli.scenario_spec);
+    json.field("master", plan.master)
+        .field("nameserver", plan.nameserver_host)
+        .field("forecaster", plan.forecaster_host)
+        .field("sensor_hosts", static_cast<std::uint64_t>(plan.hosts.size()))
+        .field("memory_hosts", static_cast<std::uint64_t>(plan.memory_hosts.size()))
+        .field("substitutions", static_cast<std::uint64_t>(plan.substitutions.size()))
+        .field("experiments_per_cycle", plan.experiments_per_cycle());
+    json.begin_array("cliques");
+    for (const deploy::PlannedClique& clique : plan.cliques) {
+      json.begin_object()
+          .field("name", clique.name)
+          .field("role", deploy::to_string(clique.role))
+          .field("members", static_cast<std::uint64_t>(clique.members.size()))
+          .field("period_s", clique.period_s)
+          .field("probe_bytes", static_cast<std::uint64_t>(clique.probe_bytes))
+          .field("parallel_tokens", static_cast<std::uint64_t>(clique.parallel_tokens))
+          .end_object();
+    }
+    json.end_array();
+    json.begin_object("validation")
+        .field("collision_free", validation.collision_free)
+        .field("worst_collision_error", validation.worst_collision_error)
+        .field("max_clique_size", static_cast<std::uint64_t>(validation.max_clique_size))
+        .field("worst_cycle_time_s", validation.worst_cycle_time_s)
+        .field("complete", validation.complete)
+        .field("experiments_per_cycle", validation.experiments_per_cycle)
+        .field("bytes_per_cycle", static_cast<std::uint64_t>(validation.bytes_per_cycle))
+        .end_object();
+    std::ofstream out(cli.json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --json report to '%s'\n", cli.json_path.c_str());
+      session.system().stop();
+      return 1;
+    }
+    out << json.finish();
+    std::printf("JSON report written to %s\n", cli.json_path.c_str());
+  }
   session.system().stop();
   return 0;
 }

@@ -56,6 +56,10 @@ struct Args {
   bool query = false;
   bool no_remap = false;
   std::string dump_path;
+  /// Sampled mapping (PR 8): cap on pairwise interrogations per zone,
+  /// applied to the initial map AND every drift-triggered re-map.
+  int max_pairwise = 0;
+  std::uint64_t sample_seed = 1;
 };
 
 bool parse_args(int argc, char** argv, Args& args, std::string& error) {
@@ -95,6 +99,14 @@ bool parse_args(int argc, char** argv, Args& args, std::string& error) {
       args.serve = true;
     } else if (arg == "--query") {
       args.query = true;
+    } else if (arg.rfind("--max-pairwise=", 0) == 0) {
+      auto parsed = parse::to_u64(value("--max-pairwise="));
+      if (!parsed.has_value() || *parsed > 1000000) { error = "bad --max-pairwise"; return false; }
+      args.max_pairwise = static_cast<int>(*parsed);
+    } else if (arg.rfind("--sample-seed=", 0) == 0) {
+      auto parsed = parse::to_u64(value("--sample-seed="));
+      if (!parsed.has_value()) { error = "bad --sample-seed"; return false; }
+      args.sample_seed = *parsed;
     } else if (arg == "--no-remap") {
       args.no_remap = true;
     } else {
@@ -114,7 +126,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--scenario=<spec>] [--probe=<engine-spec>] [--cycles=N]\n"
                  "          [--period=S] [--jobs=N] [--fleet] [--rate=BPS]\n"
-                 "          [--serve[=PORT]] [--query] [--no-remap] [--dump=<path>]\n",
+                 "          [--serve[=PORT]] [--query] [--no-remap] [--dump=<path>]\n"
+                 "          [--max-pairwise=N] [--sample-seed=S]\n",
                  argv[0]);
     return fail(arg_error);
   }
@@ -166,6 +179,10 @@ int main(int argc, char** argv) {
   if (auto status = session.set_probe_engine_spec(args.probe); !status.ok()) {
     return fail("bad probe spec: " + status.error().to_string());
   }
+  // Sampled mapping: the session's mapper options seed make_monitor's
+  // remap options, so one setting covers map and drift re-maps alike.
+  session.options().mapper.max_pairwise = args.max_pairwise;
+  session.options().mapper.sample_seed = args.sample_seed;
 
   monitor::MonitorOptions options;
   options.period_s = args.period_s;

@@ -16,6 +16,14 @@
 //
 //   $ ./examples/record_trace star-switch:6 tests/data/traces/socket-star-6.envtrace --fleet
 //
+// --fleet-tcp[=<rate_bps>] is the same live fleet with the lv08 TCP
+// correction applied to the agents' deterministic timing (payloads
+// extract 97% of the raw rate). The committed calibration trace was
+// produced this way (see tests/env/calibration_test.cpp):
+//
+//   $ ./examples/record_trace star-switch:6@1000 \
+//       tests/data/traces/socket-star-6-tcp.envtrace --fleet-tcp
+//
 // Either way the tool maps the scenario once with a recording engine,
 // then maps it again from the fresh trace and verifies the two
 // MapResults match — a trace that does not survive its own round-trip
@@ -43,18 +51,23 @@ int fail(const std::string& message) {
 /// Fixed-rate agents make socket measurements — and thus the recorded
 /// trace — reproducible across runs.
 constexpr double kDefaultFleetRate = 1e9;
+/// lv08: a TCP payload extracts ~97% of the raw link rate.
+constexpr double kTcpUsableFraction = 0.97;
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 3 && argc != 4) {
-    std::fprintf(stderr, "usage: %s <scenario-spec> <output-trace-path> [--fleet[=<rate_bps>]]\n",
+    std::fprintf(stderr,
+                 "usage: %s <scenario-spec> <output-trace-path>"
+                 " [--fleet[=<rate_bps>] | --fleet-tcp[=<rate_bps>]]\n",
                  argv[0]);
     return 2;
   }
   const std::string spec = argv[1];
   const std::string path = argv[2];
   std::optional<double> fleet_rate;
+  double usable_fraction = 1.0;
   if (argc == 4) {
     const std::string flag = argv[3];
     if (flag == "--fleet") {
@@ -63,6 +76,14 @@ int main(int argc, char** argv) {
       auto rate = parse::to_double(flag.substr(8));
       if (!rate.has_value() || *rate <= 0) return fail("bad --fleet rate '" + flag + "'");
       fleet_rate = *rate;
+    } else if (flag == "--fleet-tcp") {
+      fleet_rate = kDefaultFleetRate;
+      usable_fraction = kTcpUsableFraction;
+    } else if (flag.rfind("--fleet-tcp=", 0) == 0) {
+      auto rate = parse::to_double(flag.substr(12));
+      if (!rate.has_value() || *rate <= 0) return fail("bad --fleet-tcp rate '" + flag + "'");
+      fleet_rate = *rate;
+      usable_fraction = kTcpUsableFraction;
     } else {
       return fail("unknown argument '" + flag + "'");
     }
@@ -84,6 +105,7 @@ int main(int argc, char** argv) {
       config.fqdn = node.fqdn;
       config.properties = node.properties;
       config.fixed_rate_bps = *fleet_rate;
+      config.usable_fraction = usable_fraction;
       fleet.push_back(std::make_unique<env::ProbeAgent>(std::move(config)));
       if (auto started = fleet.back()->start(); !started.ok()) {
         return fail("agent for " + node.name + ": " + started.error().to_string());

@@ -190,6 +190,12 @@ std::string MapCache::key_for(const std::string& scenario_label,
 
 std::string MapCache::platform_fingerprint(const simnet::Topology& topology) {
   std::ostringstream fields;
+  // The link model changes what every probe would measure, so a cached
+  // ideal map must never serve a lossy/tcp/wifi-decorated spec (and
+  // vice versa); same for background load.
+  fields << topology.link_model().fingerprint() << '|'
+         << topology.background().flows << '|' << full(topology.background().intensity) << '|'
+         << topology.background().seed << ';';
   for (const simnet::Node& node : topology.nodes()) {
     fields << node.name << '|' << node.fqdn << '|' << node.ip.to_string() << '|'
            << static_cast<int>(node.kind) << '|' << full(node.hub_capacity_bps) << '|';

@@ -67,11 +67,118 @@ double rate_bps_or(const ScenarioSpec& spec, std::size_t i, double fallback_mbps
   return units::mbps(i < spec.rates_mbps.size() ? spec.rates_mbps[i] : fallback_mbps);
 }
 
+/// `"2%"` / `"0.5%"` -> 2.0 / 0.5; anything else (missing '%', trailing
+/// junk, negative, NaN) is an invalid_argument error, never a throw.
+Result<double> parse_percent(const std::string& piece, const std::string& what) {
+  if (piece.empty() || piece.back() != '%') {
+    return make_error(ErrorCode::invalid_argument,
+                      "bad " + what + " '" + piece + "' (expected '<value>%')");
+  }
+  const std::string digits = piece.substr(0, piece.size() - 1);
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(digits, &used);
+    if (used != digits.size() || !(value >= 0.0)) throw std::invalid_argument(digits);
+    return value;
+  } catch (const std::exception&) {
+    return make_error(ErrorCode::invalid_argument,
+                      "bad " + what + " '" + piece + "' (expected '<value>%')");
+  }
+}
+
+/// Peels `tcp-lv08:` / `lossy:...` / `wifi:` / `bg:<flows>:` prefixes off
+/// `head`, accumulating into `spec`. Decorators commute but may appear
+/// at most once each.
+Status peel_decorators(ScenarioSpec& spec, std::string& head) {
+  bool saw_lossy = false;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    const auto colon = head.find(':');
+    if (colon == std::string::npos) break;
+    const std::string token = strings::to_lower(strings::trim(head.substr(0, colon)));
+    const auto duplicate = [&](const char* name) {
+      return make_error(ErrorCode::invalid_argument,
+                        std::string("decorator '") + name + "' given more than once");
+    };
+    if (token == "tcp-lv08") {
+      if (spec.link_model.tcp) return duplicate("tcp-lv08");
+      spec.link_model.tcp = true;
+    } else if (token == "wifi") {
+      if (spec.link_model.wifi) return duplicate("wifi");
+      spec.link_model.wifi = true;
+    } else if (token == "lossy") {
+      if (saw_lossy) return duplicate("lossy");
+      saw_lossy = true;
+      head = head.substr(colon + 1);
+      // Optional colon-terminated `p=P%` / `c=C%` argument tokens.
+      double loss = -1.0;
+      double cksum = -1.0;
+      while (true) {
+        const auto next = head.find(':');
+        if (next == std::string::npos) break;
+        const std::string arg = strings::to_lower(strings::trim(head.substr(0, next)));
+        double* slot = nullptr;
+        const char* what = nullptr;
+        if (arg.rfind("p=", 0) == 0) {
+          slot = &loss;
+          what = "loss percentage";
+        } else if (arg.rfind("c=", 0) == 0) {
+          slot = &cksum;
+          what = "corruption percentage";
+        } else {
+          break;
+        }
+        if (*slot >= 0.0) return duplicate(what);
+        auto value = parse_percent(arg.substr(2), what);
+        if (!value.ok()) return value.error();
+        if (value.value() >= 100.0) {
+          return make_error(ErrorCode::invalid_argument,
+                            std::string("decorator 'lossy': ") + what + " must be below 100%");
+        }
+        *slot = value.value();
+        head = head.substr(next + 1);
+      }
+      spec.link_model.loss_pct = loss >= 0.0 ? loss : 2.0;
+      spec.link_model.cksum_pct = cksum >= 0.0 ? cksum : 0.0;
+      progressed = true;
+      continue;
+    } else if (token == "bg") {
+      if (spec.background.active()) return duplicate("bg");
+      const std::string rest = head.substr(colon + 1);
+      const auto next = rest.find(':');
+      if (next == std::string::npos) {
+        return make_error(ErrorCode::invalid_argument,
+                          "decorator 'bg' needs a flow count ('bg:<flows>:')");
+      }
+      auto flows = parse_int(strings::trim(rest.substr(0, next)), "background flow count");
+      if (!flows.ok()) return flows.error();
+      if (flows.value() <= 0 || flows.value() > 4096) {
+        return make_error(ErrorCode::invalid_argument,
+                          "decorator 'bg': flow count must be in [1, 4096]");
+      }
+      spec.background.flows = flows.value();
+      head = rest.substr(next + 1);
+      progressed = true;
+      continue;
+    } else {
+      break;
+    }
+    head = head.substr(colon + 1);
+    progressed = true;
+  }
+  return {};
+}
+
 }  // namespace
 
 Result<ScenarioSpec> ScenarioSpec::parse(const std::string& text) {
   ScenarioSpec spec;
   std::string head = strings::trim(text);
+  // Decorator prefixes come first, before the '@' split: their arguments
+  // never contain '@', and peeling first keeps "file:" payloads (which
+  // may contain anything) verbatim.
+  if (auto status = peel_decorators(spec, head); !status.ok()) return status.error();
   // Path-like specs: everything after "file:" is the payload, verbatim.
   constexpr const char* kFilePrefix = "file:";
   if (strings::to_lower(head).rfind(kFilePrefix, 0) == 0) {
@@ -114,9 +221,10 @@ Result<ScenarioSpec> ScenarioSpec::parse(const std::string& text) {
 }
 
 std::string ScenarioSpec::to_string() const {
-  if (!payload.empty()) return name + ":" + payload;
+  const std::string prefix = link_model.decorator_prefix() + background.decorator_prefix();
+  if (!payload.empty()) return prefix + name + ":" + payload;
   std::ostringstream out;
-  out << name;
+  out << prefix << name;
   for (std::size_t i = 0; i < dims.size(); ++i) out << (i == 0 ? ':' : 'x') << dims[i];
   for (std::size_t i = 0; i < rates_mbps.size(); ++i) {
     out << (i == 0 ? '@' : '/') << rates_mbps[i];
@@ -151,6 +259,11 @@ Result<simnet::Scenario> ScenarioRegistry::make(const ScenarioSpec& spec) const 
   }
   auto made = it->second.factory(spec);
   if (!made.ok()) return made;
+  // Decorators travel with the topology, so every Network built from
+  // this scenario — including per-zone replicas — applies the same
+  // model and background load.
+  made.value().topology.set_link_model(spec.link_model);
+  made.value().topology.set_background(spec.background);
   // Registry-built scenarios are self-describing: the name IS the
   // canonical spec, which keeps e.g. "dumbbell:4x4" and "dumbbell:3x3"
   // apart when the name becomes a map-cache key.

@@ -4,12 +4,23 @@
 // stable name, so examples, benches and tests can select workloads at run
 // time instead of recompiling. A spec string is
 //
-//     name[:D1xD2...][@R1/R2...]
+//     [decorator:...]name[:D1xD2...][@R1/R2...]
 //
 // where the D's are integer dimensions (host counts, site counts, seeds)
 // and the R's are link rates in Mbps. Each entry documents its own
 // parameter meaning; omitted parameters fall back to the entry's
 // defaults, so `"dumbbell"` alone is a runnable platform.
+//
+// Decorators degrade the platform's link model and compose with every
+// family (see docs/SCENARIOS.md):
+//
+//     tcp-lv08:          SimGrid lv08 TCP corrections
+//     lossy:[p=P%:][c=C%:]  P% segment loss, C% checksum corruption
+//     wifi:              switches become shared-medium access points
+//     bg:<flows>:        seeded background cross-traffic generators
+//
+// They commute; `to_string()` renders the canonical order
+// tcp-lv08/lossy/wifi/bg, and `parse(to_string())` round-trips.
 #pragma once
 
 #include <functional>
@@ -32,6 +43,11 @@ struct ScenarioSpec {
   /// (paths may contain ':', 'x', '@' and '/'). Empty for every other
   /// family.
   std::string payload;
+  /// Accumulated `tcp-lv08:`/`lossy:`/`wifi:` decorator prefixes
+  /// (ideal when the spec carries none).
+  simnet::LinkModelSpec link_model;
+  /// Accumulated `bg:<flows>:` decorator (inactive by default).
+  simnet::BackgroundSpec background;
 
   static Result<ScenarioSpec> parse(const std::string& text);
   /// Canonical spec string; `parse(s.to_string())` round-trips.

@@ -301,8 +301,12 @@ std::string ProbeAgent::handle_bulk(const wire::WireMessage& message, wire::TcpS
   }
   double seconds = std::max(elapsed_s(begin), 1e-9);
   if (config_.fixed_rate_bps > 0.0) {
+    // A usable_fraction below 1.0 models TCP overhead (lv08: payload
+    // extracts 97% of the raw rate), stretching the reported time.
+    const double goodput_bps =
+        config_.fixed_rate_bps * std::clamp(config_.usable_fraction, 1e-6, 1.0);
     const double modeled = static_cast<double>(bytes.value()) * 8.0 *
-                           static_cast<double>(streams.value()) / config_.fixed_rate_bps;
+                           static_cast<double>(streams.value()) / goodput_bps;
     if (config_.pace) sleep_s(modeled - seconds);
     seconds = modeled;
   }

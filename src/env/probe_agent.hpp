@@ -54,6 +54,12 @@ struct ProbeAgentConfig {
 
   /// > 0: deterministic reported transfer timing (see file comment).
   double fixed_rate_bps = 0.0;
+  /// Fraction of `fixed_rate_bps` a payload actually extracts (lv08 TCP
+  /// correction: 0.97). Applied to the deterministic reported timing
+  /// only, so a fleet paced this way produces golden traces whose
+  /// bandwidths a tcp-lv08 simnet model should predict — the
+  /// calibration contract's "real" side. 1.0 = plain pacing.
+  double usable_fraction = 1.0;
   /// Sleep so wall time matches the deterministic reported time.
   bool pace = false;
   /// Bound on every frame/bulk I/O operation the agent performs.

@@ -60,4 +60,29 @@ std::vector<std::unique_ptr<CrossTraffic>> make_background_load(
   return generators;
 }
 
+std::vector<std::unique_ptr<CrossTraffic>> attach_background(Network& net,
+                                                             const BackgroundSpec& spec) {
+  std::vector<std::unique_ptr<CrossTraffic>> generators;
+  const std::vector<NodeId> hosts = net.topology().hosts();
+  if (hosts.size() < 2 || !spec.active()) return generators;
+  Rng rng(spec.seed);
+  for (int i = 0; i < spec.flows; ++i) {
+    const std::size_t src = rng.next_below(hosts.size());
+    std::size_t peer = rng.next_below(hosts.size() - 1);
+    if (peer >= src) ++peer;
+    CrossTrafficSpec traffic;
+    traffic.src = hosts[src];
+    traffic.dst = hosts[peer];
+    traffic.burst_bytes = 2 * 1024 * 1024;
+    // Same duty-cycle scaling as make_background_load: a 2 MiB burst
+    // takes ~0.17 s at 100 Mbps.
+    traffic.period_s = std::max(0.05, 0.17 / std::max(0.01, spec.intensity));
+    traffic.spread = 0.6;
+    traffic.seed = rng.next_u64();
+    generators.push_back(std::make_unique<CrossTraffic>(net, traffic));
+    generators.back()->start();
+  }
+  return generators;
+}
+
 }  // namespace envnws::simnet

@@ -57,4 +57,12 @@ class CrossTraffic {
 std::vector<std::unique_ptr<CrossTraffic>> make_background_load(
     Network& net, const std::vector<NodeId>& hosts, double intensity, std::uint64_t seed);
 
+/// Build and start the generator set for a topology-level `bg:<flows>`
+/// spec: `spec.flows` seeded on/off sources between random host pairs,
+/// already running (their first bursts are queued). Called by the
+/// Network constructor, so every replica of the topology carries the
+/// exact same load schedule.
+std::vector<std::unique_ptr<CrossTraffic>> attach_background(Network& net,
+                                                             const BackgroundSpec& spec);
+
 }  // namespace envnws::simnet

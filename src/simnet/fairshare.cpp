@@ -70,4 +70,82 @@ std::vector<double> solve_max_min(const FairShareProblem& problem) {
   return rates;
 }
 
+std::vector<double> solve_max_min_weighted(const WeightedFairShareProblem& problem) {
+  const std::size_t flow_count = problem.flows.size();
+  const std::size_t resource_count = problem.capacities.size();
+  std::vector<double> rates(flow_count, std::numeric_limits<double>::infinity());
+  std::vector<double> residual = problem.capacities;
+  std::vector<bool> fixed(flow_count, false);
+  // weight_sum[r] = total weight of still-unfixed flows crossing r; the
+  // equal-rate share of r is residual[r] / weight_sum[r]. The integer
+  // live-user count, not the floating-point weight sum, decides whether
+  // a resource still constrains anyone: subtracting frozen weights
+  // leaves dust (~1e-17) on a fully-drained resource, and its dust
+  // share residual/dust can undercut every live flow's share — a
+  // bottleneck no flow crosses, so no flow freezes and the filling
+  // loop never terminates.
+  std::vector<double> weight_sum(resource_count, 0.0);
+  std::vector<std::uint32_t> live_users(resource_count, 0);
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    for (const WeightedUse& use : problem.flows[f]) {
+      assert(use.resource < resource_count);
+      assert(use.weight > 0.0);
+      weight_sum[use.resource] += use.weight;
+      ++live_users[use.resource];
+    }
+  }
+
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    if (problem.flows[f].empty()) {
+      fixed[f] = true;  // rate stays infinite: no shared resource involved
+    } else {
+      ++remaining;
+    }
+  }
+
+  while (remaining > 0) {
+    double bottleneck_share = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < resource_count; ++r) {
+      if (live_users[r] == 0) continue;
+      const double share = residual[r] / weight_sum[r];
+      if (share < bottleneck_share) bottleneck_share = share;
+    }
+    assert(bottleneck_share < std::numeric_limits<double>::infinity());
+
+    bool froze_any = false;
+    for (std::size_t f = 0; f < flow_count; ++f) {
+      if (fixed[f]) continue;
+      bool at_bottleneck = false;
+      for (const WeightedUse& use : problem.flows[f]) {
+        // weight_sum here is ≥ this flow's own weight: an unfixed flow
+        // counts itself among the resource's live users.
+        const double share = residual[use.resource] / weight_sum[use.resource];
+        if (share <= bottleneck_share * (1.0 + 1e-12)) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (!at_bottleneck) continue;
+      fixed[f] = true;
+      froze_any = true;
+      --remaining;
+      rates[f] = bottleneck_share;
+      for (const WeightedUse& use : problem.flows[f]) {
+        residual[use.resource] -= bottleneck_share * use.weight;
+        if (residual[use.resource] < 0.0) residual[use.resource] = 0.0;
+        weight_sum[use.resource] -= use.weight;
+        // A drained resource drops out exactly; the dust the subtraction
+        // left behind must never re-enter a share quotient.
+        if (--live_users[use.resource] == 0 || weight_sum[use.resource] < 0.0) {
+          weight_sum[use.resource] = 0.0;
+        }
+      }
+    }
+    assert(froze_any);
+    (void)froze_any;
+  }
+  return rates;
+}
+
 }  // namespace envnws::simnet

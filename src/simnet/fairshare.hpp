@@ -24,4 +24,24 @@ struct FairShareProblem {
 /// resources get an infinite rate (the caller treats them as local).
 std::vector<double> solve_max_min(const FairShareProblem& problem);
 
+/// One (resource, weight) term of a weighted flow: the flow consumes
+/// `weight * rate` bits/s of the resource. The lv08 TCP model expresses
+/// ack cross-traffic this way: weight 1.0 on the forward path, 0.05 on
+/// the reverse path (1.05 where the two coincide on half-duplex media).
+struct WeightedUse {
+  std::uint32_t resource = 0;
+  double weight = 1.0;
+};
+
+struct WeightedFairShareProblem {
+  std::vector<double> capacities;
+  /// flows[f] = deduplicated (resource, weight) terms of flow f.
+  std::vector<std::vector<WeightedUse>> flows;
+};
+
+/// Weighted progressive filling. With all weights 1.0 this computes the
+/// same allocation as `solve_max_min` (kept separate so the unweighted
+/// hot path stays bit-identical to the historical solver).
+std::vector<double> solve_max_min_weighted(const WeightedFairShareProblem& problem);
+
 }  // namespace envnws::simnet

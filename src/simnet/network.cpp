@@ -7,12 +7,27 @@
 #include <set>
 
 #include "common/log.hpp"
+#include "simnet/background.hpp"
 #include "simnet/fairshare.hpp"
 
 namespace envnws::simnet {
 
 namespace {
 constexpr std::uint32_t kNoResource = std::numeric_limits<std::uint32_t>::max();
+
+/// Collapse forward (weight 1.0) and ack cross-traffic (weight `share`)
+/// resource sets into deduplicated weighted terms; a resource on both
+/// paths (half-duplex media) carries the summed weight.
+std::vector<WeightedUse> weighted_uses(const std::vector<std::uint32_t>& forward,
+                                       const std::vector<std::uint32_t>& reverse, double share) {
+  std::map<std::uint32_t, double> weights;
+  for (const std::uint32_t r : forward) weights[r] += 1.0;
+  for (const std::uint32_t r : reverse) weights[r] += share;
+  std::vector<WeightedUse> uses;
+  uses.reserve(weights.size());
+  for (const auto& [resource, weight] : weights) uses.push_back(WeightedUse{resource, weight});
+  return uses;
+}
 }
 
 std::int64_t NetStats::total_bytes() const {
@@ -31,9 +46,13 @@ Network::Network(Topology topology, NetworkOptions options)
     assert(false && "invalid topology");
   }
   build_resources();
+  if (topo_.background().active()) background_ = attach_background(*this, topo_.background());
 }
 
+Network::~Network() = default;
+
 void Network::build_resources() {
+  const LinkModelSpec& model = topo_.link_model();
   link_res_ab_.assign(topo_.link_count(), kNoResource);
   link_res_ba_.assign(topo_.link_count(), kNoResource);
   hub_res_.assign(topo_.node_count(), kNoResource);
@@ -41,14 +60,14 @@ void Network::build_resources() {
   for (const Link& link : topo_.links()) {
     if (link.half_duplex) {
       const auto res = static_cast<std::uint32_t>(resource_capacity_.size());
-      resource_capacity_.push_back(std::max(link.bw_ab_bps, link.bw_ba_bps));
+      resource_capacity_.push_back(model.effective_capacity(std::max(link.bw_ab_bps, link.bw_ba_bps)));
       link_res_ab_[link.id.index()] = res;
       link_res_ba_[link.id.index()] = res;
     } else {
       const auto res_ab = static_cast<std::uint32_t>(resource_capacity_.size());
-      resource_capacity_.push_back(link.bw_ab_bps);
+      resource_capacity_.push_back(model.effective_capacity(link.bw_ab_bps));
       const auto res_ba = static_cast<std::uint32_t>(resource_capacity_.size());
-      resource_capacity_.push_back(link.bw_ba_bps);
+      resource_capacity_.push_back(model.effective_capacity(link.bw_ba_bps));
       link_res_ab_[link.id.index()] = res_ab;
       link_res_ba_[link.id.index()] = res_ba;
     }
@@ -56,8 +75,23 @@ void Network::build_resources() {
   for (const Node& node : topo_.nodes()) {
     if (node.kind == NodeKind::hub) {
       const auto res = static_cast<std::uint32_t>(resource_capacity_.size());
-      resource_capacity_.push_back(node.hub_capacity_bps);
+      resource_capacity_.push_back(model.effective_capacity(node.hub_capacity_bps));
       hub_res_[node.id.index()] = res;
+    } else if (model.wifi && node.kind == NodeKind::switch_) {
+      // Wifi zones: the switch becomes an access point whose attached
+      // stations all contend for one shared medium, capped at the
+      // fastest attached link. Reusing the hub resource slot makes
+      // resources_for_path pick the medium up with no extra plumbing.
+      double medium = 0.0;
+      for (const LinkId link_id : node.links) {
+        const Link& link = topo_.link(link_id);
+        medium = std::max(medium, std::max(link.bw_ab_bps, link.bw_ba_bps));
+      }
+      if (medium > 0.0) {
+        const auto res = static_cast<std::uint32_t>(resource_capacity_.size());
+        resource_capacity_.push_back(model.effective_capacity(medium));
+        hub_res_[node.id.index()] = res;
+      }
     }
   }
 }
@@ -142,12 +176,23 @@ Result<FlowId> Network::start_flow(NodeId src, NodeId dst, std::int64_t bytes,
   flow.dst = dst;
   flow.total_bits = static_cast<double>(bytes) * 8.0;
   flow.remaining_bits = flow.total_bits;
+  const LinkModelSpec& model = topo_.link_model();
   flow.resources = std::move(resources.value());
-  flow.fwd_latency = path.value().total_latency(topo_);
+  flow.fwd_latency = model.effective_latency(path.value().total_latency(topo_));
   // The ack travels the reverse path (may differ under asymmetric routes).
-  if (options.ack) {
+  if (options.ack || model.weighted()) {
     const auto reverse = routes_.path(dst, src);
-    flow.rev_latency = reverse.ok() ? reverse.value().total_latency(topo_) : flow.fwd_latency;
+    const double rev_latency =
+        reverse.ok() ? model.effective_latency(reverse.value().total_latency(topo_))
+                     : flow.fwd_latency;
+    if (options.ack) flow.rev_latency = rev_latency;
+    // lv08 cross-traffic: the flow's ack stream loads the reverse path
+    // with `cross_traffic_share` of its rate.
+    if (model.weighted() && reverse.ok()) {
+      if (auto rev_resources = resources_for_path(reverse.value()); rev_resources.ok()) {
+        flow.cross_resources = std::move(rev_resources.value());
+      }
+    }
   }
   flow.ack = options.ack;
   flow.start_time = now_;
@@ -189,13 +234,27 @@ void Network::settle_flows() {
 }
 
 void Network::recompute_rates() {
-  FairShareProblem problem;
-  problem.capacities = resource_capacity_;
-  problem.flows.reserve(active_order_.size());
-  for (const FlowId id : active_order_) {
-    problem.flows.push_back(flows_[id.index()].resources);
+  const LinkModelSpec& model = topo_.link_model();
+  std::vector<double> rates;
+  if (model.weighted()) {
+    WeightedFairShareProblem problem;
+    problem.capacities = resource_capacity_;
+    problem.flows.reserve(active_order_.size());
+    for (const FlowId id : active_order_) {
+      const FlowState& flow = flows_[id.index()];
+      problem.flows.push_back(
+          weighted_uses(flow.resources, flow.cross_resources, model.cross_traffic_share));
+    }
+    rates = solve_max_min_weighted(problem);
+  } else {
+    FairShareProblem problem;
+    problem.capacities = resource_capacity_;
+    problem.flows.reserve(active_order_.size());
+    for (const FlowId id : active_order_) {
+      problem.flows.push_back(flows_[id.index()].resources);
+    }
+    rates = solve_max_min(problem);
   }
-  const std::vector<double> rates = solve_max_min(problem);
 
   for (std::size_t i = 0; i < active_order_.size(); ++i) {
     const FlowId id = active_order_[i];
@@ -336,7 +395,11 @@ Result<std::vector<TracerouteHop>> Network::traceroute(NodeId src, NodeId dst) c
 Result<double> Network::ground_truth_bandwidth(NodeId src, NodeId dst) const {
   const auto path = routes_.path(src, dst);
   if (!path.ok()) return path.error();
-  return path.value().bottleneck_bandwidth(topo_);
+  // A single flow's rate is the path's effective bottleneck: the wifi
+  // medium (= fastest attached link) never undercuts a lone flow and
+  // cross-traffic back-flows are non-binding without contention, so the
+  // link-model capacity correction is the whole story.
+  return topo_.link_model().effective_capacity(path.value().bottleneck_bandwidth(topo_));
 }
 
 Result<double> Network::ground_truth_latency(NodeId src, NodeId dst) const {
@@ -349,6 +412,36 @@ Result<std::vector<std::uint32_t>> Network::path_resources(NodeId src, NodeId ds
   const auto path = routes_.path(src, dst);
   if (!path.ok()) return path.error();
   return resources_for_path(path.value());
+}
+
+Result<std::vector<double>> Network::predicted_rates(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
+  const LinkModelSpec& model = topo_.link_model();
+  std::vector<std::vector<std::uint32_t>> forward(pairs.size());
+  std::vector<std::vector<std::uint32_t>> reverse(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    auto fwd = path_resources(pairs[i].first, pairs[i].second);
+    if (!fwd.ok()) return fwd.error();
+    forward[i] = std::move(fwd.value());
+    if (model.weighted()) {
+      auto rev = path_resources(pairs[i].second, pairs[i].first);
+      if (!rev.ok()) return rev.error();
+      reverse[i] = std::move(rev.value());
+    }
+  }
+  if (model.weighted()) {
+    WeightedFairShareProblem problem;
+    problem.capacities = resource_capacity_;
+    problem.flows.reserve(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      problem.flows.push_back(weighted_uses(forward[i], reverse[i], model.cross_traffic_share));
+    }
+    return solve_max_min_weighted(problem);
+  }
+  FairShareProblem problem;
+  problem.capacities = resource_capacity_;
+  problem.flows = std::move(forward);
+  return solve_max_min(problem);
 }
 
 double Network::cpu_load(NodeId host, SimTime t) const {

@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
@@ -23,6 +25,8 @@
 #include "simnet/types.hpp"
 
 namespace envnws::simnet {
+
+class CrossTraffic;
 
 struct NetworkOptions {
   /// Multiplicative jitter applied by `measurement_jitter()`; probes use
@@ -79,8 +83,13 @@ struct NetStats {
 class Network {
  public:
   explicit Network(Topology topology, NetworkOptions options = {});
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
+  /// The topology's link model (ideal unless the scenario was decorated).
+  [[nodiscard]] const LinkModelSpec& link_model() const { return topo_.link_model(); }
   [[nodiscard]] Topology& topology_mut() { return topo_; }
   [[nodiscard]] RouteTable& routes() { return routes_; }
   [[nodiscard]] SimTime now() const { return now_; }
@@ -130,6 +139,13 @@ class Network {
   [[nodiscard]] const std::vector<double>& resource_capacities() const {
     return resource_capacity_;
   }
+  /// Steady-state rate the model predicts for each of `pairs` when all
+  /// of them transfer simultaneously (no latency, no event queue): the
+  /// fair-share solve over effective capacities, weighted when the
+  /// model injects cross-traffic. This is the calibration surface — the
+  /// number a paced bulk transfer's measured bandwidth should match.
+  [[nodiscard]] Result<std::vector<double>> predicted_rates(
+      const std::vector<std::pair<NodeId, NodeId>>& pairs) const;
 
   // --- host state (sensors read these) ---
   [[nodiscard]] double cpu_load(NodeId host, SimTime t) const;
@@ -153,6 +169,9 @@ class Network {
     double total_bits = 0.0;
     double remaining_bits = 0.0;
     std::vector<std::uint32_t> resources;
+    /// Reverse-path resources the lv08 ack cross-traffic loads (empty
+    /// unless the model is weighted).
+    std::vector<std::uint32_t> cross_resources;
     double fwd_latency = 0.0;
     double rev_latency = 0.0;
     bool ack = true;
@@ -191,6 +210,9 @@ class Network {
 
   std::vector<FlowState> flows_;
   std::vector<FlowId> active_order_;  ///< active flows, insertion order
+  /// Generators for the topology's background spec (owned so replicas
+  /// replay identical load; empty without a `bg:` decorator).
+  std::vector<std::unique_ptr<CrossTraffic>> background_;
 };
 
 }  // namespace envnws::simnet

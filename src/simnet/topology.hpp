@@ -14,6 +14,7 @@
 
 #include "common/result.hpp"
 #include "simnet/address.hpp"
+#include "simnet/link_model.hpp"
 #include "simnet/types.hpp"
 
 namespace envnws::simnet {
@@ -133,6 +134,20 @@ class Topology {
   void set_edge_router(NodeId router) { edge_router_ = router; }
   [[nodiscard]] NodeId edge_router() const { return edge_router_; }
 
+  /// Link model applied by every Network built from this topology (the
+  /// registry's `tcp-lv08:`/`lossy:`/`wifi:` decorators set it; the
+  /// default is the bit-identical ideal model). Traveling with the
+  /// topology means per-zone replica networks and the MapCache platform
+  /// fingerprint inherit the model for free.
+  void set_link_model(LinkModelSpec model) { link_model_ = model; }
+  [[nodiscard]] const LinkModelSpec& link_model() const { return link_model_; }
+
+  /// Deterministic background cross-traffic (the `bg:<flows>`
+  /// decorator); every Network built from this topology attaches the
+  /// same seeded generator set.
+  void set_background(BackgroundSpec background) { background_ = background; }
+  [[nodiscard]] const BackgroundSpec& background() const { return background_; }
+
   // --- queries ---
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t link_count() const { return links_.size(); }
@@ -175,6 +190,8 @@ class Topology {
   /// one 10k-host mapping pass.
   std::map<std::string, NodeId> host_by_fqdn_;
   NodeId edge_router_ = NodeId::invalid();
+  LinkModelSpec link_model_;
+  BackgroundSpec background_;
 };
 
 }  // namespace envnws::simnet

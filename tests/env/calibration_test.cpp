@@ -1,0 +1,200 @@
+// The first quantitative sim-vs-real calibration (link_model.hpp).
+//
+// The "real" side is the committed golden trace
+// tests/data/traces/socket-star-6-tcp.envtrace: a REAL loopback agent
+// fleet, paced at 1 Gbps with the lv08 TCP correction applied to its
+// deterministic timing (payloads extract 97% of the raw rate), recorded
+// via
+//
+//   $ ./examples/record_trace star-switch:6@1000 \
+//       tests/data/traces/socket-star-6-tcp.envtrace --fleet-tcp
+//
+// The "sim" side is Network::predicted_rates() — the steady-state
+// fair-share solve the simulator would grant those same transfers — on
+// the SAME platform spec, once under the `tcp-lv08:` link model and
+// once under the default `ideal` model. The calibration contract:
+//
+//   * tcp-lv08 predicts every measured bandwidth in the trace within
+//     kLv08Tolerance (the model was built to explain exactly this
+//     correction, so the residual is rounding only);
+//   * ideal does NOT tighten — its worst-case error against the same
+//     measurements stays above kIdealFloor (~3%: the usable-fraction
+//     gap the lv08 model exists to close). A refactor that silently
+//     "improves" ideal into fitting TCP data has broken the bit-exact
+//     default contract somewhere else;
+//   * ideal still fits the PLAIN paced fleet (socket-star-6.envtrace),
+//     so the error split is attributable to TCP, not to the harness.
+//
+// A live-fleet variant re-derives the "real" side from scratch against
+// freshly spawned agents (skipped under ENVNWS_TEST_NO_NET=1), so the
+// committed trace itself stays auditable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/scenario_registry.hpp"
+#include "env/probe_agent.hpp"
+#include "env/socket_probe_engine.hpp"
+#include "env/trace_probe_engine.hpp"
+#include "simnet/network.hpp"
+
+namespace envnws::env {
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kTraceDir = fs::path(ENVNWS_TEST_DATA_DIR) / "traces";
+
+/// lv08 must explain the TCP-paced measurements to rounding precision.
+constexpr double kLv08Tolerance = 0.005;
+/// ...while ideal must keep missing them by at least the usable-fraction
+/// gap (1 - 0.97 ≈ 3%; floor set below it for slack).
+constexpr double kIdealFloor = 0.02;
+
+bool no_net() {
+  const char* flag = std::getenv("ENVNWS_TEST_NO_NET");
+  return flag != nullptr && std::string(flag) == "1";
+}
+
+/// One steady-state bandwidth observation: the transfers that ran
+/// together and what each of them measured.
+struct Observation {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::vector<double> measured_bps;
+};
+
+/// Every successful bandwidth / concurrent record of a trace. Lookup and
+/// traceroute records carry no rates and are skipped.
+std::vector<Observation> bandwidth_observations(const ProbeTrace& trace) {
+  std::vector<Observation> observations;
+  for (const TraceRecord& record : trace.records) {
+    if (record.kind != TraceRecord::Kind::bandwidth &&
+        record.kind != TraceRecord::Kind::concurrent) {
+      continue;
+    }
+    Observation observation;
+    for (const TraceRecord::Entry& entry : record.entries) {
+      if (!entry.ok) continue;
+      observation.pairs.emplace_back(entry.from, entry.to);
+      observation.measured_bps.push_back(entry.bandwidth_bps);
+    }
+    if (!observation.pairs.empty()) observations.push_back(std::move(observation));
+  }
+  return observations;
+}
+
+/// Worst relative error of `spec`'s predicted steady-state rates against
+/// the observations. Fails the test on any resolution/solve error.
+double max_relative_error(const std::string& spec, const std::vector<Observation>& observations) {
+  auto scenario = api::ScenarioRegistry::builtin().make(spec);
+  EXPECT_TRUE(scenario.ok()) << spec << ": " << scenario.error().to_string();
+  if (!scenario.ok()) return 0.0;
+  simnet::Network net(std::move(scenario.value().topology));
+  double worst = 0.0;
+  for (const Observation& observation : observations) {
+    std::vector<std::pair<simnet::NodeId, simnet::NodeId>> pairs;
+    for (const auto& [from, to] : observation.pairs) {
+      auto src = net.topology().find_host_by_fqdn(from);
+      auto dst = net.topology().find_host_by_fqdn(to);
+      EXPECT_TRUE(src.ok() && dst.ok()) << from << " -> " << to;
+      if (!src.ok() || !dst.ok()) return 0.0;
+      pairs.emplace_back(src.value(), dst.value());
+    }
+    auto predicted = net.predicted_rates(pairs);
+    EXPECT_TRUE(predicted.ok()) << predicted.error().to_string();
+    if (!predicted.ok()) return 0.0;
+    for (std::size_t i = 0; i < observation.measured_bps.size(); ++i) {
+      const double measured = observation.measured_bps[i];
+      if (measured <= 0.0) continue;
+      worst = std::max(worst, std::fabs(predicted.value()[i] - measured) / measured);
+    }
+  }
+  return worst;
+}
+
+TEST(Calibration, Lv08ExplainsTheTcpPacedFleetWhereIdealCannot) {
+  const fs::path path = kTraceDir / "socket-star-6-tcp.envtrace";
+  ASSERT_TRUE(fs::exists(path))
+      << "calibration trace missing: " << path
+      << "\nre-record with: ./build/examples/record_trace star-switch:6@1000 " << path
+      << " --fleet-tcp";
+  auto trace = ProbeTrace::load(path.string());
+  ASSERT_TRUE(trace.ok()) << trace.error().to_string();
+
+  const std::vector<Observation> observations = bandwidth_observations(trace.value());
+  // 15 pairwise B records + 10 same-source and 5 disjoint C batches.
+  ASSERT_GE(observations.size(), 30u);
+
+  const double lv08 = max_relative_error("tcp-lv08:star-switch:6@1000", observations);
+  const double ideal = max_relative_error("star-switch:6@1000", observations);
+  EXPECT_LE(lv08, kLv08Tolerance) << "tcp-lv08 no longer explains the measured fleet";
+  EXPECT_GE(ideal, kIdealFloor) << "ideal fits TCP data: the default model is no longer ideal";
+  // And lv08 is strictly the better explanation, by a wide margin.
+  EXPECT_LT(lv08 * 2.0, ideal);
+}
+
+TEST(Calibration, IdealExplainsThePlainPacedFleet) {
+  // Control: against the UNcorrected paced fleet the ideal model is the
+  // right one — the lv08/ideal split above measures TCP, not the rig.
+  const fs::path path = kTraceDir / "socket-star-6.envtrace";
+  ASSERT_TRUE(fs::exists(path)) << "golden socket trace missing: " << path;
+  auto trace = ProbeTrace::load(path.string());
+  ASSERT_TRUE(trace.ok()) << trace.error().to_string();
+
+  const std::vector<Observation> observations = bandwidth_observations(trace.value());
+  ASSERT_GE(observations.size(), 30u);
+  // The plain fleet paces at the default 1 Gbps = star-switch:6@1000.
+  EXPECT_LE(max_relative_error("star-switch:6@1000", observations), kLv08Tolerance);
+}
+
+TEST(Calibration, LiveTcpFleetMatchesLv08Predictions) {
+  if (no_net()) GTEST_SKIP() << "ENVNWS_TEST_NO_NET=1 set";
+
+  // A fresh 3-host TCP-paced fleet: 1 Gbps raw, 97% usable — the same
+  // rig that recorded the committed trace, rebuilt from nothing.
+  constexpr double kRate = 1e9;
+  std::vector<std::unique_ptr<ProbeAgent>> fleet;
+  wire::AgentRoster roster;
+  for (const char* name : {"h0.lan", "h1.lan", "h2.lan"}) {
+    ProbeAgentConfig config;
+    config.name = name;
+    config.fqdn = name;
+    config.fixed_rate_bps = kRate;
+    config.usable_fraction = 0.97;
+    fleet.push_back(std::make_unique<ProbeAgent>(std::move(config)));
+    ASSERT_TRUE(fleet.back()->start().ok()) << name;
+    roster.agents.push_back(wire::AgentEndpoint{name, "127.0.0.1", fleet.back()->port()});
+  }
+  MapperOptions options;
+  options.probe_bytes = 64 * 1024;
+  options.stabilization_gap_s = 0.0;
+  SocketProbeEngine engine(roster, options);
+
+  std::vector<Observation> observations;
+  auto solo = engine.bandwidth("h0.lan", "h1.lan");
+  ASSERT_TRUE(solo.ok()) << solo.error().to_string();
+  observations.push_back({{{"h0.lan", "h1.lan"}}, {solo.value()}});
+  auto shared = engine.concurrent_bandwidth(
+      {BandwidthRequest{"h0.lan", "h1.lan"}, BandwidthRequest{"h0.lan", "h2.lan"}});
+  ASSERT_EQ(shared.size(), 2u);
+  Observation concurrent;
+  for (std::size_t i = 0; i < shared.size(); ++i) {
+    ASSERT_TRUE(shared[i].ok()) << shared[i].error().to_string();
+    concurrent.pairs.emplace_back("h0.lan", i == 0 ? "h1.lan" : "h2.lan");
+    concurrent.measured_bps.push_back(shared[i].value());
+  }
+  observations.push_back(std::move(concurrent));
+  for (auto& agent : fleet) agent->stop();
+
+  EXPECT_LE(max_relative_error("tcp-lv08:star-switch:3@1000", observations), kLv08Tolerance);
+  EXPECT_GE(max_relative_error("star-switch:3@1000", observations), kIdealFloor);
+}
+
+}  // namespace
+}  // namespace envnws::env

@@ -1,0 +1,96 @@
+// Sampled incremental re-maps: the session's mapper options carry the
+// hierarchical-sampling knobs (max_pairwise / sample_seed, PR 8) into
+// the daemon's drift response — Session::make_monitor copies them into
+// MonitorOptions::remap. The contract mirrors the mapper's own:
+// a sampled re-map costs no more probes than the full one, engages the
+// sampler when the budget binds, and the whole monitoring run stays a
+// pure deterministic function of (scenario, fault spec, options).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/envnws.hpp"
+#include "monitor/daemon.hpp"
+
+namespace envnws {
+namespace {
+
+using api::ScenarioRegistry;
+using api::Session;
+
+struct SampledRun {
+  std::string digest;
+  std::vector<std::string> decisions;
+  std::uint64_t remaps = 0;
+  std::uint64_t remap_experiments = 0;
+  env::SampleStats remap_sampling;  ///< summed over re-mapped zones
+};
+
+/// Drift on an 8-host switched star (one clique, one probe per cycle):
+/// the 56-pair rotation revisits a pair every 56 cycles, so bw#117
+/// (= pair 5, already measured at cycles 5 and 61) lands on a warm
+/// drift window, the detector trips and the daemon re-maps the full
+/// 8-host segment — large enough for a 1-pair budget to force sampling
+/// (7 non-master members, 21 pairs).
+SampledRun run_with_sampled_remap(int max_pairwise, std::uint64_t sample_seed) {
+  SampledRun run;
+  auto scenario = ScenarioRegistry::builtin().make("star-switch:8");
+  EXPECT_TRUE(scenario.ok());
+  simnet::Network net(simnet::Scenario(scenario.value()).topology);
+  Session session(net, scenario.value());
+  // Full-protocol initial map; only the drift re-maps sample.
+  EXPECT_TRUE(session.plan().ok());
+  EXPECT_TRUE(session.set_probe_engine_spec("fault:bw#117=scale:0.35@sim").ok());
+  session.options().mapper.max_pairwise = max_pairwise;
+  session.options().mapper.sample_seed = sample_seed;
+
+  monitor::MonitorOptions options;
+  options.drift.relative_error_threshold = 0.2;
+  options.drift.window = 4;
+  options.drift.min_samples = 2;
+  options.drift.cooldown_cycles = 30;
+  auto made = session.make_monitor(options);
+  EXPECT_TRUE(made.ok()) << (made.ok() ? "" : made.error().to_string());
+  if (!made.ok()) return run;
+  std::unique_ptr<monitor::MonitorDaemon> daemon = std::move(made.value());
+  daemon->set_remap_sink([&run](const std::string&, const env::ZoneMapResult& zone) {
+    run.remap_sampling += zone.sampling;
+  });
+  EXPECT_TRUE(daemon->run_cycles(125).ok());
+  run.digest = daemon->snapshot()->digest();
+  run.decisions = daemon->decision_log();
+  run.remaps = daemon->remaps();
+  run.remap_experiments = daemon->remap_experiments();
+  return run;
+}
+
+TEST(MonitordSampledRemap, BudgetEngagesTheSamplerWithoutExtraProbes) {
+  const SampledRun full = run_with_sampled_remap(0, 1);
+  ASSERT_EQ(full.remaps, 1u);
+  EXPECT_EQ(full.remap_sampling.sampled_groups, 0u);
+  EXPECT_EQ(full.remap_sampling.representatives, 0u);
+
+  const SampledRun sampled = run_with_sampled_remap(1, 1);
+  ASSERT_EQ(sampled.remaps, 1u);
+  // The budget bound the re-map's pairwise phase: representatives ran,
+  // the rest of the segment was placed by inference/escalation.
+  EXPECT_GT(sampled.remap_sampling.sampled_groups, 0u);
+  EXPECT_GT(sampled.remap_sampling.representatives, 0u);
+  EXPECT_LE(sampled.remap_experiments, full.remap_experiments);
+}
+
+TEST(MonitordSampledRemap, SampledRunsAreDeterministicPerSeed) {
+  const SampledRun one = run_with_sampled_remap(1, 42);
+  const SampledRun two = run_with_sampled_remap(1, 42);
+  EXPECT_EQ(one.digest, two.digest);
+  EXPECT_EQ(one.decisions, two.decisions);
+  EXPECT_EQ(one.remap_experiments, two.remap_experiments);
+  EXPECT_EQ(one.remap_sampling.representatives, two.remap_sampling.representatives);
+  EXPECT_EQ(one.remap_sampling.inferred_members, two.remap_sampling.inferred_members);
+}
+
+}  // namespace
+}  // namespace envnws
